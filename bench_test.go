@@ -1,0 +1,241 @@
+// Benchmarks regenerating the paper's evaluation, one family per figure:
+//
+//	go test -bench=Fig6 -benchmem .   # piggyback amount per message
+//	go test -bench=Fig7 -benchmem .   # dependency-tracking time
+//	go test -bench=Fig8 -benchmem .   # blocking vs non-blocking with a fault
+//	go test -bench=Ablation .         # design-choice ablations
+//
+// Each Fig6/Fig7 benchmark iteration executes one full cluster run of the
+// named NPB workload under the named protocol and reports the paper's
+// metric via b.ReportMetric; Fig8 benchmarks time the complete
+// fault+recovery run, so ns/op itself is the figure's quantity.
+package windar_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"windar"
+)
+
+// benchProcs mirrors the paper's sweep, truncated so a full -bench=. pass
+// stays tractable; pass -bench manually with bigger sweeps when needed.
+var benchProcs = []int{4, 8, 16, 32}
+
+var benchProtocols = []windar.Protocol{windar.TDI, windar.TAG, windar.TEL}
+
+func benchConfig(procs int, p windar.Protocol, mode windar.Mode) windar.Config {
+	return windar.Config{
+		Procs:              procs,
+		Protocol:           p,
+		Mode:               mode,
+		CheckpointEvery:    3,
+		BaseLatency:        20 * time.Microsecond,
+		JitterFraction:     0.5,
+		Seed:               1,
+		EventLoggerLatency: 60 * time.Microsecond,
+		StallTimeout:       2 * time.Minute,
+	}
+}
+
+func benchFactory(b *testing.B, bench string, procs int) windar.Factory {
+	b.Helper()
+	iters := 4
+	if bench == "sp" {
+		iters = 8
+	}
+	f, err := windar.NPBFactory(bench, 8, iters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// runBenchCluster executes one full run and returns its stats.
+func runBenchCluster(b *testing.B, cfg windar.Config, f windar.Factory, chaos func(*windar.Cluster)) windar.Stats {
+	b.Helper()
+	c, err := windar.NewCluster(cfg, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if chaos != nil {
+		chaos(c)
+	}
+	c.Wait()
+	return c.Stats()
+}
+
+// BenchmarkFig6Piggyback reports identifiers piggybacked per application
+// message (the paper's Fig. 6 y-axis) for every (benchmark, procs,
+// protocol) cell.
+func BenchmarkFig6Piggyback(b *testing.B) {
+	for _, bench := range []string{"lu", "bt", "sp"} {
+		for _, procs := range benchProcs {
+			for _, p := range benchProtocols {
+				name := fmt.Sprintf("%s/p%d/%s", bench, procs, p)
+				b.Run(name, func(b *testing.B) {
+					f := benchFactory(b, bench, procs)
+					var ids float64
+					for i := 0; i < b.N; i++ {
+						s := runBenchCluster(b, benchConfig(procs, p, windar.NonBlocking), f, nil)
+						ids = s.AvgPiggybackIDs()
+					}
+					b.ReportMetric(ids, "ids/msg")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Tracking reports dependency-tracking time per message (the
+// paper's Fig. 7 y-axis).
+func BenchmarkFig7Tracking(b *testing.B) {
+	for _, bench := range []string{"lu", "bt", "sp"} {
+		for _, procs := range benchProcs {
+			for _, p := range benchProtocols {
+				name := fmt.Sprintf("%s/p%d/%s", bench, procs, p)
+				b.Run(name, func(b *testing.B) {
+					f := benchFactory(b, bench, procs)
+					var perMsg float64
+					for i := 0; i < b.N; i++ {
+						s := runBenchCluster(b, benchConfig(procs, p, windar.NonBlocking), f, nil)
+						if s.MsgsSent > 0 {
+							perMsg = float64(s.TrackingTime().Nanoseconds()) / float64(s.MsgsSent)
+						}
+					}
+					b.ReportMetric(perMsg, "tracking-ns/msg")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Accomplishment times a complete run with one injected
+// failure and recovery under each communication mode; ns/op is the
+// accomplishment time whose blocking/non-blocking ratio is the paper's
+// Fig. 8. Links are throttled to the paper's Ethernet-like regime.
+func BenchmarkFig8Accomplishment(b *testing.B) {
+	for _, bench := range []string{"lu", "bt", "sp"} {
+		for _, procs := range []int{4, 8, 16} {
+			for _, mode := range []windar.Mode{windar.Blocking, windar.NonBlocking} {
+				modeName := "blocking"
+				if mode == windar.NonBlocking {
+					modeName = "nonblocking"
+				}
+				name := fmt.Sprintf("%s/p%d/%s", bench, procs, modeName)
+				b.Run(name, func(b *testing.B) {
+					f := benchFactory(b, bench, procs)
+					cfg := benchConfig(procs, windar.TDI, mode)
+					cfg.Bandwidth = 50 << 20
+					for i := 0; i < b.N; i++ {
+						runBenchCluster(b, cfg, f, func(c *windar.Cluster) {
+							time.Sleep(8 * time.Millisecond)
+							if err := c.KillAndRecover(1, 2*time.Millisecond); err != nil {
+								b.Fatal(err)
+							}
+						})
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationLogRelease compares sender-log retention with and
+// without the CHECKPOINT_ADVANCE release rule (DESIGN.md ablation):
+// without periodic checkpoints the log grows with every send; with them
+// it stays bounded by the checkpoint interval.
+func BenchmarkAblationLogRelease(b *testing.B) {
+	for _, every := range []int{0, 4} {
+		name := "never"
+		if every > 0 {
+			name = fmt.Sprintf("every%d", every)
+		}
+		b.Run(name, func(b *testing.B) {
+			f, err := windar.WorkloadFactory("ring", 60)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var live float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(4, windar.TDI, windar.NonBlocking)
+				cfg.CheckpointEvery = every
+				c, err := windar.NewCluster(cfg, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Start(); err != nil {
+					b.Fatal(err)
+				}
+				c.Wait()
+				time.Sleep(2 * time.Millisecond) // trailing CKPT_ADVANCE
+				live = float64(c.LogItemsLive())
+				c.Close()
+			}
+			b.ReportMetric(live, "log-items-live")
+		})
+	}
+}
+
+// BenchmarkAblationRecoveryLatency compares rolling-forward time across
+// protocols on the same failure: TDI needs no determinant-collection
+// phase (its logged vectors decide delivery slots on arrival), while the
+// PWD baselines hold all delivery until every RESPONSE arrives.
+func BenchmarkAblationRecoveryLatency(b *testing.B) {
+	for _, p := range benchProtocols {
+		b.Run(string(p), func(b *testing.B) {
+			f := benchFactory(b, "lu", 8)
+			var recovery float64
+			for i := 0; i < b.N; i++ {
+				s := runBenchCluster(b, benchConfig(8, p, windar.NonBlocking), f,
+					func(c *windar.Cluster) {
+						time.Sleep(8 * time.Millisecond)
+						if err := c.KillAndRecover(3, time.Millisecond); err != nil {
+							b.Fatal(err)
+						}
+					})
+				recovery = float64(time.Duration(s.RecoveryNanos).Microseconds())
+			}
+			b.ReportMetric(recovery, "rollforward-µs")
+		})
+	}
+}
+
+// BenchmarkAblationPiggybackGrowth shows why the PWD protocols need their
+// countermeasures at all: with longer checkpoint intervals (less
+// pruning), TAG's antecedence graph grows, and with it the per-send
+// increment traversal — while TDI's cost is a flat vector copy however
+// long the interval. (TAG's ids/msg stays modest to fixed neighbours
+// thanks to the Manetho incremental scheme; the graph size surfaces as
+// tracking time, the paper's second overhead source.)
+func BenchmarkAblationPiggybackGrowth(b *testing.B) {
+	for _, every := range []int{2, 8} {
+		for _, p := range []windar.Protocol{windar.TDI, windar.TAG} {
+			b.Run(fmt.Sprintf("ckpt%d/%s", every, p), func(b *testing.B) {
+				// Long enough that the checkpoint interval controls how
+				// much history TAG accumulates between prunes.
+				f, err := windar.NPBFactory("lu", 8, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var ids, trackNs float64
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig(4, p, windar.NonBlocking)
+					cfg.CheckpointEvery = every
+					s := runBenchCluster(b, cfg, f, nil)
+					ids = s.AvgPiggybackIDs()
+					if s.MsgsSent > 0 {
+						trackNs = float64(s.TrackingTime().Nanoseconds()) / float64(s.MsgsSent)
+					}
+				}
+				b.ReportMetric(ids, "ids/msg")
+				b.ReportMetric(trackNs, "tracking-ns/msg")
+			})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command windar-bench regenerates the paper's evaluation figures:
+//
+//	windar-bench -fig 6          # piggyback amount per message
+//	windar-bench -fig 7          # dependency-tracking time
+//	windar-bench -fig 8          # blocking vs non-blocking accomplishment time
+//	windar-bench -fig all        # everything
+//
+// The sweep dimensions (benchmarks, process counts, problem size) mirror
+// the paper's: LU/BT/SP at 4-32 processes. Expect the shapes, not the
+// absolute values, to match the published figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"windar"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 7, 8 or all")
+		benchmarks = flag.String("benchmarks", "lu,bt,sp", "comma-separated benchmark list")
+		procs      = flag.String("procs", "4,8,16,32", "comma-separated process counts")
+		n          = flag.Int("n", 8, "global grid edge (N^3 domain)")
+		iters      = flag.Int("iters", 6, "iterations for LU/BT (SP runs double)")
+		seed       = flag.Int64("seed", 1, "network jitter seed")
+		faultAfter = flag.Duration("fault-after", 10*time.Millisecond, "fig 8: failure injection delay")
+	)
+	flag.Parse()
+
+	procCounts, err := parseInts(*procs)
+	if err != nil {
+		fatal("bad -procs: %v", err)
+	}
+	opts := windar.ExperimentOptions{
+		Benchmarks: strings.Split(*benchmarks, ","),
+		ProcCounts: procCounts,
+		N:          *n,
+		Iterations: map[string]int{"lu": *iters, "bt": *iters, "sp": 2 * *iters},
+		Seed:       *seed,
+		FaultAfter: *faultAfter,
+	}
+
+	want := map[string]bool{}
+	if *fig == "all" {
+		want["6"], want["7"], want["8"], want["ckpt"] = true, true, true, true
+	} else {
+		want[*fig] = true
+	}
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] {
+		fatal("unknown -fig %q (want 6, 7, 8, ckpt or all)", *fig)
+	}
+
+	if want["6"] || want["7"] {
+		rows, err := windar.RunOverheadSweep(opts)
+		if err != nil {
+			fatal("overhead sweep: %v", err)
+		}
+		if want["6"] {
+			fmt.Println(windar.Fig6Text(rows))
+		}
+		if want["7"] {
+			fmt.Println(windar.Fig7Text(rows))
+		}
+	}
+	if want["8"] {
+		rows, err := windar.RunFig8(opts)
+		if err != nil {
+			fatal("fig 8: %v", err)
+		}
+		fmt.Println(windar.Fig8Text(rows))
+	}
+	if want["ckpt"] {
+		rows, err := windar.RunCheckpointSweep(opts, nil)
+		if err != nil {
+			fatal("checkpoint sweep: %v", err)
+		}
+		fmt.Println(windar.CkptText(rows))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "windar-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

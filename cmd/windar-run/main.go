@@ -1,0 +1,131 @@
+// Command windar-run executes one workload under a chosen logging
+// protocol, optionally injecting failures, and reports the overhead
+// counters:
+//
+//	windar-run -app lu -procs 8 -protocol tdi
+//	windar-run -app ring -steps 100 -protocol tag -kill 2 -kill-after 5ms
+//	windar-run -app bt -mode blocking -kill 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"windar"
+	"windar/internal/trace"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "lu", "workload: lu, bt, sp, ring, halo, masterworker, pairs")
+		procs     = flag.Int("procs", 4, "number of processes")
+		protocol  = flag.String("protocol", "tdi", "logging protocol: tdi, tag, tel")
+		mode      = flag.String("mode", "nonblocking", "communication mode: nonblocking, blocking")
+		n         = flag.Int("n", 8, "NPB grid edge")
+		steps     = flag.Int("steps", 8, "iterations / steps")
+		ckptEvery = flag.Int("ckpt-every", 3, "checkpoint interval in steps (0 = never)")
+		kill      = flag.Int("kill", -1, "rank to kill (-1 = no failure)")
+		killAfter = flag.Duration("kill-after", 5*time.Millisecond, "failure injection delay")
+		detect    = flag.Duration("detect", time.Millisecond, "failure detection delay before recovery")
+		seed      = flag.Int64("seed", 1, "network jitter seed")
+		validate  = flag.Bool("validate", true, "validate the execution trace")
+		traceOut  = flag.String("trace-out", "", "write the execution trace as JSON lines to this file")
+	)
+	flag.Parse()
+
+	factory, err := windar.NPBFactory(*appName, *n, *steps)
+	if err != nil {
+		factory, err = windar.WorkloadFactory(*appName, *steps)
+	}
+	if err != nil {
+		fatal("unknown app %q", *appName)
+	}
+
+	rec := &windar.TraceRecorder{}
+	cfg := windar.Config{
+		Procs:           *procs,
+		Protocol:        windar.Protocol(*protocol),
+		CheckpointEvery: *ckptEvery,
+		JitterFraction:  0.5,
+		Seed:            *seed,
+		StallTimeout:    2 * time.Minute,
+	}
+	if *validate {
+		cfg.Trace = rec
+	}
+	switch *mode {
+	case "blocking":
+		cfg.Mode = windar.Blocking
+	case "nonblocking":
+		cfg.Mode = windar.NonBlocking
+	default:
+		fatal("unknown -mode %q", *mode)
+	}
+
+	c, err := windar.NewCluster(cfg, factory)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if err := c.Start(); err != nil {
+		fatal("start: %v", err)
+	}
+	if *kill >= 0 {
+		time.Sleep(*killAfter)
+		fmt.Printf("injecting failure: killing rank %d\n", *kill)
+		if err := c.KillAndRecover(*kill, *detect); err != nil {
+			fatal("kill/recover: %v", err)
+		}
+	}
+	c.Wait()
+	elapsed := time.Since(start)
+
+	s := c.Stats()
+	fmt.Printf("app=%s procs=%d protocol=%s mode=%s elapsed=%v\n",
+		*appName, *procs, *protocol, *mode, elapsed.Round(time.Millisecond))
+	fmt.Printf("  messages sent/delivered:    %d / %d\n", s.MsgsSent, s.MsgsDelivered)
+	fmt.Printf("  piggyback per message:      %.2f identifiers, %.1f bytes\n",
+		s.AvgPiggybackIDs(), s.AvgPiggybackBytes())
+	fmt.Printf("  tracking time:              %v total\n", s.TrackingTime().Round(time.Microsecond))
+	fmt.Printf("  control messages:           %d\n", s.ControlMsgs)
+	fmt.Printf("  duplicates discarded:       %d\n", s.RepetitiveDiscarded)
+	fmt.Printf("  log items resent:           %d\n", s.ResentMsgs)
+	fmt.Printf("  log items live at end:      %d\n", c.LogItemsLive())
+	if s.Recoveries > 0 {
+		fmt.Printf("  recoveries:                 %d (rolling forward %v)\n",
+			s.Recoveries, time.Duration(s.RecoveryNanos).Round(time.Microsecond))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace-out: %v", err)
+		}
+		if err := rec.Export(f); err != nil {
+			fatal("trace export: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace-out: %v", err)
+		}
+		fmt.Printf("  trace written:              %s (%d events)\n", *traceOut, rec.Len())
+	}
+	if *validate {
+		if problems := rec.Validate(true); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "VIOLATION %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("  trace validation:           OK (fifo, no-duplicate, no-loss)")
+		fmt.Println("\nper-rank activity:")
+		fmt.Print(trace.FormatSummaries(rec.Summarize()))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "windar-run: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module windar
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package agraph implements the antecedence graph used by the TAG
+// baseline protocol (Manetho / LogOn style causal message logging under
+// the PWD model).
+//
+// Every message delivery is a non-deterministic event; its node records
+// the event's determinant (sender, send_index, receiver, deliver_index)
+// and its two causal predecessors: the receiver's previous delivery event
+// and the sender's state interval at send time. A process piggybacks onto
+// each outgoing message the *increment* of its graph it believes the
+// destination lacks; the destination merges it. The graph of a process
+// therefore always covers the non-deterministic events in its causal
+// past, which is exactly what survivors need to reconstruct a failed
+// process's delivery order during PWD replay.
+package agraph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"windar/internal/determinant"
+)
+
+// NodeID names a delivery event: the Seq-th delivery at process Proc.
+// Seq counts from 1; Seq 0 denotes the process's initial state interval
+// (used as a cross-parent for messages sent before any delivery).
+type NodeID struct {
+	Proc int
+	Seq  int64
+}
+
+// String renders the id as e.g. "P2#5".
+func (id NodeID) String() string { return fmt.Sprintf("P%d#%d", id.Proc, id.Seq) }
+
+// Node is one delivery event in the antecedence graph.
+type Node struct {
+	Det determinant.D
+	// CrossParent is the sender's state interval (its delivery count)
+	// when the message was sent: the inter-process causal edge. The
+	// intra-process edge to (Det.Receiver, Det.DeliverIndex-1) is
+	// implicit.
+	CrossParent NodeID
+}
+
+// ID returns the node's identity: the delivery event it records.
+func (n Node) ID() NodeID {
+	return NodeID{Proc: n.Det.Receiver, Seq: n.Det.DeliverIndex}
+}
+
+// Graph is a process's view of the antecedence relation. The zero value is
+// not usable; call New.
+type Graph struct {
+	nodes map[NodeID]Node
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{nodes: make(map[NodeID]Node)} }
+
+// Add inserts n, reporting whether it was new. Re-insertion with a
+// different determinant returns an error: it would mean two different
+// outcomes were recorded for one non-deterministic event, which the
+// protocol must never produce. A CrossParent mismatch alone is tolerated
+// (the first record wins): the cross edge is derived bookkeeping and a
+// replayed delivery can legitimately observe it at a coarser resolution
+// than the original record.
+func (g *Graph) Add(n Node) (bool, error) {
+	id := n.ID()
+	if old, ok := g.nodes[id]; ok {
+		if old.Det != n.Det {
+			return false, fmt.Errorf("agraph: conflicting node %v: %+v vs %+v", id, old, n)
+		}
+		return false, nil
+	}
+	g.nodes[id] = n
+	return true, nil
+}
+
+// Merge folds every node of the encoded increment into g.
+func (g *Graph) Merge(nodes []Node) error {
+	for _, n := range nodes {
+		if _, err := g.Add(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Has reports whether the event id is recorded.
+func (g *Graph) Has(id NodeID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// Get returns the node for id.
+func (g *Graph) Get(id NodeID) (Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Len returns the number of recorded events.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// All returns every node, ordered by (Proc, Seq) for determinism.
+func (g *Graph) All() []Node {
+	out := make([]Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// DiffAgainst returns the nodes of g absent from the known set, ordered by
+// (Proc, Seq). This is the piggyback increment computation the paper
+// charges TAG for in Fig. 7: it must traverse the graph on every send.
+func (g *Graph) DiffAgainst(known map[NodeID]struct{}) []Node {
+	var out []Node
+	for id, n := range g.nodes {
+		if _, ok := known[id]; !ok {
+			out = append(out, n)
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// DeliveriesOf returns the recorded delivery events of proc with Seq >
+// afterSeq, in increasing Seq order. Recovery uses it to reconstruct the
+// exact replay order the PWD model requires.
+func (g *Graph) DeliveriesOf(proc int, afterSeq int64) []Node {
+	var out []Node
+	for id, n := range g.nodes {
+		if id.Proc == proc && id.Seq > afterSeq {
+			out = append(out, n)
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// Prune removes every event of proc with Seq <= uptoSeq. Checkpoint
+// advancement makes events before a checkpoint irrelevant: the process
+// will never replay them.
+func (g *Graph) Prune(proc int, uptoSeq int64) int {
+	removed := 0
+	for id := range g.nodes {
+		if id.Proc == proc && id.Seq <= uptoSeq {
+			delete(g.nodes, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+func sortNodes(ns []Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i].ID(), ns[j].ID()
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// ErrTruncated reports a decode that ran out of bytes.
+var ErrTruncated = errors.New("agraph: truncated encoding")
+
+// AppendNodes encodes a length-prefixed node batch onto buf.
+func AppendNodes(buf []byte, ns []Node) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ns)))
+	for _, n := range ns {
+		buf = n.Det.Append(buf)
+		buf = binary.AppendVarint(buf, int64(n.CrossParent.Proc))
+		buf = binary.AppendVarint(buf, n.CrossParent.Seq)
+	}
+	return buf
+}
+
+// ReadNodes decodes a batch written by AppendNodes, returning the nodes
+// and the number of bytes consumed.
+func ReadNodes(b []byte) ([]Node, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	i := n
+	if l > uint64(len(b)) {
+		return nil, 0, ErrTruncated
+	}
+	out := make([]Node, 0, l)
+	for j := uint64(0); j < l; j++ {
+		d, m, err := determinant.Read(b[i:])
+		if err != nil {
+			return nil, 0, ErrTruncated
+		}
+		i += m
+		p, m2 := binary.Varint(b[i:])
+		if m2 <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		i += m2
+		s, m3 := binary.Varint(b[i:])
+		if m3 <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		i += m3
+		out = append(out, Node{Det: d, CrossParent: NodeID{Proc: int(p), Seq: s}})
+	}
+	return out, i, nil
+}

@@ -1,0 +1,259 @@
+package agraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"windar/internal/determinant"
+)
+
+func node(sender int, sendIdx int64, recv int, delIdx int64, cpProc int, cpSeq int64) Node {
+	return Node{
+		Det: determinant.D{
+			Sender: sender, SendIndex: sendIdx,
+			Receiver: recv, DeliverIndex: delIdx,
+		},
+		CrossParent: NodeID{Proc: cpProc, Seq: cpSeq},
+	}
+}
+
+func TestAddAndHas(t *testing.T) {
+	g := New()
+	n := node(0, 1, 1, 1, 0, 0)
+	fresh, err := g.Add(n)
+	if err != nil || !fresh {
+		t.Fatalf("Add = %v, %v", fresh, err)
+	}
+	if !g.Has(n.ID()) {
+		t.Fatal("Has = false after Add")
+	}
+	got, ok := g.Get(n.ID())
+	if !ok || got != n {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	fresh, err = g.Add(n)
+	if err != nil || fresh {
+		t.Fatalf("re-Add = %v, %v, want false,nil", fresh, err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestAddConflictRejected(t *testing.T) {
+	g := New()
+	if _, err := g.Add(node(0, 1, 1, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Same event id (receiver 1, deliverIndex 1) but different sender:
+	// two outcomes for one non-deterministic event.
+	if _, err := g.Add(node(2, 9, 1, 1, 2, 0)); err == nil {
+		t.Fatal("conflicting node accepted")
+	}
+}
+
+func TestMergeAndAllOrdered(t *testing.T) {
+	g := New()
+	ns := []Node{
+		node(0, 1, 2, 2, 0, 0),
+		node(1, 1, 2, 1, 1, 0),
+		node(2, 1, 0, 1, 2, 2),
+	}
+	if err := g.Merge(ns); err != nil {
+		t.Fatal(err)
+	}
+	all := g.All()
+	if len(all) != 3 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	// Ordered by (Proc, Seq): (0,1), (2,1), (2,2).
+	wantIDs := []NodeID{{0, 1}, {2, 1}, {2, 2}}
+	for i, n := range all {
+		if n.ID() != wantIDs[i] {
+			t.Fatalf("All[%d].ID = %v, want %v", i, n.ID(), wantIDs[i])
+		}
+	}
+}
+
+func TestDiffAgainst(t *testing.T) {
+	g := New()
+	a := node(0, 1, 1, 1, 0, 0)
+	b := node(0, 2, 1, 2, 0, 0)
+	c := node(1, 1, 2, 1, 1, 2)
+	for _, n := range []Node{a, b, c} {
+		if _, err := g.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	known := map[NodeID]struct{}{a.ID(): {}}
+	diff := g.DiffAgainst(known)
+	if len(diff) != 2 {
+		t.Fatalf("diff len = %d, want 2", len(diff))
+	}
+	for _, n := range diff {
+		if n.ID() == a.ID() {
+			t.Fatal("diff contains known node")
+		}
+	}
+	// Empty known set returns everything.
+	if got := g.DiffAgainst(nil); len(got) != 3 {
+		t.Fatalf("diff against nil = %d nodes", len(got))
+	}
+	// Fully known returns nothing.
+	full := map[NodeID]struct{}{a.ID(): {}, b.ID(): {}, c.ID(): {}}
+	if got := g.DiffAgainst(full); len(got) != 0 {
+		t.Fatalf("diff against full = %d nodes", len(got))
+	}
+}
+
+func TestDeliveriesOf(t *testing.T) {
+	g := New()
+	for seq := int64(1); seq <= 5; seq++ {
+		if _, err := g.Add(node(int(seq%3), seq, 7, seq, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A different process's deliveries must not leak in.
+	if _, err := g.Add(node(7, 1, 3, 1, 7, 5)); err != nil {
+		t.Fatal(err)
+	}
+	got := g.DeliveriesOf(7, 2)
+	if len(got) != 3 {
+		t.Fatalf("DeliveriesOf len = %d, want 3", len(got))
+	}
+	for i, n := range got {
+		if want := int64(3 + i); n.Det.DeliverIndex != want {
+			t.Fatalf("DeliveriesOf[%d].DeliverIndex = %d, want %d", i, n.Det.DeliverIndex, want)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	g := New()
+	for seq := int64(1); seq <= 6; seq++ {
+		if _, err := g.Add(node(0, seq, 4, seq, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Add(node(4, 1, 2, 1, 4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	removed := g.Prune(4, 4)
+	if removed != 4 {
+		t.Fatalf("Prune removed %d, want 4", removed)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d after prune, want 3", g.Len())
+	}
+	if g.Has(NodeID{Proc: 4, Seq: 4}) || !g.Has(NodeID{Proc: 4, Seq: 5}) {
+		t.Fatal("prune boundary wrong")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	ns := []Node{
+		node(0, 1, 1, 1, 0, 0),
+		node(3, 1000000, 1, 2, 3, 99),
+	}
+	buf := AppendNodes(nil, ns)
+	got, n, err := ReadNodes(buf)
+	if err != nil {
+		t.Fatalf("ReadNodes: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, ns) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, ns)
+	}
+}
+
+func TestEncodeTruncation(t *testing.T) {
+	buf := AppendNodes(nil, []Node{node(1, 2, 3, 4, 1, 1)})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ReadNodes(buf[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(buf))
+		}
+	}
+}
+
+func TestEncodeRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(24)
+			ns := make([]Node, n)
+			for i := range ns {
+				ns[i] = node(
+					r.Intn(64), r.Int63n(1<<30),
+					r.Intn(64), r.Int63n(1<<30),
+					r.Intn(64), r.Int63n(1<<30),
+				)
+			}
+			vals[0] = reflect.ValueOf(ns)
+		},
+	}
+	f := func(ns []Node) bool {
+		buf := AppendNodes(nil, ns)
+		got, n, err := ReadNodes(buf)
+		if err != nil || n != len(buf) || len(got) != len(ns) {
+			return false
+		}
+		for i := range ns {
+			if got[i] != ns[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging a graph's own All() into a fresh graph reproduces it,
+// and DiffAgainst the known-set built from a prefix returns exactly the
+// suffix.
+func TestDiffComplementProperty(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(20)
+			ns := make([]Node, 0, n)
+			seen := map[NodeID]bool{}
+			for len(ns) < n {
+				nd := node(r.Intn(8), r.Int63n(100), r.Intn(8), r.Int63n(100), r.Intn(8), r.Int63n(100))
+				if !seen[nd.ID()] {
+					seen[nd.ID()] = true
+					ns = append(ns, nd)
+				}
+			}
+			vals[0] = reflect.ValueOf(ns)
+			vals[1] = reflect.ValueOf(r.Intn(n + 1))
+		},
+	}
+	f := func(ns []Node, k int) bool {
+		g := New()
+		if err := g.Merge(ns); err != nil {
+			return false
+		}
+		all := g.All()
+		known := map[NodeID]struct{}{}
+		for _, n := range all[:k] {
+			known[n.ID()] = struct{}{}
+		}
+		diff := g.DiffAgainst(known)
+		if len(diff) != len(all)-k {
+			return false
+		}
+		for _, n := range diff {
+			if _, ok := known[n.ID()]; ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

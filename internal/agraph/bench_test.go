@@ -1,0 +1,83 @@
+package agraph
+
+import (
+	"fmt"
+	"testing"
+
+	"windar/internal/determinant"
+)
+
+// buildGraph populates a graph with events deliveries across procs ranks.
+func buildGraph(events, procs int) *Graph {
+	g := New()
+	for i := 0; i < events; i++ {
+		p := i % procs
+		seq := int64(i/procs + 1)
+		n := Node{
+			Det: determinant.D{
+				Sender: (p + 1) % procs, SendIndex: seq,
+				Receiver: p, DeliverIndex: seq,
+			},
+			CrossParent: NodeID{Proc: (p + 1) % procs, Seq: seq - 1},
+		}
+		if _, err := g.Add(n); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// BenchmarkDiffAgainst is the per-send cost TAG pays that TDI does not:
+// the graph traversal computing the piggyback increment (the paper's
+// "calculation of the increment of antecedence graph").
+func BenchmarkDiffAgainst(b *testing.B) {
+	for _, events := range []int{32, 256, 2048} {
+		for _, knownFrac := range []int{0, 90} {
+			b.Run(fmt.Sprintf("events%d_known%d%%", events, knownFrac), func(b *testing.B) {
+				g := buildGraph(events, 8)
+				known := map[NodeID]struct{}{}
+				for i, n := range g.All() {
+					if i*100 < events*knownFrac {
+						known[n.ID()] = struct{}{}
+					}
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = g.DiffAgainst(known)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	nodes := buildGraph(128, 8).All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New()
+		if err := g.Merge(nodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecodeNodes(b *testing.B) {
+	nodes := buildGraph(128, 8).All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := AppendNodes(nil, nodes)
+		if _, _, err := ReadNodes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrune(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := buildGraph(1024, 8)
+		b.StartTimer()
+		g.Prune(0, 1<<30)
+	}
+}

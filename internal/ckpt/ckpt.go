@@ -1,0 +1,95 @@
+// Package ckpt defines checkpoint records and their storage. A checkpoint
+// is everything Algorithm 1 line 33 saves: the process image (application
+// snapshot), the sender message log, and the protocol's counter vectors —
+// plus the step index so the harness knows where to resume the
+// application.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"windar/internal/proto"
+	"windar/internal/stable"
+	"windar/internal/vclock"
+)
+
+// Checkpoint is one rank's durable recovery point.
+type Checkpoint struct {
+	Rank int
+	// Step is the application step index at which execution resumes.
+	Step int
+	// AppImage is the application's Snapshot.
+	AppImage []byte
+	// ProtoState is the logging protocol's Snapshot (e.g. TDI's
+	// depend_interval vector, TAG's antecedence graph).
+	ProtoState []byte
+	// LastSendIndex / LastDeliverIndex are the per-channel counters.
+	LastSendIndex    vclock.Vec
+	LastDeliverIndex vclock.Vec
+	// DeliveredCount is the rank's state-interval index (total messages
+	// delivered) at the checkpoint.
+	DeliveredCount int64
+	// Log is the retained sender log (messages peers may still need).
+	Log []proto.LogItem
+}
+
+// Encode serializes c.
+func Encode(c *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("ckpt: encode rank %d: %w", c.Rank, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a checkpoint produced by Encode.
+func Decode(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("ckpt: decode: %w", err)
+	}
+	return &c, nil
+}
+
+// Manager stores one current checkpoint per rank on stable storage.
+// Checkpointing is independent and uncoordinated (each rank overwrites its
+// own slot), matching the paper's independent checkpointing property.
+type Manager struct {
+	store *stable.Store
+}
+
+// NewManager returns a Manager writing to store.
+func NewManager(store *stable.Store) *Manager {
+	return &Manager{store: store}
+}
+
+func key(rank int) string { return fmt.Sprintf("ckpt/%08d", rank) }
+
+// Save durably records c as rank c.Rank's current checkpoint.
+func (m *Manager) Save(c *Checkpoint) error {
+	data, err := Encode(c)
+	if err != nil {
+		return err
+	}
+	m.store.Put(key(c.Rank), data)
+	return nil
+}
+
+// Load returns rank's current checkpoint. ok is false if the rank never
+// checkpointed — recovery then restarts from the initial state.
+func (m *Manager) Load(rank int) (*Checkpoint, bool, error) {
+	data, ok := m.store.Get(key(rank))
+	if !ok {
+		return nil, false, nil
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if c.Rank != rank {
+		return nil, false, fmt.Errorf("ckpt: slot for rank %d holds checkpoint of rank %d", rank, c.Rank)
+	}
+	return c, true, nil
+}

@@ -1,0 +1,126 @@
+package ckpt
+
+import (
+	"reflect"
+	"testing"
+
+	"windar/internal/proto"
+	"windar/internal/stable"
+	"windar/internal/vclock"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Rank:             2,
+		Step:             17,
+		AppImage:         []byte{1, 2, 3},
+		ProtoState:       []byte{4, 5},
+		LastSendIndex:    vclock.Vec{0, 3, 0, 1},
+		LastDeliverIndex: vclock.Vec{2, 0, 0, 4},
+		DeliveredCount:   6,
+		Log: []proto.LogItem{
+			{Dest: 1, SendIndex: 3, Tag: 7, Piggyback: []byte{9}, Payload: []byte("pay")},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a checkpoint")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+func TestManagerSaveLoad(t *testing.T) {
+	m := NewManager(stable.NewStore(stable.Options{}))
+	c := sampleCheckpoint()
+	if err := m.Save(c); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, ok, err := m.Load(2)
+	if err != nil || !ok {
+		t.Fatalf("Load = %v, %v", ok, err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("load mismatch: %+v", got)
+	}
+}
+
+func TestManagerLoadMissing(t *testing.T) {
+	m := NewManager(stable.NewStore(stable.Options{}))
+	_, ok, err := m.Load(5)
+	if err != nil {
+		t.Fatalf("Load missing: err = %v", err)
+	}
+	if ok {
+		t.Fatal("Load reported a checkpoint that was never saved")
+	}
+}
+
+func TestManagerOverwriteKeepsLatest(t *testing.T) {
+	m := NewManager(stable.NewStore(stable.Options{}))
+	c := sampleCheckpoint()
+	if err := m.Save(c); err != nil {
+		t.Fatal(err)
+	}
+	c2 := sampleCheckpoint()
+	c2.Step = 99
+	c2.DeliveredCount = 42
+	if err := m.Save(c2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := m.Load(2)
+	if !ok || got.Step != 99 || got.DeliveredCount != 42 {
+		t.Fatalf("latest checkpoint not returned: %+v", got)
+	}
+}
+
+func TestManagerPerRankIsolation(t *testing.T) {
+	m := NewManager(stable.NewStore(stable.Options{}))
+	for rank := 0; rank < 4; rank++ {
+		c := sampleCheckpoint()
+		c.Rank = rank
+		c.Step = rank * 10
+		if err := m.Save(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rank := 0; rank < 4; rank++ {
+		got, ok, err := m.Load(rank)
+		if err != nil || !ok {
+			t.Fatalf("Load(%d) = %v, %v", rank, ok, err)
+		}
+		if got.Rank != rank || got.Step != rank*10 {
+			t.Fatalf("cross-rank contamination: %+v", got)
+		}
+	}
+}
+
+func TestEmptyCheckpointRoundTrip(t *testing.T) {
+	c := &Checkpoint{Rank: 0}
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 0 || got.Step != 0 || len(got.Log) != 0 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}

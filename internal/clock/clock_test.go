@@ -1,0 +1,136 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("real clock did not advance across Sleep")
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	var c Real
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestFakeNow(t *testing.T) {
+	start := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(time.Hour)
+	if !f.Now().Equal(start.Add(time.Hour)) {
+		t.Fatalf("Now = %v after Advance", f.Now())
+	}
+}
+
+func TestFakeAfterImmediateForNonPositive(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestFakeSleepBlocksUntilAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for f.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	f.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned after partial Advance")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never returned")
+	}
+}
+
+func TestFakeAdvanceReleasesInDeadlineOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			f.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	for f.Pending() != len(durations) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(time.Second)
+	wg.Wait()
+	// All released; exact goroutine scheduling after channel send is not
+	// guaranteed, but each waiter must have been woken exactly once.
+	if len(order) != 3 {
+		t.Fatalf("released %d waiters, want 3", len(order))
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("Pending = %d after full Advance", f.Pending())
+	}
+}
+
+func TestFakeManyWaitersSameDeadline(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Sleep(time.Millisecond)
+		}()
+	}
+	for f.Pending() != n {
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(time.Millisecond)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters stuck after Advance")
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"windar/internal/proto"
+	"windar/internal/vclock"
+	"windar/internal/wire"
+)
+
+// env builds an app envelope from sender with a TDI piggyback vector.
+func env(from, to int, sendIndex int64, pig vclock.Vec) *wire.Envelope {
+	return &wire.Envelope{
+		Kind: wire.KindApp, From: from, To: to, SendIndex: sendIndex,
+		Piggyback: wire.AppendVec(nil, pig),
+	}
+}
+
+func TestPiggybackIsWholeVector(t *testing.T) {
+	tdi := New(1, 4, nil)
+	pig, ids := tdi.PiggybackForSend(2, 1)
+	if ids != 4 {
+		t.Fatalf("identifiers = %d, want n=4", ids)
+	}
+	v, _, err := wire.ReadVec(pig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(vclock.New(4)) {
+		t.Fatalf("initial piggyback = %v", v)
+	}
+}
+
+func TestDeliverAdvancesOwnIntervalAndMerges(t *testing.T) {
+	// Reproduces the paper's Section III.B example: P1's vector is
+	// (0, 2, 1, 0); message m5 arrives piggybacked with (0, 2, 2, 1);
+	// after delivery P1's vector must be (0, 2, 2, 1) — except that the
+	// own element P1 is advanced by the delivery itself, so we arrange
+	// for the own element to match.
+	tdi := New(1, 4, nil)
+	// Drive P1 to (0, 2, 1, 0) by delivering two messages.
+	if err := tdi.OnDeliver(env(2, 1, 1, vclock.Vec{0, 0, 1, 0}), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tdi.OnDeliver(env(2, 1, 2, vclock.Vec{0, 0, 1, 0}), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tdi.DependInterval(); !got.Equal(vclock.Vec{0, 2, 1, 0}) {
+		t.Fatalf("setup vector = %v, want (0, 2, 1, 0)", got)
+	}
+	// m5 from P2 with piggyback (0, 2, 2, 1): P1's own element comes
+	// from its delivery count (3), the rest from the merge.
+	if err := tdi.OnDeliver(env(2, 1, 3, vclock.Vec{0, 2, 2, 1}), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := tdi.DependInterval(); !got.Equal(vclock.Vec{0, 3, 2, 1}) {
+		t.Fatalf("after m5: %v, want (0, 3, 2, 1)", got)
+	}
+}
+
+func TestOwnElementNotAdvancedByHearsay(t *testing.T) {
+	// A piggyback claiming this rank delivered 10 messages must not jump
+	// the own counter: only actual deliveries advance it.
+	tdi := New(0, 3, nil)
+	if err := tdi.OnDeliver(env(1, 0, 1, vclock.Vec{0, 5, 5}), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := tdi.DependInterval()
+	if got[0] != 1 {
+		t.Fatalf("own element = %d, want 1", got[0])
+	}
+	if got[1] != 5 || got[2] != 5 {
+		t.Fatalf("merge lost: %v", got)
+	}
+}
+
+func TestDeliverableCountPredicate(t *testing.T) {
+	tdi := New(1, 4, nil)
+	// Paper Section III.A: messages m0 and m2 both carry
+	// depend_interval[P1] = 0, so either may be delivered first; m5
+	// carries depend_interval[P1] = 2 and must wait for two deliveries.
+	m0 := env(0, 1, 1, vclock.Vec{0, 0, 0, 0})
+	m2 := env(2, 1, 1, vclock.Vec{0, 0, 0, 0})
+	m5 := env(2, 1, 2, vclock.Vec{0, 2, 2, 1})
+
+	if v := tdi.Deliverable(m0, 0); v != proto.Deliver {
+		t.Fatalf("m0 at count 0: %v", v)
+	}
+	if v := tdi.Deliverable(m2, 0); v != proto.Deliver {
+		t.Fatalf("m2 at count 0: %v", v)
+	}
+	if v := tdi.Deliverable(m5, 0); v != proto.Hold {
+		t.Fatalf("m5 at count 0: %v, want Hold", v)
+	}
+	if v := tdi.Deliverable(m5, 1); v != proto.Hold {
+		t.Fatalf("m5 at count 1: %v, want Hold", v)
+	}
+	if v := tdi.Deliverable(m5, 2); v != proto.Deliver {
+		t.Fatalf("m5 at count 2: %v, want Deliver", v)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	tdi := New(2, 3, nil)
+	if err := tdi.OnDeliver(env(0, 2, 1, vclock.Vec{3, 1, 0}), 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := tdi.Snapshot()
+
+	restored := New(2, 3, nil)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !restored.DependInterval().Equal(tdi.DependInterval()) {
+		t.Fatalf("restore mismatch: %v vs %v", restored.DependInterval(), tdi.DependInterval())
+	}
+}
+
+func TestRestoreRejectsWrongLength(t *testing.T) {
+	tdi := New(0, 3, nil)
+	bad := wire.AppendVec(nil, vclock.New(5))
+	if err := tdi.Restore(bad); err == nil {
+		t.Fatal("Restore accepted wrong-length vector")
+	}
+	if err := tdi.Restore([]byte{0xFF}); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}
+
+func TestOnDeliverRejectsWrongLengthPiggyback(t *testing.T) {
+	tdi := New(0, 3, nil)
+	bad := &wire.Envelope{
+		Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1,
+		Piggyback: wire.AppendVec(nil, vclock.New(7)),
+	}
+	if err := tdi.OnDeliver(bad, 1); err == nil {
+		t.Fatal("OnDeliver accepted wrong-length piggyback")
+	}
+}
+
+func TestOnDeliverDetectsIndexDivergence(t *testing.T) {
+	tdi := New(0, 2, nil)
+	// The harness says this is delivery #5, but the protocol has only
+	// seen 0 deliveries: corruption must be reported.
+	if err := tdi.OnDeliver(env(1, 0, 1, vclock.New(2)), 5); err == nil {
+		t.Fatal("index divergence not detected")
+	}
+}
+
+func TestRecoveryHooksAreNoOps(t *testing.T) {
+	tdi := New(0, 2, nil)
+	if data := tdi.RecoveryData(1, 0); data != nil {
+		t.Fatalf("RecoveryData = %v, want nil", data)
+	}
+	tdi.BeginRecovery(1)
+	if err := tdi.OnRecoveryData(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	tdi.OnPeerCheckpoint(1, 10)
+	if tdi.Name() != "tdi" {
+		t.Fatal("name")
+	}
+}
+
+// TestCausalTransitivity drives three ranks' TDI instances by hand and
+// checks the transitive scenario of Fig. 1: P3 sends m4 to P2, P2 sends
+// m5 to P1; m5's piggyback must transitively require P1 to respect
+// messages P2 delivered, even though P1 never heard from P3.
+func TestCausalTransitivity(t *testing.T) {
+	p2 := New(2, 4, nil)
+	p3 := New(3, 4, nil)
+
+	// P3 delivers some message first (its interval becomes 1), then
+	// sends m4 to P2.
+	if err := p3.OnDeliver(env(0, 3, 1, vclock.New(4)), 1); err != nil {
+		t.Fatal(err)
+	}
+	pigM4, _ := p3.PiggybackForSend(2, 1)
+	m4 := &wire.Envelope{Kind: wire.KindApp, From: 3, To: 2, SendIndex: 1, Piggyback: pigM4}
+
+	// P2 delivers two messages: one plain, then m4.
+	if err := p2.OnDeliver(env(1, 2, 1, vclock.New(4)), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.OnDeliver(m4, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// P2 sends m5 to P1: the piggyback must carry P2=2 (its own two
+	// deliveries) and P3=1 (transitive).
+	pigM5, _ := p2.PiggybackForSend(1, 1)
+	v, _, err := wire.ReadVec(pigM5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[2] != 2 || v[3] != 1 {
+		t.Fatalf("m5 piggyback = %v, want P2=2, P3=1", v)
+	}
+
+	// P1, having delivered nothing, must hold m5 until it has delivered
+	// 0 >= v[1] = 0 messages — v[1] is 0, so deliverable immediately;
+	// the constraint binds on *P1's own* element only.
+	p1 := New(1, 4, nil)
+	m5 := &wire.Envelope{Kind: wire.KindApp, From: 2, To: 1, SendIndex: 1, Piggyback: pigM5}
+	if got := p1.Deliverable(m5, 0); got != proto.Deliver {
+		t.Fatalf("m5 at P1: %v", got)
+	}
+	// After delivering m5, P1 transitively knows P3's interval.
+	if err := p1.OnDeliver(m5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p1.DependInterval(); got[3] != 1 || got[2] != 2 || got[1] != 1 {
+		t.Fatalf("P1 vector after m5 = %v", got)
+	}
+}
+
+func TestPiggybackSizeIndependentOfHistory(t *testing.T) {
+	// The TDI selling point: after thousands of deliveries the piggyback
+	// is still exactly n identifiers.
+	tdi := New(0, 8, nil)
+	for i := int64(1); i <= 2000; i++ {
+		if err := tdi.OnDeliver(env(1, 0, i, vclock.New(8)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ids := tdi.PiggybackForSend(1, 1)
+	if ids != 8 {
+		t.Fatalf("identifiers = %d after 2000 deliveries, want 8", ids)
+	}
+}

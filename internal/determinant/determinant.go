@@ -1,0 +1,161 @@
+// Package determinant defines the per-delivery-event metadata record used
+// by the PWD-model baselines (TAG and TEL).
+//
+// Under the piecewise-deterministic model every message delivery is a
+// non-deterministic event whose outcome must be recoverable. The
+// determinant of a delivery is the message's unique identifier as the
+// paper defines it: sender identifier, sending order number, receiver
+// identifier, and delivery order number — four identifiers. Fig. 6 counts
+// piggyback in identifiers, so each determinant contributes
+// IdentifierCount to the piggyback amount.
+package determinant
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IdentifierCount is the paper's accounting size of one determinant:
+// (sender_id, send_index, receiver_id, deliver_index).
+const IdentifierCount = 4
+
+// D is the determinant of one message-delivery event.
+type D struct {
+	Sender       int   // sender_id
+	SendIndex    int64 // send order number on the (Sender,Receiver) channel
+	Receiver     int   // receiver_id
+	DeliverIndex int64 // position in the receiver's delivery sequence
+}
+
+// Key uniquely identifies the *event* the determinant describes. Because a
+// receiver delivers each (sender, sendIndex) message at most once, the
+// triple (Receiver, Sender, SendIndex) is unique; DeliverIndex is the
+// recorded outcome.
+type Key struct {
+	Receiver  int
+	Sender    int
+	SendIndex int64
+}
+
+// Key returns d's identity key.
+func (d D) Key() Key {
+	return Key{Receiver: d.Receiver, Sender: d.Sender, SendIndex: d.SendIndex}
+}
+
+// String renders d as #m in the paper's notation.
+func (d D) String() string {
+	return fmt.Sprintf("#(s=%d,si=%d,r=%d,di=%d)", d.Sender, d.SendIndex, d.Receiver, d.DeliverIndex)
+}
+
+// Append encodes d onto buf and returns the extended slice.
+func (d D) Append(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(d.Sender))
+	buf = binary.AppendVarint(buf, d.SendIndex)
+	buf = binary.AppendVarint(buf, int64(d.Receiver))
+	buf = binary.AppendVarint(buf, d.DeliverIndex)
+	return buf
+}
+
+// ErrTruncated reports a decode that ran out of bytes.
+var ErrTruncated = errors.New("determinant: truncated")
+
+// Read decodes one determinant from b, returning it and the number of
+// bytes consumed.
+func Read(b []byte) (D, int, error) {
+	var d D
+	i := 0
+	vals := make([]int64, 4)
+	for j := range vals {
+		v, n := binary.Varint(b[i:])
+		if n <= 0 {
+			return D{}, 0, ErrTruncated
+		}
+		vals[j] = v
+		i += n
+	}
+	d.Sender = int(vals[0])
+	d.SendIndex = vals[1]
+	d.Receiver = int(vals[2])
+	d.DeliverIndex = vals[3]
+	return d, i, nil
+}
+
+// AppendSlice encodes a length-prefixed batch of determinants.
+func AppendSlice(buf []byte, ds []D) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ds)))
+	for _, d := range ds {
+		buf = d.Append(buf)
+	}
+	return buf
+}
+
+// ReadSlice decodes a batch written by AppendSlice, returning the
+// determinants and bytes consumed.
+func ReadSlice(b []byte) ([]D, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	i := n
+	if l > uint64(len(b)) {
+		return nil, 0, ErrTruncated
+	}
+	ds := make([]D, 0, l)
+	for j := uint64(0); j < l; j++ {
+		d, m, err := Read(b[i:])
+		if err != nil {
+			return nil, 0, err
+		}
+		ds = append(ds, d)
+		i += m
+	}
+	return ds, i, nil
+}
+
+// Set is a deduplicating collection of determinants keyed by event
+// identity. The zero value is not usable; call NewSet.
+type Set struct {
+	m map[Key]D
+}
+
+// NewSet returns an empty determinant set.
+func NewSet() *Set { return &Set{m: make(map[Key]D)} }
+
+// Add inserts d, reporting whether it was new. Re-adding an existing event
+// is a no-op (determinants are immutable facts).
+func (s *Set) Add(d D) bool {
+	k := d.Key()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = d
+	return true
+}
+
+// Has reports whether the event identified by k is present.
+func (s *Set) Has(k Key) bool {
+	_, ok := s.m[k]
+	return ok
+}
+
+// Get returns the determinant for k, if present.
+func (s *Set) Get(k Key) (D, bool) {
+	d, ok := s.m[k]
+	return d, ok
+}
+
+// Remove deletes the event identified by k.
+func (s *Set) Remove(k Key) { delete(s.m, k) }
+
+// Len returns the number of determinants in the set.
+func (s *Set) Len() int { return len(s.m) }
+
+// All returns the determinants in unspecified order.
+func (s *Set) All() []D {
+	out := make([]D, 0, len(s.m))
+	for _, d := range s.m {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package determinant
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSingle(t *testing.T) {
+	d := D{Sender: 3, SendIndex: 17, Receiver: 1, DeliverIndex: 9}
+	buf := d.Append(nil)
+	got, n, err := Read(buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if got != d {
+		t.Fatalf("got %v, want %v", got, d)
+	}
+}
+
+func TestRoundTripSlice(t *testing.T) {
+	ds := []D{
+		{Sender: 0, SendIndex: 1, Receiver: 1, DeliverIndex: 1},
+		{Sender: 2, SendIndex: 5, Receiver: 1, DeliverIndex: 2},
+		{Sender: 1, SendIndex: 3, Receiver: 0, DeliverIndex: 7},
+	}
+	buf := AppendSlice(nil, ds)
+	got, n, err := ReadSlice(buf)
+	if err != nil {
+		t.Fatalf("ReadSlice: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, ds) {
+		t.Fatalf("got %v, want %v", got, ds)
+	}
+}
+
+func TestRoundTripEmptySlice(t *testing.T) {
+	buf := AppendSlice(nil, nil)
+	got, n, err := ReadSlice(buf)
+	if err != nil || n != len(buf) || len(got) != 0 {
+		t.Fatalf("empty slice round trip: got %v, n=%d, err=%v", got, n, err)
+	}
+}
+
+func TestSliceTruncation(t *testing.T) {
+	buf := AppendSlice(nil, []D{{Sender: 1000, SendIndex: 1 << 30, Receiver: 2, DeliverIndex: 5}})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ReadSlice(buf[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(buf))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(32)
+			ds := make([]D, n)
+			for i := range ds {
+				ds[i] = D{
+					Sender:       r.Intn(1 << 10),
+					SendIndex:    r.Int63n(1 << 40),
+					Receiver:     r.Intn(1 << 10),
+					DeliverIndex: r.Int63n(1 << 40),
+				}
+			}
+			vals[0] = reflect.ValueOf(ds)
+		},
+	}
+	f := func(ds []D) bool {
+		buf := AppendSlice(nil, ds)
+		got, n, err := ReadSlice(buf)
+		if err != nil || n != len(buf) || len(got) != len(ds) {
+			return false
+		}
+		for i := range ds {
+			if got[i] != ds[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	s := NewSet()
+	d := D{Sender: 1, SendIndex: 2, Receiver: 3, DeliverIndex: 4}
+	if !s.Add(d) {
+		t.Fatal("first Add reported duplicate")
+	}
+	if s.Add(d) {
+		t.Fatal("second Add of the same event reported new")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Has(d.Key()) {
+		t.Fatal("Has = false for present key")
+	}
+	got, ok := s.Get(d.Key())
+	if !ok || got != d {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	s.Remove(d.Key())
+	if s.Has(d.Key()) || s.Len() != 0 {
+		t.Fatal("Remove did not remove")
+	}
+}
+
+func TestSetAllContainsEverything(t *testing.T) {
+	s := NewSet()
+	want := map[Key]bool{}
+	for i := 0; i < 10; i++ {
+		d := D{Sender: i % 3, SendIndex: int64(i), Receiver: 1, DeliverIndex: int64(i)}
+		s.Add(d)
+		want[d.Key()] = true
+	}
+	all := s.All()
+	if len(all) != len(want) {
+		t.Fatalf("All returned %d, want %d", len(all), len(want))
+	}
+	for _, d := range all {
+		if !want[d.Key()] {
+			t.Fatalf("unexpected determinant %v", d)
+		}
+	}
+}
+
+func TestKeyIgnoresDeliverIndex(t *testing.T) {
+	a := D{Sender: 1, SendIndex: 2, Receiver: 3, DeliverIndex: 4}
+	b := D{Sender: 1, SendIndex: 2, Receiver: 3, DeliverIndex: 99}
+	if a.Key() != b.Key() {
+		t.Fatal("Key should identify the event, not its outcome")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	d := D{Sender: 1, SendIndex: 2, Receiver: 3, DeliverIndex: 4}
+	if got := d.String(); got != "#(s=1,si=2,r=3,di=4)" {
+		t.Fatalf("String = %q", got)
+	}
+}

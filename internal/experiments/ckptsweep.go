@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"windar/internal/harness"
+	"windar/internal/metrics"
+	"windar/internal/npb"
+)
+
+// CkptRow is one cell of the checkpoint-interval tradeoff sweep — an
+// extension experiment beyond the paper's figures, in the spirit of its
+// ref. [21] (checkpoint-scheduling tradeoffs): a short interval bounds
+// the sender logs and the rolling-forward distance but pays more
+// stable-storage traffic; a long interval does the opposite.
+type CkptRow struct {
+	Interval int // steps between checkpoints (0 = never)
+	// LogItemsPeak approximates retained sender-log population right
+	// after the run (before trailing releases).
+	LogItemsLive int
+	// Checkpoints is the number of checkpoint writes.
+	Checkpoints int64
+	// RecoveryTime is the measured rolling-forward duration of one
+	// injected failure.
+	RecoveryTime time.Duration
+	// TotalTime is the whole run's accomplishment time.
+	TotalTime time.Duration
+}
+
+// RunCheckpointSweep runs the LU workload under TDI with one injected
+// failure at several checkpoint intervals.
+func RunCheckpointSweep(o Options, intervals []int) ([]CkptRow, error) {
+	o = o.withDefaults()
+	if len(intervals) == 0 {
+		intervals = []int{1, 2, 4, 8}
+	}
+	factory, err := npb.Benchmark("lu", o.params("lu"))
+	if err != nil {
+		return nil, err
+	}
+	var rows []CkptRow
+	for _, interval := range intervals {
+		cfg := o.clusterConfig(o.ProcCounts[0], harness.TDI, harness.NonBlocking)
+		cfg.CheckpointEvery = interval
+		c, err := harness.NewCluster(cfg, factory)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := c.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		time.Sleep(o.FaultAfter)
+		if err := c.KillAndRecover(o.FaultRank%o.ProcCounts[0], o.DetectDelay); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("experiments: ckpt sweep interval %d: %w", interval, err)
+		}
+		c.Wait()
+		total := time.Since(start)
+		tot := c.Metrics().Total()
+		rows = append(rows, CkptRow{
+			Interval:     interval,
+			LogItemsLive: c.LogItemsLive(),
+			Checkpoints:  tot.ControlMsgs, // CKPT_ADVANCE volume tracks checkpoint activity
+			RecoveryTime: time.Duration(tot.RecoveryNanos),
+			TotalTime:    total,
+		})
+		c.Close()
+	}
+	return rows, nil
+}
+
+// CkptTable renders the sweep.
+func CkptTable(rows []CkptRow) *metrics.Table {
+	t := &metrics.Table{
+		Title:  "Checkpoint-interval tradeoff (LU, TDI, one fault)",
+		Header: []string{"interval", "log-items-live", "control-msgs", "rollforward_ms", "total_ms"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Interval),
+			fmt.Sprint(r.LogItemsLive),
+			fmt.Sprint(r.Checkpoints),
+			metrics.F(float64(r.RecoveryTime)/float64(time.Millisecond)),
+			metrics.F(float64(r.TotalTime)/float64(time.Millisecond)))
+	}
+	return t
+}

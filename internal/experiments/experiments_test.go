@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"windar/internal/harness"
+)
+
+// smallOpts keeps test sweeps fast: one tiny benchmark cell.
+func smallOpts() Options {
+	return Options{
+		Benchmarks: []string{"lu"},
+		ProcCounts: []int{4},
+		N:          6,
+		Iterations: map[string]int{"lu": 3, "bt": 3, "sp": 6},
+		FaultAfter: 3 * time.Millisecond,
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Benchmarks) != 3 || len(o.ProcCounts) != 4 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Iterations["sp"] != 2*o.Iterations["bt"] {
+		t.Fatalf("SP should default to twice BT's iterations: %+v", o.Iterations)
+	}
+	if o.params("lu").N != 8 {
+		t.Fatalf("params: %+v", o.params("lu"))
+	}
+}
+
+func TestOverheadSweepShape(t *testing.T) {
+	rows, err := RunOverheadSweep(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // one cell x three protocols
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byProto := map[harness.ProtocolKind]OverheadRow{}
+	for _, r := range rows {
+		byProto[r.Proto] = r
+		if r.MsgsSent == 0 {
+			t.Fatalf("no messages in %+v", r)
+		}
+	}
+	tdi := byProto[harness.TDI]
+	tag := byProto[harness.TAG]
+	tel := byProto[harness.TEL]
+	// The paper's headline: TDI's piggyback is the process count, flat;
+	// the PWD protocols carry strictly more.
+	if tdi.AvgPiggybackIDs != 4 {
+		t.Fatalf("TDI avg piggyback = %v, want exactly n=4", tdi.AvgPiggybackIDs)
+	}
+	if tag.AvgPiggybackIDs <= tdi.AvgPiggybackIDs {
+		t.Fatalf("TAG (%v) should exceed TDI (%v)", tag.AvgPiggybackIDs, tdi.AvgPiggybackIDs)
+	}
+	if tel.AvgPiggybackIDs <= tdi.AvgPiggybackIDs {
+		t.Fatalf("TEL (%v) should exceed TDI (%v)", tel.AvgPiggybackIDs, tdi.AvgPiggybackIDs)
+	}
+}
+
+func TestTDIPiggybackScalesLinearly(t *testing.T) {
+	o := smallOpts()
+	o.ProcCounts = []int{4, 8}
+	o.Benchmarks = []string{"bt"}
+	rows, err := RunOverheadSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]float64{}
+	for _, r := range rows {
+		if r.Proto == harness.TDI {
+			got[r.Procs] = r.AvgPiggybackIDs
+		}
+	}
+	if got[4] != 4 || got[8] != 8 {
+		t.Fatalf("TDI piggyback not equal to process count: %v", got)
+	}
+}
+
+func TestFig6And7Tables(t *testing.T) {
+	rows, err := RunOverheadSweep(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6 := Fig6Table(rows).String()
+	if !strings.Contains(f6, "Fig. 6") || !strings.Contains(f6, "lu") {
+		t.Fatalf("fig6 table:\n%s", f6)
+	}
+	f7 := Fig7Table(rows).String()
+	if !strings.Contains(f7, "Fig. 7") {
+		t.Fatalf("fig7 table:\n%s", f7)
+	}
+}
+
+func TestFig8RunsAndTables(t *testing.T) {
+	o := smallOpts()
+	rows, err := RunFig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Blocking <= 0 || r.NonBlocking <= 0 || r.Normalized <= 0 {
+		t.Fatalf("bad durations: %+v", r)
+	}
+	out := Fig8Table(rows).String()
+	if !strings.Contains(out, "Fig. 8") {
+		t.Fatalf("fig8 table:\n%s", out)
+	}
+}
+
+func TestUnknownBenchmarkFails(t *testing.T) {
+	o := smallOpts()
+	o.Benchmarks = []string{"nope"}
+	if _, err := RunOverheadSweep(o); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := RunFig8(o); err == nil {
+		t.Fatal("unknown benchmark accepted by fig8")
+	}
+}
+
+func TestCheckpointSweep(t *testing.T) {
+	o := smallOpts()
+	rows, err := RunCheckpointSweep(o, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Longer intervals retain more log (the ablation DESIGN.md calls
+	// out); equal is tolerated for tiny runs, growth must not invert.
+	if rows[0].LogItemsLive > rows[1].LogItemsLive {
+		t.Fatalf("log retention inverted: interval1=%d interval4=%d",
+			rows[0].LogItemsLive, rows[1].LogItemsLive)
+	}
+	if rows[0].Checkpoints < rows[1].Checkpoints {
+		t.Fatalf("checkpoint traffic inverted: %d vs %d", rows[0].Checkpoints, rows[1].Checkpoints)
+	}
+	out := CkptTable(rows).String()
+	if !strings.Contains(out, "interval") {
+		t.Fatalf("table:\n%s", out)
+	}
+}

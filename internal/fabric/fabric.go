@@ -1,0 +1,448 @@
+// Package fabric simulates the cluster interconnect the paper's testbed
+// ran on (PCs on 100 Mb Ethernet under MPICH).
+//
+// The fabric provides, per ordered rank pair, a FIFO link with a latency
+// and bandwidth model and a bounded in-flight buffer; across links,
+// arrival order is unconstrained — exactly the non-determinism the TDI
+// protocol exploits. It also owns the failure semantics the rollback
+// recovery protocols are built against:
+//
+//   - Kill(rank) drops the rank's volatile state: everything sitting in
+//     its inbox is lost, and its receivers are unblocked with ok=false.
+//   - Messages that arrive while the destination is dead are parked and
+//     handed to the incarnation after Revive — modelling the MPI layer's
+//     retry, and producing the paper's "sender blocks until the receiver
+//     recovers" behaviour for rendezvous sends.
+//   - Rendezvous (blocking) sends return only when the destination's
+//     inbox has accepted the message; buffered sends return as soon as
+//     the link's bounded buffer has space (and block while it is full,
+//     modelling the limited communication-subsystem memory the paper
+//     blames for send-side blocking on large messages).
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"windar/internal/clock"
+	"windar/internal/wire"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	// N is the number of ranks.
+	N int
+	// BaseLatency is the per-message propagation delay.
+	BaseLatency time.Duration
+	// BytesPerSecond is the per-link bandwidth; 0 means infinite.
+	BytesPerSecond int64
+	// JitterFraction adds a uniform random extra delay in
+	// [0, JitterFraction·(base+transmission)]. Cross-link reordering
+	// needs no jitter (links are independent), but jitter makes arrival
+	// interleavings less regular, like a real network.
+	JitterFraction float64
+	// LinkBufferBytes bounds the bytes in flight per link; a buffered
+	// send blocks while the link is over this. 0 means a generous
+	// default.
+	LinkBufferBytes int64
+	// Seed makes jitter reproducible. Each link derives its own RNG.
+	Seed int64
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+}
+
+// DefaultLinkBuffer is used when Config.LinkBufferBytes is zero.
+const DefaultLinkBuffer = 1 << 20
+
+// ErrAborted is returned by Send when the caller's abort channel fires
+// while the send is blocked (its own rank was killed).
+var ErrAborted = errors.New("fabric: send aborted")
+
+// Fabric is the simulated interconnect. Create with New, release with
+// Close.
+type Fabric struct {
+	cfg   Config
+	clk   clock.Clock
+	links []*link      // n*n, indexed from*n+to
+	ranks []*rankState // destination-side state
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// New builds the fabric and starts one delivery goroutine per link (they
+// are created lazily on first use).
+func New(cfg Config) *Fabric {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("fabric: invalid N=%d", cfg.N))
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.LinkBufferBytes == 0 {
+		cfg.LinkBufferBytes = DefaultLinkBuffer
+	}
+	f := &Fabric{
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		links:  make([]*link, cfg.N*cfg.N),
+		ranks:  make([]*rankState, cfg.N),
+		closed: make(chan struct{}),
+	}
+	for i := range f.ranks {
+		f.ranks[i] = newRankState()
+	}
+	for from := 0; from < cfg.N; from++ {
+		for to := 0; to < cfg.N; to++ {
+			l := &link{
+				f:      f,
+				to:     to,
+				maxBuf: cfg.LinkBufferBytes,
+				rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(from*cfg.N+to)*0x5851F42D4C957F2D ^ 0x5DEECE66D)),
+			}
+			l.cond = sync.NewCond(&l.mu)
+			f.links[from*cfg.N+to] = l
+			go l.run()
+		}
+	}
+	return f
+}
+
+// N returns the number of ranks.
+func (f *Fabric) N() int { return f.cfg.N }
+
+// Close stops all delivery goroutines. Pending messages are dropped.
+func (f *Fabric) Close() {
+	f.closeOnce.Do(func() {
+		close(f.closed)
+		for _, l := range f.links {
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		}
+		for _, r := range f.ranks {
+			r.mu.Lock()
+			r.aliveCond.Broadcast()
+			r.mu.Unlock()
+			r.inbox().closeBox()
+		}
+	})
+}
+
+// SendOpts controls one Send call.
+type SendOpts struct {
+	// Rendezvous makes Send return only once the destination inbox has
+	// accepted the envelope (the synchronous MPI mode of Fig. 4(a)).
+	Rendezvous bool
+	// Abort unblocks a blocked Send with ErrAborted when it fires —
+	// used when the sending rank itself is killed.
+	Abort <-chan struct{}
+}
+
+// Send transmits env. The envelope is handed off as-is; the fabric
+// encodes it once for size accounting and transmission timing but the
+// receiver gets the decoded form, so wire round-tripping is exercised on
+// every message.
+func (f *Fabric) Send(env *wire.Envelope, opts SendOpts) error {
+	if env.From < 0 || env.From >= f.cfg.N || env.To < 0 || env.To >= f.cfg.N {
+		return fmt.Errorf("fabric: bad endpoints %d->%d", env.From, env.To)
+	}
+	encoded := wire.Encode(env)
+	it := &item{bytes: encoded, size: int64(len(encoded))}
+	if opts.Rendezvous {
+		it.done = make(chan struct{})
+	}
+	l := f.links[env.From*f.cfg.N+env.To]
+	if err := l.enqueue(it, opts.Abort, f.closed); err != nil {
+		return err
+	}
+	if it.done != nil {
+		select {
+		case <-it.done:
+		case <-opts.Abort:
+			return ErrAborted
+		case <-f.closed:
+			return ErrAborted
+		}
+	}
+	return nil
+}
+
+// Recv blocks until an envelope is available for rank, the rank is killed
+// (ok=false), or the fabric is closed (ok=false). Each call observes the
+// rank's *current* inbox: after a Kill, blocked receivers drain out with
+// ok=false and the incarnation's receivers see only post-revival traffic.
+//
+// A long-lived receiver loop must use Inbox instead: re-calling Recv
+// after a Kill/Revive would silently attach the old receiver to the new
+// incarnation's inbox.
+func (f *Fabric) Recv(rank int) (*wire.Envelope, bool) {
+	return f.ranks[rank].inbox().recv()
+}
+
+// Inbox is a receiver handle pinned to one incarnation's message queue.
+// Once the rank is killed, Recv on the old handle returns ok=false
+// forever; the incarnation must obtain a fresh handle.
+type Inbox struct{ box *inboxT }
+
+// Recv blocks for the next envelope on this handle's queue; ok=false
+// means the queue was closed (rank killed or fabric shut down).
+func (in Inbox) Recv() (*wire.Envelope, bool) { return in.box.recv() }
+
+// Inbox returns a handle pinned to rank's current inbox.
+func (f *Fabric) Inbox(rank int) Inbox {
+	return Inbox{box: f.ranks[rank].inbox()}
+}
+
+// Kill marks rank dead, dropping its inbox contents and unblocking its
+// receivers. Messages subsequently arriving for it are parked until
+// Revive.
+func (f *Fabric) Kill(rank int) {
+	r := f.ranks[rank]
+	r.mu.Lock()
+	r.alive = false
+	old := r.box
+	r.box = newInbox()
+	r.mu.Unlock()
+	old.closeBox()
+	// Senders blocked on full link buffers may hold this rank's abort
+	// channel; wake them so they can observe it. Kills are rare, so a
+	// global broadcast is fine.
+	for _, l := range f.links {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// Revive brings rank back (as a new incarnation) and releases any parked
+// deliveries destined to it.
+func (f *Fabric) Revive(rank int) {
+	r := f.ranks[rank]
+	r.mu.Lock()
+	r.alive = true
+	r.aliveCond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Alive reports whether rank is currently alive.
+func (f *Fabric) Alive(rank int) bool {
+	r := f.ranks[rank]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.alive
+}
+
+// InFlight reports the number of messages queued or in transit across all
+// links (diagnostics and tests).
+func (f *Fabric) InFlight() int {
+	total := 0
+	for _, l := range f.links {
+		l.mu.Lock()
+		total += len(l.queue)
+		if l.busy {
+			total++
+		}
+		l.mu.Unlock()
+	}
+	return total
+}
+
+// item is one in-flight message.
+type item struct {
+	bytes []byte
+	size  int64
+	done  chan struct{} // non-nil for rendezvous sends
+}
+
+// link is one ordered-pair FIFO channel with a serial service model: a
+// message's transmission time delays the messages queued behind it, so a
+// large payload stalls the link exactly the way the paper describes.
+type link struct {
+	f      *Fabric
+	to     int
+	maxBuf int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*item
+	queued  int64 // bytes waiting
+	busy    bool  // a message is in service
+	rng     *rand.Rand
+	dropped int64
+}
+
+func (l *link) enqueue(it *item, abort <-chan struct{}, closed chan struct{}) error {
+	l.mu.Lock()
+	for l.queued+it.size > l.maxBuf && l.queued > 0 {
+		// Buffer full: wait for drain, abort, or shutdown. Poll the
+		// abort channel around cond waits; the delivery goroutine
+		// broadcasts on every dequeue.
+		select {
+		case <-abort:
+			l.mu.Unlock()
+			return ErrAborted
+		case <-closed:
+			l.mu.Unlock()
+			return ErrAborted
+		default:
+		}
+		l.cond.Wait()
+	}
+	l.queue = append(l.queue, it)
+	l.queued += it.size
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *link) run() {
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 {
+			select {
+			case <-l.f.closed:
+				l.mu.Unlock()
+				return
+			default:
+			}
+			l.cond.Wait()
+		}
+		it := l.queue[0]
+		l.queue = l.queue[1:]
+		l.queued -= it.size
+		l.busy = true
+		delay := l.delayFor(it.size)
+		l.cond.Broadcast()
+		l.mu.Unlock()
+
+		if delay > 0 {
+			select {
+			case <-l.f.clk.After(delay):
+			case <-l.f.closed:
+				return
+			}
+		}
+		if !l.deliver(it) {
+			return
+		}
+		l.mu.Lock()
+		l.busy = false
+		l.mu.Unlock()
+	}
+}
+
+// delayFor computes base + size/bandwidth + jitter. Callers hold l.mu (for
+// the rng).
+func (l *link) delayFor(size int64) time.Duration {
+	d := l.f.cfg.BaseLatency
+	if bps := l.f.cfg.BytesPerSecond; bps > 0 {
+		d += time.Duration(size * int64(time.Second) / bps)
+	}
+	if jf := l.f.cfg.JitterFraction; jf > 0 && d > 0 {
+		d += time.Duration(l.rng.Float64() * jf * float64(d))
+	}
+	return d
+}
+
+// deliver hands it to the destination, parking while the destination is
+// dead. Returns false when the fabric shut down.
+func (l *link) deliver(it *item) bool {
+	r := l.f.ranks[l.to]
+	r.mu.Lock()
+	for !r.alive {
+		select {
+		case <-l.f.closed:
+			r.mu.Unlock()
+			return false
+		default:
+		}
+		r.aliveCond.Wait()
+	}
+	box := r.box
+	r.mu.Unlock()
+
+	env, err := wire.Decode(it.bytes)
+	if err != nil {
+		// An encode/decode mismatch is a bug in this repository, not a
+		// runtime condition: fail loudly.
+		panic(fmt.Sprintf("fabric: corrupt envelope on link to %d: %v", l.to, err))
+	}
+	box.push(env)
+	if it.done != nil {
+		close(it.done)
+	}
+	return true
+}
+
+// rankState is the destination-side view of one rank.
+type rankState struct {
+	mu        sync.Mutex
+	alive     bool
+	aliveCond *sync.Cond
+	box       *inboxT
+}
+
+func newRankState() *rankState {
+	r := &rankState{alive: true, box: newInbox()}
+	r.aliveCond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *rankState) inbox() *inboxT {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.box
+}
+
+// inboxT is an unbounded closable FIFO of envelopes.
+type inboxT struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*wire.Envelope
+	closed bool
+}
+
+func newInbox() *inboxT {
+	b := &inboxT{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inboxT) push(env *wire.Envelope) {
+	b.mu.Lock()
+	if b.closed {
+		// The rank died between the alive check and the push; the
+		// message is lost with the rank's volatile state. The recovery
+		// protocol regenerates it from sender logs.
+		b.mu.Unlock()
+		return
+	}
+	b.queue = append(b.queue, env)
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+func (b *inboxT) recv() (*wire.Envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.queue) == 0 {
+		return nil, false
+	}
+	env := b.queue[0]
+	b.queue = b.queue[1:]
+	return env, true
+}
+
+func (b *inboxT) closeBox() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

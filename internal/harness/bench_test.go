@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkClusterStartup measures spin-up plus teardown of an idle
+// n-rank cluster (goroutines, fabric links, protocol instances).
+func BenchmarkClusterStartup(b *testing.B) {
+	for _, n := range []int{4, 16, 32} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			cfg := testConfig(n, TDI)
+			cfg.StallTimeout = 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := NewCluster(cfg, ringFactory(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Start(); err != nil {
+					b.Fatal(err)
+				}
+				c.Wait()
+				c.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndMessageRate measures full-stack message throughput
+// (app -> protocol -> log -> fabric -> delivery manager -> app) per
+// protocol on the ring workload.
+func BenchmarkEndToEndMessageRate(b *testing.B) {
+	for _, p := range allProtocols {
+		b.Run(string(p), func(b *testing.B) {
+			const steps, n = 50, 4
+			cfg := testConfig(n, p)
+			cfg.StallTimeout = 0
+			cfg.Fabric.BaseLatency = 0
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				c, err := NewCluster(cfg, ringFactory(steps))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Start(); err != nil {
+					b.Fatal(err)
+				}
+				c.Wait()
+				msgs = c.Metrics().Total().MsgsSent
+				c.Close()
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+		})
+	}
+}
+
+// BenchmarkRecoveryTurnaround measures the full kill -> incarnation ->
+// rolled-forward cycle.
+func BenchmarkRecoveryTurnaround(b *testing.B) {
+	cfg := testConfig(4, TDI)
+	cfg.StallTimeout = 0
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(cfg, ringFactory(40))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			b.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := c.KillAndRecover(1, 0); err != nil {
+			b.Fatal(err)
+		}
+		c.Wait()
+		c.Close()
+	}
+}

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"windar/internal/fabric"
+	"windar/internal/proto"
+	"windar/internal/vclock"
+	"windar/internal/wire"
+)
+
+// fabricSendOpts builds the send options used by harness transmissions.
+func fabricSendOpts(rendezvous bool, abort <-chan struct{}) fabric.SendOpts {
+	return fabric.SendOpts{Rendezvous: rendezvous, Abort: abort}
+}
+
+// encodeRollback packs a ROLLBACK payload: the failed rank's checkpointed
+// delivered count and last_deliver_index vector (Algorithm 1 line 46).
+func encodeRollback(ckptDelivered int64, lastDeliver vclock.Vec) []byte {
+	buf := binary.AppendVarint(nil, ckptDelivered)
+	return wire.AppendVec(buf, lastDeliver)
+}
+
+// decodeRollback unpacks encodeRollback.
+func decodeRollback(b []byte) (int64, vclock.Vec, error) {
+	count, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("harness: bad ROLLBACK payload")
+	}
+	vec, _, err := wire.ReadVec(b[n:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("harness: bad ROLLBACK vector: %w", err)
+	}
+	return count, vec, nil
+}
+
+// encodeResponse packs a RESPONSE payload: how many of the failed rank's
+// messages this responder has delivered (for repetitive-send
+// suppression, line 48) plus the protocol's recovery contribution.
+func encodeResponse(deliveredFromFailed int64, recoveryData []byte) []byte {
+	buf := binary.AppendVarint(nil, deliveredFromFailed)
+	buf = binary.AppendUvarint(buf, uint64(len(recoveryData)))
+	return append(buf, recoveryData...)
+}
+
+// decodeResponse unpacks encodeResponse.
+func decodeResponse(b []byte) (int64, []byte, error) {
+	count, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("harness: bad RESPONSE payload")
+	}
+	l, m := binary.Uvarint(b[n:])
+	if m <= 0 || uint64(len(b)-n-m) < l {
+		return 0, nil, fmt.Errorf("harness: bad RESPONSE recovery data")
+	}
+	return count, b[n+m : n+m+int(l)], nil
+}
+
+// encodeCkptAdvance packs a CHECKPOINT_ADVANCE payload: the number of the
+// destination's messages covered by this checkpoint (log release bound,
+// line 36) and the checkpointing rank's total delivered count (history
+// pruning bound).
+func encodeCkptAdvance(deliveredFromDest, totalDelivered int64) []byte {
+	buf := binary.AppendVarint(nil, deliveredFromDest)
+	return binary.AppendVarint(buf, totalDelivered)
+}
+
+// decodeCkptAdvance unpacks encodeCkptAdvance.
+func decodeCkptAdvance(b []byte) (int64, int64, error) {
+	count, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("harness: bad CHECKPOINT_ADVANCE payload")
+	}
+	total, m := binary.Varint(b[n:])
+	if m <= 0 {
+		return 0, 0, fmt.Errorf("harness: bad CHECKPOINT_ADVANCE total")
+	}
+	return count, total, nil
+}
+
+// receiverLoop drains the rank's fabric inbox until the rank dies or the
+// fabric closes. The inbox handle is pinned to this incarnation: after a
+// kill the handle closes, so a lingering receiver can never steal the
+// successor incarnation's messages.
+func (r *rankRuntime) receiverLoop(in fabric.Inbox) {
+	for {
+		env, ok := in.Recv()
+		if !ok {
+			return
+		}
+		switch env.Kind {
+		case wire.KindApp:
+			r.enqueueApp(env)
+		case wire.KindRollback:
+			r.handleRollback(env)
+		case wire.KindResponse:
+			r.handleResponse(env)
+		case wire.KindCkptAdvance:
+			r.handleCkptAdvance(env)
+		default:
+			panic(fmt.Sprintf("harness: rank %d received unexpected %v", r.id, env.Kind))
+		}
+	}
+}
+
+// handleRollback serves a peer's recovery (Algorithm 1 lines 47-51):
+// answer with a RESPONSE carrying the suppression bound and the
+// protocol's recovery data, then resend every logged message the failed
+// rank lost.
+func (r *rankRuntime) handleRollback(env *wire.Envelope) {
+	failed := env.From
+	ckptDelivered, lastDeliver, err := decodeRollback(env.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+	}
+	if r.id >= len(lastDeliver) {
+		panic(fmt.Sprintf("harness: rank %d: ROLLBACK vector too short (%d)", r.id, len(lastDeliver)))
+	}
+
+	r.mu.Lock()
+	deliveredFromFailed := r.lastDeliverIndex[failed]
+	recData := r.prot.RecoveryData(failed, ckptDelivered)
+	items := r.log.ItemsFor(failed, lastDeliver[r.id])
+	resend := make([]proto.LogItem, len(items))
+	copy(resend, items)
+	r.mu.Unlock()
+
+	m := r.c.coll.Rank(r.id)
+	resp := &wire.Envelope{
+		Kind: wire.KindResponse, From: r.id, To: failed,
+		Incarnation: r.incarnation,
+		Payload:     encodeResponse(deliveredFromFailed, recData),
+	}
+	if err := r.c.fab.Send(resp, fabricSendOpts(false, r.killed)); err != nil {
+		return
+	}
+	m.ControlMsg()
+
+	for _, it := range resend {
+		renv := &wire.Envelope{
+			Kind: wire.KindApp, From: r.id, To: failed,
+			Incarnation: r.incarnation, Tag: it.Tag,
+			SendIndex: it.SendIndex, Resent: true,
+			Piggyback: it.Piggyback, Payload: it.Payload,
+		}
+		if err := r.c.fab.Send(renv, fabricSendOpts(false, r.killed)); err != nil {
+			return
+		}
+		m.Resent()
+		r.c.observer().OnSend(r.id, failed, it.SendIndex, true)
+	}
+}
+
+// handleResponse absorbs a RESPONSE during this rank's own rolling
+// forward (lines 52-53).
+func (r *rankRuntime) handleResponse(env *wire.Envelope) {
+	count, recData, err := decodeResponse(env.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+	}
+	r.mu.Lock()
+	if count > r.rollbackLastSendIndex[env.From] {
+		r.rollbackLastSendIndex[env.From] = count
+	}
+	if err := r.prot.OnRecoveryData(env.From, recData); err != nil {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+	}
+	r.cond.Broadcast() // replay constraints may have been relaxed
+	r.mu.Unlock()
+}
+
+// handleCkptAdvance releases log items the peer's new checkpoint made
+// unreplayable (line 39) and lets the protocol prune history.
+func (r *rankRuntime) handleCkptAdvance(env *wire.Envelope) {
+	count, total, err := decodeCkptAdvance(env.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+	}
+	r.mu.Lock()
+	released := r.log.Release(env.From, count)
+	r.c.coll.Rank(r.id).LogReleased(released)
+	r.prot.OnPeerCheckpoint(env.From, total)
+	r.mu.Unlock()
+}
+
+// broadcastRollback sends the ROLLBACK notification to every other rank.
+func (r *rankRuntime) broadcastRollback(payload []byte) {
+	m := r.c.coll.Rank(r.id)
+	for dest := 0; dest < r.n; dest++ {
+		if dest == r.id {
+			continue
+		}
+		env := &wire.Envelope{
+			Kind: wire.KindRollback, From: r.id, To: dest,
+			Incarnation: r.incarnation, Payload: payload,
+		}
+		if err := r.c.fab.Send(env, fabricSendOpts(false, r.killed)); err != nil {
+			return
+		}
+		m.ControlMsg()
+	}
+}

@@ -1,0 +1,355 @@
+// Package harness is the rollback-recovery layer of the paper's Fig. 4:
+// it sits between the application (internal/app) and the communication
+// substrate (internal/fabric), embedding one of the causal message
+// logging protocols (internal/core, internal/tag, internal/tel).
+//
+// Per rank it owns:
+//
+//   - queue A and a sender goroutine (non-blocking mode), or direct
+//     rendezvous sends (blocking mode) — the two communication
+//     architectures Fig. 8 compares;
+//   - queue B (the receiving queue) and a receiver goroutine, plus the
+//     delivery manager that enforces duplicate suppression, per-channel
+//     FIFO order, and the protocol's delivery predicate (Algorithm 1
+//     lines 15-31);
+//   - the sender-based message log and its release on CHECKPOINT_ADVANCE
+//     (lines 8-12, 32-39);
+//   - checkpointing to stable storage and the full recovery exchange —
+//     ROLLBACK broadcast, RESPONSE, log resend, repetitive-send
+//     suppression (lines 40-53).
+//
+// The Cluster orchestrates n ranks over one fabric and injects failures:
+// Kill drops a rank's volatile state mid-run and Recover starts an
+// incarnation from its last checkpoint.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"windar/internal/app"
+	"windar/internal/ckpt"
+	"windar/internal/clock"
+	"windar/internal/core"
+	"windar/internal/fabric"
+	"windar/internal/metrics"
+	"windar/internal/proto"
+	"windar/internal/stable"
+	"windar/internal/tag"
+	"windar/internal/tel"
+)
+
+// ProtocolKind selects the logging protocol.
+type ProtocolKind string
+
+const (
+	// TDI is the paper's lightweight protocol (internal/core).
+	TDI ProtocolKind = "tdi"
+	// TAG is the antecedence-graph baseline (internal/tag).
+	TAG ProtocolKind = "tag"
+	// TEL is the event-logger baseline (internal/tel).
+	TEL ProtocolKind = "tel"
+)
+
+// Mode selects the communication architecture of Fig. 4.
+type Mode int
+
+const (
+	// NonBlocking is Fig. 4(b): sends are buffered in queue A and
+	// transmitted by a dedicated goroutine; the application never blocks
+	// on a peer's failure.
+	NonBlocking Mode = iota
+	// Blocking is Fig. 4(a): the application thread performs rendezvous
+	// sends directly and stalls while the destination is dead or the
+	// link buffer is full.
+	Blocking
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Blocking {
+		return "blocking"
+	}
+	return "non-blocking"
+}
+
+// Observer receives harness events. All callbacks may be invoked
+// concurrently from different rank goroutines; implementations
+// synchronize internally. Any method may be a no-op.
+type Observer interface {
+	OnSend(rank, dest int, sendIndex int64, resent bool)
+	OnDeliver(rank, from int, sendIndex, deliverIndex int64)
+	OnCheckpoint(rank, step int, deliveredCount int64)
+	OnKill(rank int)
+	OnRecover(rank, fromStep int)
+	OnRecoveryComplete(rank int, d time.Duration)
+}
+
+// Config describes one cluster run.
+type Config struct {
+	// N is the number of ranks. Required.
+	N int
+	// Protocol selects the logging protocol. Default TDI.
+	Protocol ProtocolKind
+	// Mode selects blocking vs non-blocking communication.
+	Mode Mode
+	// CheckpointEvery takes a checkpoint before every k-th application
+	// step (k > 0). 0 disables periodic checkpoints (recovery then
+	// restarts from the initial state).
+	CheckpointEvery int
+	// Fabric configures the interconnect; N and Clock are filled in.
+	Fabric fabric.Config
+	// EventLoggerLatency is the TEL stable event-logger round trip.
+	EventLoggerLatency time.Duration
+	// StableWriteLatency is the checkpoint-write latency.
+	StableWriteLatency time.Duration
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Observer, if non-nil, receives harness events.
+	Observer Observer
+	// StallTimeout, if positive, panics with a state dump when a rank's
+	// delivery wait exceeds it — a debugging aid for misbehaving
+	// applications; production runs leave it zero.
+	StallTimeout time.Duration
+}
+
+// Cluster is one n-rank run: fabric, stable storage, protocol instances,
+// rank runtimes and the failure controller.
+type Cluster struct {
+	cfg     Config
+	clk     clock.Clock
+	fab     *fabric.Fabric
+	store   *stable.Store
+	ckpts   *ckpt.Manager
+	coll    *metrics.Collector
+	telLog  *tel.Logger
+	factory app.Factory
+
+	ranksMu  chanMutex
+	ranks    []*rankRuntime
+	finished []bool
+	failedAt []int64 // delivered count at kill time, -1 when alive
+	waitCh   chan struct{}
+
+	closed chan struct{}
+}
+
+// chanMutex is a tiny mutex built on a channel so Cluster.Wait can select
+// on rank completion while the state is mutated by other goroutines.
+type chanMutex chan struct{}
+
+func (m chanMutex) Lock()   { m <- struct{}{} }
+func (m chanMutex) Unlock() { <-m }
+
+// NewCluster builds a cluster. Call Start to launch the application,
+// Wait for completion, and Close to release resources.
+func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("harness: N must be positive, got %d", cfg.N)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("harness: nil app factory")
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = TDI
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	fcfg := cfg.Fabric
+	fcfg.N = cfg.N
+	fcfg.Clock = cfg.Clock
+	c := &Cluster{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		fab:     fabric.New(fcfg),
+		store:   stable.NewStore(stable.Options{Clock: cfg.Clock, WriteLatency: cfg.StableWriteLatency}),
+		coll:    metrics.NewCollector(cfg.N),
+		factory: factory,
+		ranksMu: make(chanMutex, 1),
+		ranks:   make([]*rankRuntime, cfg.N),
+		closed:  make(chan struct{}),
+	}
+	c.ckpts = ckpt.NewManager(c.store)
+	c.finished = make([]bool, cfg.N)
+	c.failedAt = make([]int64, cfg.N)
+	for i := range c.failedAt {
+		c.failedAt[i] = -1
+	}
+	c.waitCh = make(chan struct{}, 1)
+	if cfg.Protocol == TEL {
+		c.telLog = tel.NewLogger(cfg.N, cfg.Clock, cfg.EventLoggerLatency)
+	}
+	return c, nil
+}
+
+// newProtocol builds a protocol instance bound to runtime r.
+func (c *Cluster) newProtocol(r *rankRuntime) (proto.Protocol, error) {
+	m := c.coll.Rank(r.id)
+	switch c.cfg.Protocol {
+	case TDI:
+		return core.New(r.id, c.cfg.N, m), nil
+	case TAG:
+		return tag.New(r.id, c.cfg.N, m), nil
+	case TEL:
+		return tel.New(r.id, c.cfg.N, c.telLog, &r.mu, m), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", c.cfg.Protocol)
+	}
+}
+
+// Start launches every rank's goroutines and the application.
+func (c *Cluster) Start() error {
+	for rank := 0; rank < c.cfg.N; rank++ {
+		r, err := c.newRuntime(rank, 0)
+		if err != nil {
+			return err
+		}
+		c.ranksMu.Lock()
+		c.ranks[rank] = r
+		c.ranksMu.Unlock()
+		r.start(0, nil)
+	}
+	if c.cfg.StallTimeout > 0 {
+		go c.stallWatchdog()
+	}
+	return nil
+}
+
+// stallWatchdog periodically wakes every delivery wait so the stall
+// timeout in Recv can fire (sync.Cond has no timed wait).
+func (c *Cluster) stallWatchdog() {
+	period := c.cfg.StallTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-time.After(period):
+		}
+		c.ranksMu.Lock()
+		rs := append([]*rankRuntime(nil), c.ranks...)
+		c.ranksMu.Unlock()
+		for _, r := range rs {
+			if r != nil {
+				r.mu.Lock()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+// notifyWait nudges Wait to re-examine completion state.
+func (c *Cluster) notifyWait() {
+	select {
+	case c.waitCh <- struct{}{}:
+	default:
+	}
+}
+
+// Wait blocks until every rank's application has completed (surviving
+// failures and recoveries along the way).
+func (c *Cluster) Wait() {
+	for {
+		c.ranksMu.Lock()
+		done := true
+		for _, f := range c.finished {
+			if !f {
+				done = false
+				break
+			}
+		}
+		c.ranksMu.Unlock()
+		if done {
+			return
+		}
+		select {
+		case <-c.waitCh:
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// Metrics returns the per-rank overhead counters.
+func (c *Cluster) Metrics() *metrics.Collector { return c.coll }
+
+// AppSnapshot returns the current application snapshot for rank. Call it
+// after Wait: while the application goroutine is running, the snapshot
+// may be mid-step.
+func (c *Cluster) AppSnapshot(rank int) []byte {
+	c.ranksMu.Lock()
+	r := c.ranks[rank]
+	c.ranksMu.Unlock()
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.theApp.Snapshot()
+}
+
+// Store exposes the stable store (tests, diagnostics).
+func (c *Cluster) Store() *stable.Store { return c.store }
+
+// EventLogger returns the TEL event logger, or nil for other protocols.
+func (c *Cluster) EventLogger() *tel.Logger { return c.telLog }
+
+// LogItemsLive reports the current total sender-log population across
+// live ranks (the memory the CHECKPOINT_ADVANCE rule bounds).
+func (c *Cluster) LogItemsLive() int {
+	total := 0
+	c.ranksMu.Lock()
+	defer c.ranksMu.Unlock()
+	for _, r := range c.ranks {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		total += r.log.Len()
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// Close tears the cluster down: all rank goroutines exit.
+func (c *Cluster) Close() {
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	close(c.closed)
+	c.ranksMu.Lock()
+	rs := append([]*rankRuntime(nil), c.ranks...)
+	c.ranksMu.Unlock()
+	for _, r := range rs {
+		if r != nil {
+			r.kill()
+		}
+	}
+	if c.telLog != nil {
+		c.telLog.Close()
+	}
+	c.fab.Close()
+}
+
+// observer returns the configured observer or a no-op.
+func (c *Cluster) observer() Observer {
+	if c.cfg.Observer != nil {
+		return c.cfg.Observer
+	}
+	return nopObserver{}
+}
+
+type nopObserver struct{}
+
+func (nopObserver) OnSend(int, int, int64, bool)          {}
+func (nopObserver) OnDeliver(int, int, int64, int64)      {}
+func (nopObserver) OnCheckpoint(int, int, int64)          {}
+func (nopObserver) OnKill(int)                            {}
+func (nopObserver) OnRecover(int, int)                    {}
+func (nopObserver) OnRecoveryComplete(int, time.Duration) {}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"windar/internal/app"
+)
+
+// Randomized-communication property test: generate a deterministic random
+// message schedule, run it with and without injected failures under every
+// protocol, and require bit-identical final states. Half the ranks
+// receive with AnySource and fold commutatively (the paper's relaxed
+// non-determinism); the other half receive in a fixed per-sender order
+// and fold order-sensitively.
+
+type edge struct{ from, to int }
+
+type schedule struct {
+	n     int
+	steps [][]edge
+}
+
+// genSchedule derives a random but fully deterministic communication
+// schedule: each step every rank sends to up to two random peers.
+func genSchedule(seed int64, n, steps int) *schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &schedule{n: n, steps: make([][]edge, steps)}
+	for st := range s.steps {
+		var edges []edge
+		for from := 0; from < n; from++ {
+			for _, to := range rng.Perm(n)[:1+rng.Intn(2)] {
+				if to != from {
+					edges = append(edges, edge{from: from, to: to})
+				}
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].from != edges[j].from {
+				return edges[i].from < edges[j].from
+			}
+			return edges[i].to < edges[j].to
+		})
+		s.steps[st] = edges
+	}
+	return s
+}
+
+// outgoing returns this rank's destinations at step st, in order.
+func (s *schedule) outgoing(rank, st int) []int {
+	var out []int
+	for _, e := range s.steps[st] {
+		if e.from == rank {
+			out = append(out, e.to)
+		}
+	}
+	return out
+}
+
+// incoming returns this rank's senders at step st, sorted.
+func (s *schedule) incoming(rank, st int) []int {
+	var in []int
+	for _, e := range s.steps[st] {
+		if e.to == rank {
+			in = append(in, e.from)
+		}
+	}
+	sort.Ints(in)
+	return in
+}
+
+type schedApp struct {
+	sched *schedule
+	rank  int
+	state uint64
+}
+
+func (a *schedApp) Steps() int { return len(a.sched.steps) }
+
+func (a *schedApp) Step(env app.Env, st int) {
+	// The tag is the step number: an AnySource receive must not match a
+	// fast sender's *next-step* message into this step's commutative
+	// fold — that cross-step mixing would make the application genuinely
+	// non-deterministic even without failures, violating the paper's
+	// order-insensitivity contract for MPI_ANY_SOURCE programs.
+	tag := int32(st)
+	for _, to := range a.sched.outgoing(a.rank, st) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], a.state+uint64(st)*31+uint64(to))
+		env.Send(to, tag, b[:])
+	}
+	in := a.sched.incoming(a.rank, st)
+	if a.rank%2 == 0 {
+		// AnySource, commutative fold: arrival order must not matter.
+		var sum uint64
+		for range in {
+			data, _ := env.Recv(app.AnySource, tag)
+			sum += binary.BigEndian.Uint64(data)
+		}
+		a.state = a.state*31 + sum
+	} else {
+		// Ordered receives, order-sensitive fold.
+		for _, from := range in {
+			data, _ := env.Recv(from, tag)
+			a.state = a.state*1099511628211 + binary.BigEndian.Uint64(data)
+		}
+	}
+}
+
+func (a *schedApp) Snapshot() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], a.state)
+	return b[:]
+}
+
+func (a *schedApp) Restore(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("schedApp: bad snapshot")
+	}
+	a.state = binary.BigEndian.Uint64(b)
+	return nil
+}
+
+func schedFactory(s *schedule) app.Factory {
+	return func(rank, n int) app.App {
+		return &schedApp{sched: s, rank: rank}
+	}
+}
+
+func TestRandomSchedulesSurviveFailures(t *testing.T) {
+	const n = 5
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, p := range allProtocols {
+			seed, p := seed, p
+			t.Run(fmt.Sprintf("seed%d_%s", seed, p), func(t *testing.T) {
+				t.Parallel()
+				sched := genSchedule(seed, n, 30)
+				cfg := testConfig(n, p)
+				clean := run(t, cfg, schedFactory(sched), nil)
+				victim := int(seed) % n
+				faulty := run(t, cfg, schedFactory(sched), func(c *Cluster) {
+					time.Sleep(time.Duration(1+seed) * time.Millisecond)
+					if err := c.KillAndRecover(victim, time.Millisecond); err != nil {
+						t.Errorf("KillAndRecover: %v", err)
+					}
+				})
+				assertSameStates(t, clean, faulty, fmt.Sprintf("seed %d proto %s", seed, p))
+			})
+		}
+	}
+}
+
+func TestRandomScheduleDoubleFailure(t *testing.T) {
+	const n = 6
+	sched := genSchedule(99, n, 40)
+	cfg := testConfig(n, TDI)
+	clean := run(t, cfg, schedFactory(sched), nil)
+	faulty := run(t, cfg, schedFactory(sched), func(c *Cluster) {
+		time.Sleep(3 * time.Millisecond)
+		if err := c.Kill(0); err != nil {
+			t.Errorf("Kill(0): %v", err)
+		}
+		if err := c.Kill(3); err != nil {
+			t.Errorf("Kill(3): %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := c.Recover(0); err != nil {
+			t.Errorf("Recover(0): %v", err)
+		}
+		if err := c.Recover(3); err != nil {
+			t.Errorf("Recover(3): %v", err)
+		}
+	})
+	assertSameStates(t, clean, faulty, "random double failure")
+}
+
+func TestScheduleGeneratorDeterministic(t *testing.T) {
+	a := genSchedule(7, 4, 10)
+	b := genSchedule(7, 4, 10)
+	for st := range a.steps {
+		if len(a.steps[st]) != len(b.steps[st]) {
+			t.Fatalf("step %d differs", st)
+		}
+		for i := range a.steps[st] {
+			if a.steps[st][i] != b.steps[st][i] {
+				t.Fatalf("step %d edge %d differs", st, i)
+			}
+		}
+	}
+	// incoming/outgoing are consistent views of the same edges.
+	for st := range a.steps {
+		total := 0
+		for r := 0; r < 4; r++ {
+			total += len(a.outgoing(r, st))
+		}
+		recv := 0
+		for r := 0; r < 4; r++ {
+			recv += len(a.incoming(r, st))
+		}
+		if total != recv || total != len(a.steps[st]) {
+			t.Fatalf("step %d: %d edges, %d outgoing, %d incoming", st, len(a.steps[st]), total, recv)
+		}
+	}
+}

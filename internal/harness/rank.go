@@ -1,0 +1,444 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"windar/internal/app"
+	"windar/internal/ckpt"
+	"windar/internal/proto"
+	"windar/internal/vclock"
+	"windar/internal/wire"
+)
+
+// killedPanic unwinds an application goroutine whose rank was killed. It
+// is thrown by Env methods and swallowed by the app-loop wrapper — the
+// in-process analogue of the process dying.
+type killedPanic struct{}
+
+// rankRuntime is one incarnation of one rank: protocol instance, sender
+// log, counter vectors, receiving queue, and the goroutines of Fig. 4.
+type rankRuntime struct {
+	c           *Cluster
+	id          int
+	n           int
+	incarnation int32
+
+	// mu guards every field below it, the protocol instance, and the
+	// log. cond is signalled when delivery conditions may have changed
+	// (new arrival, RESPONSE processed, kill).
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	prot proto.Protocol
+	log  *proto.Log
+
+	lastSendIndex         vclock.Vec // per destination (line 4)
+	lastDeliverIndex      vclock.Vec // per source (line 5)
+	lastCkptDeliverIndex  vclock.Vec // last advertised in CHECKPOINT_ADVANCE (line 6)
+	rollbackLastSendIndex vclock.Vec // from RESPONSEs (line 7)
+	deliveredCount        int64
+	recvQ                 [][]*wire.Envelope // queue B, per source, sorted by SendIndex
+
+	recovering     bool
+	recoveryStart  time.Time
+	recoveryTarget int64
+
+	// Queue A (non-blocking mode). sendBusy marks a message popped from
+	// the queue but not yet handed to the fabric.
+	sendMu   sync.Mutex
+	sendCond *sync.Cond
+	sendQ    []*wire.Envelope
+	sendBusy bool
+
+	killed   chan struct{}
+	killOnce sync.Once
+
+	theApp    app.App
+	startStep int
+}
+
+var _ app.Env = (*rankRuntime)(nil)
+
+// newRuntime builds a fresh runtime for rank at the given incarnation.
+func (c *Cluster) newRuntime(rank int, incarnation int32) (*rankRuntime, error) {
+	r := &rankRuntime{
+		c:                     c,
+		id:                    rank,
+		n:                     c.cfg.N,
+		incarnation:           incarnation,
+		log:                   proto.NewLog(),
+		lastSendIndex:         vclock.New(c.cfg.N),
+		lastDeliverIndex:      vclock.New(c.cfg.N),
+		lastCkptDeliverIndex:  vclock.New(c.cfg.N),
+		rollbackLastSendIndex: vclock.New(c.cfg.N),
+		recvQ:                 make([][]*wire.Envelope, c.cfg.N),
+		killed:                make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.sendCond = sync.NewCond(&r.sendMu)
+	p, err := c.newProtocol(r)
+	if err != nil {
+		return nil, err
+	}
+	r.prot = p
+	r.theApp = c.factory(rank, c.cfg.N)
+	if r.theApp == nil {
+		return nil, fmt.Errorf("harness: factory returned nil app for rank %d", rank)
+	}
+	return r, nil
+}
+
+// start launches the runtime's goroutines. rollback, if non-nil, is the
+// ROLLBACK payload to broadcast before the application resumes.
+func (r *rankRuntime) start(fromStep int, rollback []byte) {
+	r.startStep = fromStep
+	// Pin the inbox handle synchronously so this incarnation's receiver
+	// can never attach to a successor's queue.
+	go r.receiverLoop(r.c.fab.Inbox(r.id))
+	if r.c.cfg.Mode == NonBlocking {
+		go r.senderLoop()
+	}
+	if rollback != nil {
+		r.broadcastRollback(rollback)
+	}
+	go r.appLoop(fromStep)
+}
+
+// kill cooperatively stops every goroutine of this incarnation.
+func (r *rankRuntime) kill() {
+	r.killOnce.Do(func() {
+		close(r.killed)
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		r.sendMu.Lock()
+		r.sendCond.Broadcast()
+		r.sendMu.Unlock()
+	})
+}
+
+func (r *rankRuntime) isKilled() bool {
+	select {
+	case <-r.killed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *rankRuntime) checkKilled() {
+	if r.isKilled() {
+		panic(killedPanic{})
+	}
+}
+
+// appLoop runs the application from fromStep to completion.
+func (r *rankRuntime) appLoop(fromStep int) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(killedPanic); ok {
+				return // the rank died; the incarnation takes over
+			}
+			panic(p) // a real bug: crash loudly
+		}
+	}()
+	total := r.theApp.Steps()
+	for s := fromStep; s < total; s++ {
+		if every := r.c.cfg.CheckpointEvery; every > 0 && s > 0 && s != fromStep && s%every == 0 {
+			r.doCheckpoint(s)
+		}
+		r.theApp.Step(r, s)
+	}
+	r.c.markFinished(r)
+}
+
+// markFinished records that runtime r's application ran to completion, if
+// r is still the live incarnation of its rank.
+func (c *Cluster) markFinished(r *rankRuntime) {
+	c.ranksMu.Lock()
+	if c.ranks[r.id] == r && !r.isKilled() {
+		c.finished[r.id] = true
+	}
+	c.ranksMu.Unlock()
+	c.notifyWait()
+}
+
+// Rank implements app.Env.
+func (r *rankRuntime) Rank() int { return r.id }
+
+// N implements app.Env.
+func (r *rankRuntime) N() int { return r.n }
+
+// Send implements app.Env: Algorithm 1 lines 8-12. The message is always
+// counted and logged; transmission is suppressed when the destination's
+// RESPONSE showed it already delivered it (line 10).
+func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
+	r.checkKilled()
+	if dest < 0 || dest >= r.n {
+		panic(fmt.Sprintf("harness: rank %d Send to invalid destination %d", r.id, dest))
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+
+	r.mu.Lock()
+	r.lastSendIndex[dest]++
+	idx := r.lastSendIndex[dest]
+	pig, ids := r.prot.PiggybackForSend(dest, idx)
+	r.log.Append(proto.LogItem{Dest: dest, SendIndex: idx, Tag: tag, Piggyback: pig, Payload: payload})
+	m := r.c.coll.Rank(r.id)
+	m.LogAppended()
+	m.MsgSent(ids, len(pig), len(payload))
+	suppress := idx <= r.rollbackLastSendIndex[dest]
+	r.mu.Unlock()
+
+	r.c.observer().OnSend(r.id, dest, idx, false)
+	if suppress {
+		return
+	}
+	env := &wire.Envelope{
+		Kind: wire.KindApp, From: r.id, To: dest,
+		Incarnation: r.incarnation, Tag: tag, SendIndex: idx,
+		Piggyback: pig, Payload: payload,
+	}
+	r.transmit(env)
+}
+
+// transmit hands env to the fabric according to the configured mode.
+func (r *rankRuntime) transmit(env *wire.Envelope) {
+	if r.c.cfg.Mode == Blocking {
+		start := time.Now()
+		err := r.c.fab.Send(env, fabricSendOpts(true, r.killed))
+		r.c.coll.Rank(r.id).BlockedSend(time.Since(start))
+		if err != nil {
+			panic(killedPanic{})
+		}
+		return
+	}
+	r.sendMu.Lock()
+	r.sendQ = append(r.sendQ, env)
+	// Broadcast, not Signal: both the sender loop and a checkpoint
+	// draining queue A may be waiting on this condition.
+	r.sendCond.Broadcast()
+	r.sendMu.Unlock()
+}
+
+// senderLoop drains queue A (non-blocking mode).
+func (r *rankRuntime) senderLoop() {
+	for {
+		r.sendMu.Lock()
+		for len(r.sendQ) == 0 {
+			if r.isKilled() {
+				r.sendMu.Unlock()
+				return
+			}
+			r.sendCond.Wait()
+		}
+		env := r.sendQ[0]
+		r.sendQ = r.sendQ[1:]
+		r.sendBusy = true
+		r.sendMu.Unlock()
+
+		err := r.c.fab.Send(env, fabricSendOpts(false, r.killed))
+
+		r.sendMu.Lock()
+		r.sendBusy = false
+		r.sendCond.Broadcast()
+		r.sendMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// drainSends blocks until queue A is empty and no message is mid-hand-off
+// to the fabric. A checkpoint must not record log items for messages that
+// were never physically transmitted: if the rank then died, replay would
+// resume past the send and nothing would ever retransmit it. Draining
+// before the snapshot guarantees every checkpointed log item was on the
+// wire.
+func (r *rankRuntime) drainSends() {
+	if r.c.cfg.Mode != NonBlocking {
+		return
+	}
+	r.sendMu.Lock()
+	for (len(r.sendQ) > 0 || r.sendBusy) && !r.isKilled() {
+		r.sendCond.Wait()
+	}
+	r.sendMu.Unlock()
+	if r.isKilled() {
+		panic(killedPanic{})
+	}
+}
+
+// Recv implements app.Env: the delivery manager of Algorithm 1 lines
+// 15-31. It scans queue B for a message that matches the application's
+// request, is next in its channel's FIFO order, and satisfies the
+// protocol's delivery predicate.
+func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
+	r.checkKilled()
+	start := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if env := r.findDeliverableLocked(source, tag); env != nil {
+			return r.deliverLocked(env), env.From
+		}
+		if r.isKilled() {
+			panic(killedPanic{})
+		}
+		if st := r.c.cfg.StallTimeout; st > 0 && time.Since(start) > st {
+			panic(r.stallReportLocked(source, tag))
+		}
+		r.cond.Wait()
+	}
+}
+
+// findDeliverableLocked returns the first deliverable queued message
+// matching (source, tag), or nil.
+func (r *rankRuntime) findDeliverableLocked(source int, tag int32) *wire.Envelope {
+	scan := func(src int) *wire.Envelope {
+		q := r.recvQ[src]
+		if len(q) == 0 {
+			return nil
+		}
+		head := q[0]
+		if head.SendIndex != r.lastDeliverIndex[src]+1 {
+			return nil // FIFO gap: an earlier message is missing
+		}
+		if tag != app.AnyTag && head.Tag != tag {
+			return nil
+		}
+		if r.prot.Deliverable(head, r.deliveredCount) != proto.Deliver {
+			return nil
+		}
+		return head
+	}
+	if source != app.AnySource {
+		if source < 0 || source >= r.n {
+			panic(fmt.Sprintf("harness: rank %d Recv from invalid source %d", r.id, source))
+		}
+		return scan(source)
+	}
+	for src := 0; src < r.n; src++ {
+		if env := scan(src); env != nil {
+			return env
+		}
+	}
+	return nil
+}
+
+// deliverLocked removes env from queue B and delivers it to the
+// application, updating counters and protocol state (lines 20-26).
+func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
+	src := env.From
+	r.recvQ[src] = r.recvQ[src][1:]
+	r.lastDeliverIndex[src]++
+	r.deliveredCount++
+	if err := r.prot.OnDeliver(env, r.deliveredCount); err != nil {
+		panic(fmt.Sprintf("harness: rank %d: protocol rejected delivery: %v", r.id, err))
+	}
+	m := r.c.coll.Rank(r.id)
+	m.MsgDelivered()
+	r.c.observer().OnDeliver(r.id, src, env.SendIndex, r.deliveredCount)
+	if r.recovering && r.deliveredCount >= r.recoveryTarget {
+		r.recovering = false
+		d := time.Since(r.recoveryStart)
+		m.RecoveryDone(d)
+		r.c.observer().OnRecoveryComplete(r.id, d)
+	}
+	return env.Payload
+}
+
+// enqueueApp inserts an arriving application message into queue B,
+// discarding repetitive copies (Algorithm 1's receiver-side duplicate
+// identification).
+func (r *rankRuntime) enqueueApp(env *wire.Envelope) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.c.coll.Rank(r.id)
+	if env.SendIndex <= r.lastDeliverIndex[env.From] {
+		m.RepetitiveDiscarded()
+		return
+	}
+	q := r.recvQ[env.From]
+	i := sort.Search(len(q), func(i int) bool { return q[i].SendIndex >= env.SendIndex })
+	if i < len(q) && q[i].SendIndex == env.SendIndex {
+		m.RepetitiveDiscarded() // a resent copy raced the parked original
+		return
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = env
+	r.recvQ[env.From] = q
+	r.cond.Broadcast()
+}
+
+// doCheckpoint snapshots the rank onto stable storage and advertises the
+// advance to peers (Algorithm 1 lines 32-37). Runs on the app goroutine
+// at a step boundary.
+func (r *rankRuntime) doCheckpoint(step int) {
+	r.drainSends()
+	r.mu.Lock()
+	cp := &ckpt.Checkpoint{
+		Rank:             r.id,
+		Step:             step,
+		AppImage:         r.theApp.Snapshot(),
+		ProtoState:       r.prot.Snapshot(),
+		LastSendIndex:    r.lastSendIndex.Clone(),
+		LastDeliverIndex: r.lastDeliverIndex.Clone(),
+		DeliveredCount:   r.deliveredCount,
+		Log:              r.log.All(),
+	}
+	type advance struct {
+		dest  int
+		count int64
+	}
+	var advances []advance
+	for k := 0; k < r.n; k++ {
+		if k != r.id && r.lastDeliverIndex[k] > r.lastCkptDeliverIndex[k] {
+			advances = append(advances, advance{dest: k, count: r.lastDeliverIndex[k]})
+			r.lastCkptDeliverIndex[k] = r.lastDeliverIndex[k]
+		}
+	}
+	total := r.deliveredCount
+	r.prot.OnPeerCheckpoint(r.id, total) // prune own replay-dead history
+	r.mu.Unlock()
+
+	if err := r.c.ckpts.Save(cp); err != nil {
+		panic(fmt.Sprintf("harness: rank %d checkpoint: %v", r.id, err))
+	}
+	m := r.c.coll.Rank(r.id)
+	for _, a := range advances {
+		env := &wire.Envelope{
+			Kind: wire.KindCkptAdvance, From: r.id, To: a.dest,
+			Incarnation: r.incarnation,
+			Payload:     encodeCkptAdvance(a.count, total),
+		}
+		if err := r.c.fab.Send(env, fabricSendOpts(false, r.killed)); err != nil {
+			panic(killedPanic{})
+		}
+		m.ControlMsg()
+	}
+	r.c.observer().OnCheckpoint(r.id, step, total)
+}
+
+// stallReportLocked builds a diagnostic for a delivery wait that exceeded
+// the configured stall timeout.
+func (r *rankRuntime) stallReportLocked(source int, tag int32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness: rank %d stalled in Recv(source=%d, tag=%d); delivered=%d\n",
+		r.id, source, tag, r.deliveredCount)
+	for src, q := range r.recvQ {
+		if len(q) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  queue[%d]: %d msgs, head index %d (want %d), head tag %d, verdict %v\n",
+			src, len(q), q[0].SendIndex, r.lastDeliverIndex[src]+1, q[0].Tag,
+			r.prot.Deliverable(q[0], r.deliveredCount))
+	}
+	return b.String()
+}

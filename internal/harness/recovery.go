@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kill injects a failure: rank's volatile state (receiving queue, sender
+// log, protocol state, unsent queue-A messages, application memory) is
+// lost; its goroutines unwind; messages already in its inbox are dropped;
+// in-flight messages park at the fabric until an incarnation revives the
+// rank.
+func (c *Cluster) Kill(rank int) error {
+	c.ranksMu.Lock()
+	r := c.ranks[rank]
+	c.ranksMu.Unlock()
+	if r == nil {
+		return fmt.Errorf("harness: rank %d was never started", rank)
+	}
+	if r.isKilled() {
+		return fmt.Errorf("harness: rank %d is already dead", rank)
+	}
+	r.mu.Lock()
+	pre := r.deliveredCount
+	r.mu.Unlock()
+
+	c.fab.Kill(rank) // stop deliveries first: the inbox content is lost
+	r.kill()
+
+	c.ranksMu.Lock()
+	c.failedAt[rank] = pre
+	c.finished[rank] = false
+	c.ranksMu.Unlock()
+	c.observer().OnKill(rank)
+	return nil
+}
+
+// Recover creates rank's incarnation on a "spare node": it restores the
+// last checkpoint from stable storage (or the initial state if none was
+// ever taken), broadcasts the ROLLBACK notification, and rolls forward by
+// re-executing the application from the checkpointed step while peers
+// resend the lost messages (Algorithm 1 lines 40-46).
+func (c *Cluster) Recover(rank int) error {
+	c.ranksMu.Lock()
+	old := c.ranks[rank]
+	c.ranksMu.Unlock()
+	if old == nil {
+		return fmt.Errorf("harness: rank %d was never started", rank)
+	}
+	if !old.isKilled() {
+		return fmt.Errorf("harness: rank %d is still alive", rank)
+	}
+
+	r, err := c.newRuntime(rank, old.incarnation+1)
+	if err != nil {
+		return err
+	}
+	cp, ok, err := c.ckpts.Load(rank)
+	if err != nil {
+		return err
+	}
+	fromStep := 0
+	if ok {
+		if err := r.theApp.Restore(cp.AppImage); err != nil {
+			return fmt.Errorf("harness: rank %d app restore: %w", rank, err)
+		}
+		if err := r.prot.Restore(cp.ProtoState); err != nil {
+			return fmt.Errorf("harness: rank %d protocol restore: %w", rank, err)
+		}
+		r.lastSendIndex.CopyFrom(cp.LastSendIndex)
+		r.lastDeliverIndex.CopyFrom(cp.LastDeliverIndex)
+		// Peers were last told about the checkpointed delivery state; the
+		// new checkpoint baseline is exactly that.
+		r.lastCkptDeliverIndex.CopyFrom(cp.LastDeliverIndex)
+		r.deliveredCount = cp.DeliveredCount
+		r.log.RestoreAll(cp.Log)
+		fromStep = cp.Step
+	}
+
+	r.recoveryStart = time.Now()
+	c.ranksMu.Lock()
+	target := c.failedAt[rank]
+	c.ranksMu.Unlock()
+	r.recoveryTarget = target
+	r.recovering = target > r.deliveredCount
+	if !r.recovering {
+		// The failure lost no deliveries (it struck right after a
+		// checkpoint): rolling forward is trivially complete.
+		c.coll.Rank(rank).RecoveryDone(0)
+		c.observer().OnRecoveryComplete(rank, 0)
+	}
+	r.prot.BeginRecovery(c.cfg.N - 1)
+
+	c.ranksMu.Lock()
+	c.ranks[rank] = r
+	c.ranksMu.Unlock()
+
+	c.fab.Revive(rank)
+	r.start(fromStep, encodeRollback(r.deliveredCount, r.lastDeliverIndex.Clone()))
+	c.observer().OnRecover(rank, fromStep)
+	return nil
+}
+
+// KillAndRecover kills rank, waits detectDelay (the failure-detection
+// latency), then starts the incarnation.
+func (c *Cluster) KillAndRecover(rank int, detectDelay time.Duration) error {
+	if err := c.Kill(rank); err != nil {
+		return err
+	}
+	if detectDelay > 0 {
+		c.clk.Sleep(detectDelay)
+	}
+	return c.Recover(rank)
+}

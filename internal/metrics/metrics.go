@@ -1,0 +1,201 @@
+// Package metrics collects the overhead counters the paper's evaluation
+// reports: piggyback amount per message (in identifiers, Fig. 6), tracking
+// time (Fig. 7), and the timing inputs of the blocking/non-blocking
+// comparison (Fig. 8), plus supporting counters used by tests (log
+// retention, repetitive-message suppression, recovery accounting).
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Rank accumulates counters for one process. All methods are safe for
+// concurrent use; the hot-path costs are single atomic adds. The zero
+// value is ready to use.
+type Rank struct {
+	msgsSent            atomic.Int64
+	msgsDelivered       atomic.Int64
+	piggybackIDs        atomic.Int64
+	piggybackBytes      atomic.Int64
+	payloadBytes        atomic.Int64
+	sendTrackNanos      atomic.Int64
+	deliverTrackNanos   atomic.Int64
+	controlMsgs         atomic.Int64
+	repetitiveDiscarded atomic.Int64
+	resentMsgs          atomic.Int64
+	logItemsAppended    atomic.Int64
+	logItemsReleased    atomic.Int64
+	recoveries          atomic.Int64
+	recoveryNanos       atomic.Int64
+	blockedSendNanos    atomic.Int64
+}
+
+// MsgSent records one application message leaving this rank with the given
+// piggyback size (in identifiers and encoded bytes) and payload size.
+func (r *Rank) MsgSent(piggybackIDs int, piggybackBytes, payloadBytes int) {
+	r.msgsSent.Add(1)
+	r.piggybackIDs.Add(int64(piggybackIDs))
+	r.piggybackBytes.Add(int64(piggybackBytes))
+	r.payloadBytes.Add(int64(payloadBytes))
+}
+
+// MsgDelivered records one application message delivered to the app.
+func (r *Rank) MsgDelivered() { r.msgsDelivered.Add(1) }
+
+// SendTracking charges d to send-side dependency tracking (piggyback
+// construction, graph increment computation).
+func (r *Rank) SendTracking(d time.Duration) { r.sendTrackNanos.Add(int64(d)) }
+
+// DeliverTracking charges d to deliver-side dependency tracking (merge).
+func (r *Rank) DeliverTracking(d time.Duration) { r.deliverTrackNanos.Add(int64(d)) }
+
+// ControlMsg records one protocol control message (ROLLBACK, RESPONSE,
+// CHECKPOINT_ADVANCE, determinant traffic).
+func (r *Rank) ControlMsg() { r.controlMsgs.Add(1) }
+
+// RepetitiveDiscarded records a duplicate suppressed at the receiver.
+func (r *Rank) RepetitiveDiscarded() { r.repetitiveDiscarded.Add(1) }
+
+// Resent records a logged message retransmitted for a peer's recovery.
+func (r *Rank) Resent() { r.resentMsgs.Add(1) }
+
+// LogAppended / LogReleased track sender-log retention.
+func (r *Rank) LogAppended()      { r.logItemsAppended.Add(1) }
+func (r *Rank) LogReleased(n int) { r.logItemsReleased.Add(int64(n)) }
+
+// RecoveryDone records one completed recovery taking d.
+func (r *Rank) RecoveryDone(d time.Duration) {
+	r.recoveries.Add(1)
+	r.recoveryNanos.Add(int64(d))
+}
+
+// BlockedSend charges d to time the application thread spent blocked
+// inside a synchronous send (Fig. 8's blocking mode cost).
+func (r *Rank) BlockedSend(d time.Duration) { r.blockedSendNanos.Add(int64(d)) }
+
+// Snapshot returns a consistent-enough copy of the counters. Individual
+// loads are atomic; cross-counter skew is acceptable for reporting.
+func (r *Rank) Snapshot() Snapshot {
+	return Snapshot{
+		MsgsSent:            r.msgsSent.Load(),
+		MsgsDelivered:       r.msgsDelivered.Load(),
+		PiggybackIDs:        r.piggybackIDs.Load(),
+		PiggybackBytes:      r.piggybackBytes.Load(),
+		PayloadBytes:        r.payloadBytes.Load(),
+		SendTrackNanos:      r.sendTrackNanos.Load(),
+		DeliverTrackNanos:   r.deliverTrackNanos.Load(),
+		ControlMsgs:         r.controlMsgs.Load(),
+		RepetitiveDiscarded: r.repetitiveDiscarded.Load(),
+		ResentMsgs:          r.resentMsgs.Load(),
+		LogItemsAppended:    r.logItemsAppended.Load(),
+		LogItemsReleased:    r.logItemsReleased.Load(),
+		Recoveries:          r.recoveries.Load(),
+		RecoveryNanos:       r.recoveryNanos.Load(),
+		BlockedSendNanos:    r.blockedSendNanos.Load(),
+	}
+}
+
+// Snapshot is a point-in-time copy of one rank's counters, or (via Add)
+// the sum over several ranks.
+type Snapshot struct {
+	MsgsSent            int64
+	MsgsDelivered       int64
+	PiggybackIDs        int64
+	PiggybackBytes      int64
+	PayloadBytes        int64
+	SendTrackNanos      int64
+	DeliverTrackNanos   int64
+	ControlMsgs         int64
+	RepetitiveDiscarded int64
+	ResentMsgs          int64
+	LogItemsAppended    int64
+	LogItemsReleased    int64
+	Recoveries          int64
+	RecoveryNanos       int64
+	BlockedSendNanos    int64
+}
+
+// Add returns the elementwise sum of s and o.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	s.MsgsSent += o.MsgsSent
+	s.MsgsDelivered += o.MsgsDelivered
+	s.PiggybackIDs += o.PiggybackIDs
+	s.PiggybackBytes += o.PiggybackBytes
+	s.PayloadBytes += o.PayloadBytes
+	s.SendTrackNanos += o.SendTrackNanos
+	s.DeliverTrackNanos += o.DeliverTrackNanos
+	s.ControlMsgs += o.ControlMsgs
+	s.RepetitiveDiscarded += o.RepetitiveDiscarded
+	s.ResentMsgs += o.ResentMsgs
+	s.LogItemsAppended += o.LogItemsAppended
+	s.LogItemsReleased += o.LogItemsReleased
+	s.Recoveries += o.Recoveries
+	s.RecoveryNanos += o.RecoveryNanos
+	s.BlockedSendNanos += o.BlockedSendNanos
+	return s
+}
+
+// AvgPiggybackIDs is Fig. 6's metric: the average number of identifiers
+// piggybacked per application message.
+func (s Snapshot) AvgPiggybackIDs() float64 {
+	if s.MsgsSent == 0 {
+		return 0
+	}
+	return float64(s.PiggybackIDs) / float64(s.MsgsSent)
+}
+
+// AvgPiggybackBytes is the byte-denominated companion of Fig. 6.
+func (s Snapshot) AvgPiggybackBytes() float64 {
+	if s.MsgsSent == 0 {
+		return 0
+	}
+	return float64(s.PiggybackBytes) / float64(s.MsgsSent)
+}
+
+// TrackingTime is Fig. 7's metric: total time spent constructing and
+// merging dependency metadata.
+func (s Snapshot) TrackingTime() time.Duration {
+	return time.Duration(s.SendTrackNanos + s.DeliverTrackNanos)
+}
+
+// LogItemsLive is the current sender-log population.
+func (s Snapshot) LogItemsLive() int64 { return s.LogItemsAppended - s.LogItemsReleased }
+
+// Collector owns one Rank accumulator per process.
+type Collector struct {
+	ranks []*Rank
+}
+
+// NewCollector returns a collector for an n-process system.
+func NewCollector(n int) *Collector {
+	c := &Collector{ranks: make([]*Rank, n)}
+	for i := range c.ranks {
+		c.ranks[i] = &Rank{}
+	}
+	return c
+}
+
+// Rank returns the accumulator for process i.
+func (c *Collector) Rank(i int) *Rank { return c.ranks[i] }
+
+// N returns the number of ranks.
+func (c *Collector) N() int { return len(c.ranks) }
+
+// Total returns the sum of all ranks' snapshots.
+func (c *Collector) Total() Snapshot {
+	var t Snapshot
+	for _, r := range c.ranks {
+		t = t.Add(r.Snapshot())
+	}
+	return t
+}
+
+// PerRank returns each rank's snapshot.
+func (c *Collector) PerRank() []Snapshot {
+	out := make([]Snapshot, len(c.ranks))
+	for i, r := range c.ranks {
+		out[i] = r.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRankCountersAccumulate(t *testing.T) {
+	var r Rank
+	r.MsgSent(4, 10, 100)
+	r.MsgSent(4, 12, 200)
+	r.MsgDelivered()
+	r.SendTracking(3 * time.Microsecond)
+	r.DeliverTracking(2 * time.Microsecond)
+	r.ControlMsg()
+	r.RepetitiveDiscarded()
+	r.Resent()
+	r.LogAppended()
+	r.LogAppended()
+	r.LogReleased(1)
+	r.RecoveryDone(time.Millisecond)
+	r.BlockedSend(time.Second)
+
+	s := r.Snapshot()
+	if s.MsgsSent != 2 || s.PiggybackIDs != 8 || s.PiggybackBytes != 22 || s.PayloadBytes != 300 {
+		t.Fatalf("send counters wrong: %+v", s)
+	}
+	if s.MsgsDelivered != 1 || s.ControlMsgs != 1 || s.RepetitiveDiscarded != 1 || s.ResentMsgs != 1 {
+		t.Fatalf("delivery counters wrong: %+v", s)
+	}
+	if s.TrackingTime() != 5*time.Microsecond {
+		t.Fatalf("TrackingTime = %v", s.TrackingTime())
+	}
+	if s.LogItemsLive() != 1 {
+		t.Fatalf("LogItemsLive = %d", s.LogItemsLive())
+	}
+	if s.Recoveries != 1 || time.Duration(s.RecoveryNanos) != time.Millisecond {
+		t.Fatalf("recovery counters wrong: %+v", s)
+	}
+	if time.Duration(s.BlockedSendNanos) != time.Second {
+		t.Fatalf("blocked send wrong: %+v", s)
+	}
+}
+
+func TestAvgPiggyback(t *testing.T) {
+	var r Rank
+	if got := r.Snapshot().AvgPiggybackIDs(); got != 0 {
+		t.Fatalf("empty AvgPiggybackIDs = %v", got)
+	}
+	r.MsgSent(4, 8, 0)
+	r.MsgSent(8, 24, 0)
+	s := r.Snapshot()
+	if got := s.AvgPiggybackIDs(); got != 6 {
+		t.Fatalf("AvgPiggybackIDs = %v, want 6", got)
+	}
+	if got := s.AvgPiggybackBytes(); got != 16 {
+		t.Fatalf("AvgPiggybackBytes = %v, want 16", got)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{MsgsSent: 1, PiggybackIDs: 4, RecoveryNanos: 10}
+	b := Snapshot{MsgsSent: 2, PiggybackIDs: 8, RecoveryNanos: 5}
+	c := a.Add(b)
+	if c.MsgsSent != 3 || c.PiggybackIDs != 12 || c.RecoveryNanos != 15 {
+		t.Fatalf("Add = %+v", c)
+	}
+	// Add must not mutate its receiver.
+	if a.MsgsSent != 1 {
+		t.Fatal("Add mutated receiver")
+	}
+}
+
+func TestCollectorTotal(t *testing.T) {
+	c := NewCollector(3)
+	c.Rank(0).MsgSent(4, 8, 16)
+	c.Rank(1).MsgSent(4, 8, 16)
+	c.Rank(2).MsgDelivered()
+	tot := c.Total()
+	if tot.MsgsSent != 2 || tot.MsgsDelivered != 1 {
+		t.Fatalf("Total = %+v", tot)
+	}
+	per := c.PerRank()
+	if len(per) != 3 || per[0].MsgsSent != 1 || per[2].MsgsDelivered != 1 {
+		t.Fatalf("PerRank = %+v", per)
+	}
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestRankConcurrentSafety(t *testing.T) {
+	var r Rank
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.MsgSent(4, 8, 1)
+				r.MsgDelivered()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.MsgsSent != workers*per || s.MsgsDelivered != workers*per {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.PiggybackIDs != 4*workers*per {
+		t.Fatalf("piggyback IDs = %d", s.PiggybackIDs)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "Fig. 6",
+		Header: []string{"procs", "TDI", "TAG"},
+	}
+	tab.AddRow("4", "4.0", "120.5")
+	tab.AddRow("32", "32.0", "4000")
+	out := tab.String()
+	if !strings.Contains(out, "Fig. 6") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns must align: header and first row start of col 2 identical.
+	hIdx := strings.Index(lines[1], "TDI")
+	rIdx := strings.Index(lines[3], "4.0")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		3.5:    "3.500",
+		42.19:  "42.2",
+		1234.6: "1235",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

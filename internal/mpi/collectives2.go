@@ -1,0 +1,107 @@
+package mpi
+
+import "windar/internal/app"
+
+// Allgather collects each rank's data at every rank (Gather to rank 0
+// followed by a broadcast of the concatenation, using tag and tag+1).
+// The result is indexed by rank.
+func Allgather(env app.Env, tag int32, data []byte) [][]byte {
+	n := env.N()
+	parts := Gather(env, 0, tag, data)
+	var flat []byte
+	if env.Rank() == 0 {
+		flat = encodeParts(parts)
+	}
+	flat = Bcast(env, 0, tag+1, flat)
+	out, err := decodeParts(flat, n)
+	if err != nil {
+		panic("mpi: allgather: " + err.Error())
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank r returns
+// op(vec_0, ..., vec_r). Linear pipeline along ranks using tag.
+func Scan(env app.Env, tag int32, vec []float64, op Op) []float64 {
+	rank := env.Rank()
+	acc := make([]float64, len(vec))
+	copy(acc, vec)
+	if rank > 0 {
+		data, _ := env.Recv(rank-1, tag)
+		prefix := DecodeF64s(data)
+		// acc = op(prefix, vec): apply folds src into dst, so start
+		// from the prefix and fold our own contribution.
+		tmp := make([]float64, len(prefix))
+		copy(tmp, prefix)
+		op.apply(tmp, vec)
+		acc = tmp
+	}
+	if rank+1 < env.N() {
+		env.Send(rank+1, tag, EncodeF64s(acc))
+	}
+	return acc
+}
+
+// ExScan computes the exclusive prefix reduction: rank r returns
+// op(vec_0, ..., vec_{r-1}); rank 0 returns nil.
+func ExScan(env app.Env, tag int32, vec []float64, op Op) []float64 {
+	rank := env.Rank()
+	var prefix []float64
+	if rank > 0 {
+		data, _ := env.Recv(rank-1, tag)
+		prefix = DecodeF64s(data)
+	}
+	if rank+1 < env.N() {
+		next := make([]float64, len(vec))
+		copy(next, vec)
+		if prefix != nil {
+			tmp := make([]float64, len(prefix))
+			copy(tmp, prefix)
+			op.apply(tmp, vec)
+			next = tmp
+		}
+		env.Send(rank+1, tag, EncodeF64s(next))
+	}
+	return prefix
+}
+
+// encodeParts length-prefixes and concatenates byte slices.
+func encodeParts(parts [][]byte) []byte {
+	size := 0
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	out := make([]byte, 0, size)
+	for _, p := range parts {
+		out = append(out, byte(len(p)>>24), byte(len(p)>>16), byte(len(p)>>8), byte(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// decodeParts reverses encodeParts, expecting exactly n parts.
+func decodeParts(flat []byte, n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	i := 0
+	for len(out) < n {
+		if i+4 > len(flat) {
+			return nil, errTruncatedParts
+		}
+		l := int(flat[i])<<24 | int(flat[i+1])<<16 | int(flat[i+2])<<8 | int(flat[i+3])
+		i += 4
+		if i+l > len(flat) {
+			return nil, errTruncatedParts
+		}
+		part := make([]byte, l)
+		copy(part, flat[i:i+l])
+		out = append(out, part)
+		i += l
+	}
+	return out, nil
+}
+
+type partsError string
+
+func (e partsError) Error() string { return string(e) }
+
+const errTruncatedParts = partsError("truncated parts encoding")

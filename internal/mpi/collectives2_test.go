@@ -1,0 +1,131 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"windar/internal/app"
+)
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			results := make([][][]byte, n)
+			var mu sync.Mutex
+			runWorld(t, n, func(env app.Env) {
+				r := env.Rank()
+				// Variable-length contributions exercise the framing.
+				data := bytes.Repeat([]byte{byte(r + 1)}, r+1)
+				out := Allgather(env, 40, data)
+				mu.Lock()
+				results[r] = out
+				mu.Unlock()
+			})
+			for r := 0; r < n; r++ {
+				if len(results[r]) != n {
+					t.Fatalf("rank %d got %d parts", r, len(results[r]))
+				}
+				for src := 0; src < n; src++ {
+					want := bytes.Repeat([]byte{byte(src + 1)}, src+1)
+					if !bytes.Equal(results[r][src], want) {
+						t.Fatalf("rank %d part %d = %v, want %v", r, src, results[r][src], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	const n = 6
+	results := make([][]float64, n)
+	var mu sync.Mutex
+	runWorld(t, n, func(env app.Env) {
+		r := env.Rank()
+		out := Scan(env, 50, []float64{float64(r + 1)}, Sum)
+		mu.Lock()
+		results[r] = out
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		want := float64((r + 1) * (r + 2) / 2) // 1+2+...+(r+1)
+		if len(results[r]) != 1 || results[r][0] != want {
+			t.Fatalf("rank %d Scan = %v, want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestScanSingleRank(t *testing.T) {
+	runWorld(t, 1, func(env app.Env) {
+		out := Scan(env, 51, []float64{7}, Sum)
+		if !reflect.DeepEqual(out, []float64{7}) {
+			t.Errorf("Scan = %v", out)
+		}
+	})
+}
+
+func TestExScan(t *testing.T) {
+	const n = 5
+	results := make([][]float64, n)
+	var mu sync.Mutex
+	runWorld(t, n, func(env app.Env) {
+		r := env.Rank()
+		out := ExScan(env, 52, []float64{float64(r + 1)}, Sum)
+		mu.Lock()
+		results[r] = out
+		mu.Unlock()
+	})
+	if results[0] != nil {
+		t.Fatalf("rank 0 ExScan = %v, want nil", results[0])
+	}
+	for r := 1; r < n; r++ {
+		want := float64(r * (r + 1) / 2) // 1+...+r
+		if len(results[r]) != 1 || results[r][0] != want {
+			t.Fatalf("rank %d ExScan = %v, want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestScanMax(t *testing.T) {
+	const n = 4
+	vals := []float64{3, 1, 4, 1}
+	results := make([][]float64, n)
+	var mu sync.Mutex
+	runWorld(t, n, func(env app.Env) {
+		r := env.Rank()
+		out := Scan(env, 53, []float64{vals[r]}, Max)
+		mu.Lock()
+		results[r] = out
+		mu.Unlock()
+	})
+	wants := []float64{3, 3, 4, 4}
+	for r := range wants {
+		if results[r][0] != wants[r] {
+			t.Fatalf("rank %d Scan(Max) = %v, want %v", r, results[r][0], wants[r])
+		}
+	}
+}
+
+func TestPartsRoundTrip(t *testing.T) {
+	parts := [][]byte{{1, 2}, nil, {3}, bytes.Repeat([]byte{9}, 300)}
+	flat := encodeParts(parts)
+	got, err := decodeParts(flat, len(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parts {
+		if !bytes.Equal(got[i], parts[i]) {
+			t.Fatalf("part %d: %v vs %v", i, got[i], parts[i])
+		}
+	}
+	if _, err := decodeParts(flat[:len(flat)-1], len(parts)); err == nil {
+		t.Fatal("truncated parts accepted")
+	}
+	if _, err := decodeParts(flat[:2], len(parts)); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}

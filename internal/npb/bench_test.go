@@ -1,0 +1,64 @@
+package npb
+
+import (
+	"testing"
+
+	"windar/internal/app"
+)
+
+// nullEnv satisfies app.Env for single-rank kernels (no neighbours, so
+// Send/Recv are never called on a 1x1 process grid except by collectives,
+// which degrade to local no-ops at n=1).
+type nullEnv struct{}
+
+func (nullEnv) Rank() int                             { return 0 }
+func (nullEnv) N() int                                { return 1 }
+func (nullEnv) Send(dest int, tag int32, data []byte) { panic("nullEnv: unexpected Send") }
+func (nullEnv) Recv(source int, tag int32) ([]byte, int) {
+	panic("nullEnv: unexpected Recv")
+}
+
+var _ app.Env = nullEnv{}
+
+// BenchmarkKernelStep measures the pure single-rank compute cost of one
+// application step per benchmark — the numerator the communication
+// overheads of Fig. 6-8 are relative to.
+func BenchmarkKernelStep(b *testing.B) {
+	p := Params{N: 12, Iterations: 1 << 30}
+	for _, name := range []string{"lu", "bt", "sp", "cg"} {
+		b.Run(name, func(b *testing.B) {
+			f, err := Benchmark(name, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := f(0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Step(nullEnv{}, i)
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot measures checkpoint-image construction per benchmark
+// (the paper's checkpoint-size characterisation: BT large, LU small).
+func BenchmarkSnapshot(b *testing.B) {
+	p := Params{N: 12, Iterations: 1}
+	for _, name := range []string{"lu", "bt", "sp", "cg"} {
+		b.Run(name, func(b *testing.B) {
+			f, err := Benchmark(name, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := f(0, 1)
+			snap := a.Snapshot()
+			b.SetBytes(int64(len(snap)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = a.Snapshot()
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package npb_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"windar/internal/harness"
+	"windar/internal/npb"
+)
+
+func TestCGCompletesAndConverges(t *testing.T) {
+	p := npb.Params{N: 6, Iterations: 5}
+	states, c := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, "cg", p), nil)
+	for r, s := range states {
+		if len(s) == 0 {
+			t.Fatalf("rank %d empty snapshot", r)
+		}
+	}
+	tot := c.Metrics().Total()
+	if tot.MsgsSent == 0 {
+		t.Fatal("no traffic")
+	}
+	// CG is collective-dominated: most messages are tiny (one or two
+	// float64 plus framing).
+	if avg := float64(tot.PayloadBytes) / float64(tot.MsgsSent); avg > 64 {
+		t.Fatalf("CG average payload %v bytes, expected tiny messages", avg)
+	}
+}
+
+func TestCGDeterministic(t *testing.T) {
+	p := npb.Params{N: 6, Iterations: 4}
+	a, _ := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, "cg", p), nil)
+	b, _ := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, "cg", p), nil)
+	for r := range a {
+		if !bytes.Equal(a[r], b[r]) {
+			t.Fatalf("rank %d not deterministic", r)
+		}
+	}
+}
+
+func TestCGSurvivesFailureAllProtocols(t *testing.T) {
+	p := npb.Params{N: 6, Iterations: 6}
+	for _, proto := range []harness.ProtocolKind{harness.TDI, harness.TAG, harness.TEL} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			t.Parallel()
+			clean, _ := runCluster(t, clusterConfig(4, proto), factoryFor(t, "cg", p), nil)
+			faulty, _ := runCluster(t, clusterConfig(4, proto), factoryFor(t, "cg", p),
+				func(c *harness.Cluster) {
+					time.Sleep(4 * time.Millisecond)
+					if err := c.KillAndRecover(2, time.Millisecond); err != nil {
+						t.Errorf("KillAndRecover: %v", err)
+					}
+				})
+			for r := range clean {
+				if !bytes.Equal(clean[r], faulty[r]) {
+					t.Fatalf("cg/%s rank %d diverged after recovery", proto, r)
+				}
+			}
+		})
+	}
+}
+
+func TestCGDoubleFailure(t *testing.T) {
+	p := npb.Params{N: 6, Iterations: 8}
+	clean, _ := runCluster(t, clusterConfig(5, harness.TDI), factoryFor(t, "cg", p), nil)
+	faulty, _ := runCluster(t, clusterConfig(5, harness.TDI), factoryFor(t, "cg", p),
+		func(c *harness.Cluster) {
+			time.Sleep(4 * time.Millisecond)
+			if err := c.Kill(1); err != nil {
+				t.Errorf("Kill(1): %v", err)
+			}
+			if err := c.Kill(4); err != nil {
+				t.Errorf("Kill(4): %v", err)
+			}
+			time.Sleep(time.Millisecond)
+			if err := c.Recover(1); err != nil {
+				t.Errorf("Recover(1): %v", err)
+			}
+			if err := c.Recover(4); err != nil {
+				t.Errorf("Recover(4): %v", err)
+			}
+		})
+	for r := range clean {
+		if !bytes.Equal(clean[r], faulty[r]) {
+			t.Fatalf("rank %d diverged after double failure", r)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package npb_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"windar/internal/app"
+	"windar/internal/fabric"
+	"windar/internal/harness"
+	"windar/internal/npb"
+)
+
+func clusterConfig(n int, p harness.ProtocolKind) harness.Config {
+	return harness.Config{
+		N:               n,
+		Protocol:        p,
+		CheckpointEvery: 3,
+		Fabric: fabric.Config{
+			BaseLatency:    10 * time.Microsecond,
+			JitterFraction: 1.0,
+			Seed:           99,
+		},
+		EventLoggerLatency: 100 * time.Microsecond,
+		StallTimeout:       30 * time.Second,
+	}
+}
+
+func runCluster(t *testing.T, cfg harness.Config, factory app.Factory, chaos func(*harness.Cluster)) ([][]byte, *harness.Cluster) {
+	t.Helper()
+	c, err := harness.NewCluster(cfg, factory)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if chaos != nil {
+		chaos(c)
+	}
+	done := make(chan struct{})
+	go func() { c.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("cluster did not complete")
+	}
+	out := make([][]byte, cfg.N)
+	for i := range out {
+		out[i] = c.AppSnapshot(i)
+	}
+	return out, c
+}
+
+func factoryFor(t *testing.T, name string, p npb.Params) app.Factory {
+	t.Helper()
+	f, err := npb.Benchmark(name, p)
+	if err != nil {
+		t.Fatalf("Benchmark(%s): %v", name, err)
+	}
+	return f
+}
+
+func TestBenchmarksCompleteAndDeterministic(t *testing.T) {
+	for _, name := range []string{"lu", "bt", "sp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := npb.ClassS(4)
+			a, _ := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, name, p), nil)
+			b, _ := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, name, p), nil)
+			for r := range a {
+				if !bytes.Equal(a[r], b[r]) {
+					t.Fatalf("%s rank %d not deterministic", name, r)
+				}
+				if len(a[r]) == 0 {
+					t.Fatalf("%s rank %d empty snapshot", name, r)
+				}
+			}
+		})
+	}
+}
+
+func TestBenchmarksSurviveFailure(t *testing.T) {
+	for _, name := range []string{"lu", "bt", "sp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := npb.ClassS(8)
+			clean, _ := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, name, p), nil)
+			faulty, c := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, name, p),
+				func(c *harness.Cluster) {
+					time.Sleep(5 * time.Millisecond)
+					if err := c.KillAndRecover(1, time.Millisecond); err != nil {
+						t.Errorf("KillAndRecover: %v", err)
+					}
+				})
+			for r := range clean {
+				if !bytes.Equal(clean[r], faulty[r]) {
+					t.Fatalf("%s rank %d diverged after recovery", name, r)
+				}
+			}
+			if rec := c.Metrics().Rank(1).Snapshot().Recoveries; rec != 1 {
+				t.Fatalf("recoveries = %d", rec)
+			}
+		})
+	}
+}
+
+func TestBenchmarksSurviveFailureAllProtocols(t *testing.T) {
+	for _, proto := range []harness.ProtocolKind{harness.TAG, harness.TEL} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			t.Parallel()
+			p := npb.ClassS(6)
+			clean, _ := runCluster(t, clusterConfig(4, proto), factoryFor(t, "lu", p), nil)
+			faulty, _ := runCluster(t, clusterConfig(4, proto), factoryFor(t, "lu", p),
+				func(c *harness.Cluster) {
+					time.Sleep(5 * time.Millisecond)
+					if err := c.KillAndRecover(2, time.Millisecond); err != nil {
+						t.Errorf("KillAndRecover: %v", err)
+					}
+				})
+			for r := range clean {
+				if !bytes.Equal(clean[r], faulty[r]) {
+					t.Fatalf("lu/%s rank %d diverged after recovery", proto, r)
+				}
+			}
+		})
+	}
+}
+
+func TestMessageCharacterMatchesPaper(t *testing.T) {
+	// Section IV: LU has high message frequency and small messages; BT
+	// large messages and low frequency; SP in between on both axes.
+	p := npb.ClassS(4)
+	stats := map[string][2]float64{} // name -> {msgs, avgBytes}
+	for _, name := range []string{"lu", "bt", "sp"} {
+		_, c := runCluster(t, clusterConfig(4, harness.TDI), factoryFor(t, name, p), nil)
+		tot := c.Metrics().Total()
+		stats[name] = [2]float64{
+			float64(tot.MsgsSent),
+			float64(tot.PayloadBytes) / float64(tot.MsgsSent),
+		}
+	}
+	if !(stats["lu"][0] > stats["sp"][0] && stats["sp"][0] >= stats["bt"][0]) {
+		t.Errorf("message counts: lu=%v sp=%v bt=%v, want lu > sp >= bt",
+			stats["lu"][0], stats["sp"][0], stats["bt"][0])
+	}
+	if !(stats["bt"][1] > stats["sp"][1] && stats["sp"][1] > stats["lu"][1]) {
+		t.Errorf("avg payload: bt=%v sp=%v lu=%v, want bt > sp > lu",
+			stats["bt"][1], stats["sp"][1], stats["lu"][1])
+	}
+}
+
+func TestNonSquareProcessCounts(t *testing.T) {
+	// 8 ranks -> 2x4 grid; the kernels must still complete and recover.
+	p := npb.ClassS(4)
+	clean, _ := runCluster(t, clusterConfig(8, harness.TDI), factoryFor(t, "lu", p), nil)
+	faulty, _ := runCluster(t, clusterConfig(8, harness.TDI), factoryFor(t, "lu", p),
+		func(c *harness.Cluster) {
+			time.Sleep(4 * time.Millisecond)
+			if err := c.KillAndRecover(5, time.Millisecond); err != nil {
+				t.Errorf("KillAndRecover: %v", err)
+			}
+		})
+	for r := range clean {
+		if !bytes.Equal(clean[r], faulty[r]) {
+			t.Fatalf("rank %d diverged", r)
+		}
+	}
+}
+
+func TestSingleRankDegenerate(t *testing.T) {
+	p := npb.Params{N: 4, Iterations: 3, NormEvery: 2}
+	states, _ := runCluster(t, clusterConfig(1, harness.TDI), factoryFor(t, "bt", p), nil)
+	if len(states[0]) == 0 {
+		t.Fatal("empty snapshot")
+	}
+}

@@ -1,0 +1,118 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LogItem is one sender-logged application message: destination, sending
+// index, the original tag and piggyback, and the raw payload (Algorithm 1
+// line 12). The logged piggyback is retransmitted verbatim with the
+// message during a peer's recovery ("every resent message should be
+// piggybacked with the logged vector ... as in normal execution mode").
+type LogItem struct {
+	Dest      int
+	SendIndex int64
+	Tag       int32
+	Piggyback []byte
+	Payload   []byte
+}
+
+// Log is a sender-based message log, organised per destination with items
+// in send-index order. The zero value is not usable; call NewLog.
+type Log struct {
+	perDest map[int][]LogItem
+	bytes   int64
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{perDest: make(map[int][]LogItem)} }
+
+// Append adds item. Items for one destination must be appended in strictly
+// increasing send-index order; the protocol assigns indices sequentially
+// so a violation is a harness bug and panics.
+func (l *Log) Append(item LogItem) {
+	items := l.perDest[item.Dest]
+	if n := len(items); n > 0 && items[n-1].SendIndex >= item.SendIndex {
+		panic(fmt.Sprintf("proto: log append out of order: dest %d index %d after %d",
+			item.Dest, item.SendIndex, items[n-1].SendIndex))
+	}
+	l.perDest[item.Dest] = append(items, item)
+	l.bytes += int64(len(item.Payload) + len(item.Piggyback))
+}
+
+// Release discards every item for dest with SendIndex <= upto, returning
+// how many were removed. This implements the CHECKPOINT_ADVANCE rule
+// (Algorithm 1 line 39): once the receiver has checkpointed past a
+// message, it can never be replayed and its log is dead weight.
+func (l *Log) Release(dest int, upto int64) int {
+	items := l.perDest[dest]
+	cut := sort.Search(len(items), func(i int) bool { return items[i].SendIndex > upto })
+	if cut == 0 {
+		return 0
+	}
+	for _, it := range items[:cut] {
+		l.bytes -= int64(len(it.Payload) + len(it.Piggyback))
+	}
+	rest := make([]LogItem, len(items)-cut)
+	copy(rest, items[cut:])
+	if len(rest) == 0 {
+		delete(l.perDest, dest)
+	} else {
+		l.perDest[dest] = rest
+	}
+	return cut
+}
+
+// ItemsFor returns the logged items for dest with SendIndex > after, in
+// send-index order. This is the resend set for a ROLLBACK whose
+// last_deliver_index entry for this rank is after (Algorithm 1 lines
+// 49-51). The returned slice aliases the log; callers must not mutate it.
+func (l *Log) ItemsFor(dest int, after int64) []LogItem {
+	items := l.perDest[dest]
+	cut := sort.Search(len(items), func(i int) bool { return items[i].SendIndex > after })
+	return items[cut:]
+}
+
+// Len returns the total number of retained items.
+func (l *Log) Len() int {
+	n := 0
+	for _, items := range l.perDest {
+		n += len(items)
+	}
+	return n
+}
+
+// Bytes returns the retained payload+piggyback bytes (the memory the
+// paper's sender-based logging strategy buffers).
+func (l *Log) Bytes() int64 { return l.bytes }
+
+// All returns every retained item ordered by (Dest, SendIndex), for
+// checkpointing.
+func (l *Log) All() []LogItem {
+	dests := make([]int, 0, len(l.perDest))
+	for d := range l.perDest {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	var out []LogItem
+	for _, d := range dests {
+		out = append(out, l.perDest[d]...)
+	}
+	return out
+}
+
+// RestoreAll replaces the log contents with items (from a checkpoint).
+func (l *Log) RestoreAll(items []LogItem) {
+	l.perDest = make(map[int][]LogItem)
+	l.bytes = 0
+	byDest := make(map[int][]LogItem)
+	for _, it := range items {
+		byDest[it.Dest] = append(byDest[it.Dest], it)
+		l.bytes += int64(len(it.Payload) + len(it.Piggyback))
+	}
+	for d, its := range byDest {
+		sort.Slice(its, func(i, j int) bool { return its[i].SendIndex < its[j].SendIndex })
+		l.perDest[d] = its
+	}
+}

@@ -1,0 +1,196 @@
+package proto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func item(dest int, idx int64, payload string) LogItem {
+	return LogItem{Dest: dest, SendIndex: idx, Payload: []byte(payload)}
+}
+
+func TestAppendAndItemsFor(t *testing.T) {
+	l := NewLog()
+	l.Append(item(1, 1, "a"))
+	l.Append(item(1, 2, "b"))
+	l.Append(item(2, 1, "c"))
+
+	got := l.ItemsFor(1, 0)
+	if len(got) != 2 || got[0].SendIndex != 1 || got[1].SendIndex != 2 {
+		t.Fatalf("ItemsFor(1,0) = %v", got)
+	}
+	if got := l.ItemsFor(1, 1); len(got) != 1 || got[0].SendIndex != 2 {
+		t.Fatalf("ItemsFor(1,1) = %v", got)
+	}
+	if got := l.ItemsFor(1, 5); len(got) != 0 {
+		t.Fatalf("ItemsFor(1,5) = %v", got)
+	}
+	if got := l.ItemsFor(9, 0); len(got) != 0 {
+		t.Fatalf("ItemsFor(unknown dest) = %v", got)
+	}
+}
+
+func TestAppendOutOfOrderPanics(t *testing.T) {
+	l := NewLog()
+	l.Append(item(1, 2, "a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order append")
+		}
+	}()
+	l.Append(item(1, 2, "dup"))
+}
+
+func TestRelease(t *testing.T) {
+	l := NewLog()
+	for i := int64(1); i <= 5; i++ {
+		l.Append(item(1, i, "x"))
+	}
+	l.Append(item(2, 1, "y"))
+
+	if n := l.Release(1, 3); n != 3 {
+		t.Fatalf("Release removed %d, want 3", n)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	got := l.ItemsFor(1, 0)
+	if len(got) != 2 || got[0].SendIndex != 4 {
+		t.Fatalf("post-release items = %v", got)
+	}
+	// Releasing again is a no-op.
+	if n := l.Release(1, 3); n != 0 {
+		t.Fatalf("second Release removed %d", n)
+	}
+	// Releasing everything empties the destination bucket.
+	if n := l.Release(1, 99); n != 2 {
+		t.Fatalf("full Release removed %d", n)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (dest 2 untouched)", l.Len())
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := NewLog()
+	l.Append(LogItem{Dest: 1, SendIndex: 1, Piggyback: make([]byte, 4), Payload: make([]byte, 10)})
+	l.Append(LogItem{Dest: 1, SendIndex: 2, Payload: make([]byte, 6)})
+	if l.Bytes() != 20 {
+		t.Fatalf("Bytes = %d, want 20", l.Bytes())
+	}
+	l.Release(1, 1)
+	if l.Bytes() != 6 {
+		t.Fatalf("Bytes after release = %d, want 6", l.Bytes())
+	}
+}
+
+func TestAllAndRestoreRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.Append(item(2, 1, "c"))
+	l.Append(item(2, 2, "d"))
+	l.Append(item(0, 1, "a"))
+
+	all := l.All()
+	if len(all) != 3 {
+		t.Fatalf("All = %v", all)
+	}
+	if all[0].Dest != 0 || all[1].Dest != 2 || all[1].SendIndex != 1 {
+		t.Fatalf("All ordering wrong: %v", all)
+	}
+
+	restored := NewLog()
+	restored.RestoreAll(all)
+	if !reflect.DeepEqual(restored.All(), all) {
+		t.Fatalf("restore mismatch: %v vs %v", restored.All(), all)
+	}
+	if restored.Bytes() != l.Bytes() || restored.Len() != l.Len() {
+		t.Fatalf("restore accounting mismatch")
+	}
+}
+
+func TestRestoreAllSortsUnorderedInput(t *testing.T) {
+	l := NewLog()
+	l.RestoreAll([]LogItem{item(1, 3, "c"), item(1, 1, "a"), item(1, 2, "b")})
+	got := l.ItemsFor(1, 0)
+	for i, it := range got {
+		if it.SendIndex != int64(i+1) {
+			t.Fatalf("unsorted after restore: %v", got)
+		}
+	}
+}
+
+// Property: for any sequence of appends and releases, ItemsFor(dest, k)
+// returns exactly the retained items with index > k, in order, and Len and
+// Bytes stay consistent with a naive model.
+func TestLogModelProperty(t *testing.T) {
+	type op struct {
+		release bool
+		dest    int
+		idx     int64
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(60)
+			ops := make([]op, n)
+			next := map[int]int64{}
+			for i := range ops {
+				dest := r.Intn(3)
+				if r.Intn(4) == 0 {
+					ops[i] = op{release: true, dest: dest, idx: int64(r.Intn(20))}
+				} else {
+					next[dest]++
+					ops[i] = op{dest: dest, idx: next[dest]}
+				}
+			}
+			vals[0] = reflect.ValueOf(ops)
+		},
+	}
+	f := func(ops []op) bool {
+		l := NewLog()
+		model := map[int][]int64{} // retained indices per dest
+		for _, o := range ops {
+			if o.release {
+				kept := model[o.dest][:0]
+				for _, idx := range model[o.dest] {
+					if idx > o.idx {
+						kept = append(kept, idx)
+					}
+				}
+				model[o.dest] = kept
+				l.Release(o.dest, o.idx)
+			} else {
+				model[o.dest] = append(model[o.dest], o.idx)
+				l.Append(item(o.dest, o.idx, "p"))
+			}
+		}
+		total := 0
+		for dest, idxs := range model {
+			total += len(idxs)
+			got := l.ItemsFor(dest, 0)
+			if len(got) != len(idxs) {
+				return false
+			}
+			for i := range idxs {
+				if got[i].SendIndex != idxs[i] {
+					return false
+				}
+			}
+		}
+		return l.Len() == total && l.Bytes() == int64(total)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Deliver.String() != "Deliver" || Hold.String() != "Hold" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Verdict(9).String() != "Verdict(?)" {
+		t.Fatal("unknown verdict string wrong")
+	}
+}

@@ -1,0 +1,94 @@
+// Package proto defines the service-provider interface the rollback
+// recovery layer (internal/harness) uses to drive a causal message
+// logging protocol, plus the sender-based message log every protocol
+// shares.
+//
+// The harness owns mechanics common to all protocols — per-channel send
+// and delivery counters, FIFO and duplicate handling, the receiving
+// queue, checkpointing, and the ROLLBACK/RESPONSE recovery exchange. A
+// Protocol owns what differs between TDI, TAG and TEL: what metadata is
+// piggybacked on each message, what delivery-order constraint holds
+// during rolling forward, and what recovery metadata survivors must
+// contribute.
+package proto
+
+import (
+	"windar/internal/wire"
+)
+
+// Verdict is a Protocol's judgement on a candidate message delivery.
+type Verdict int
+
+const (
+	// Deliver: the message's constraints are satisfied; it may be handed
+	// to the application now.
+	Deliver Verdict = iota
+	// Hold: constraints are not yet satisfied; keep the message queued.
+	Hold
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Deliver:
+		return "Deliver"
+	case Hold:
+		return "Hold"
+	default:
+		return "Verdict(?)"
+	}
+}
+
+// Protocol is one rank's logging-protocol instance. The harness serializes
+// all calls under the rank's mutex; implementations need no internal
+// locking (the TEL event-logger client is the one exception and documents
+// its own synchronization).
+type Protocol interface {
+	// Name returns the protocol's short name ("tdi", "tag", "tel").
+	Name() string
+
+	// PiggybackForSend returns the metadata to attach to an outgoing
+	// application message addressed to dest with the given send index,
+	// and the metadata's size in identifiers for Fig. 6 accounting.
+	// Called at the moment the application emits the send, before the
+	// envelope is logged or transmitted.
+	PiggybackForSend(dest int, sendIndex int64) (pig []byte, identifiers int)
+
+	// Deliverable reports whether env may be delivered now. The harness
+	// has already established that env is not a duplicate and is next in
+	// its channel's FIFO order; the protocol adds its causal/replay
+	// constraint. deliveredCount is the number of messages this rank has
+	// delivered so far (the local state interval index).
+	Deliverable(env *wire.Envelope, deliveredCount int64) Verdict
+
+	// OnDeliver folds env's piggyback into protocol state after the
+	// application accepted it as the deliverIndex-th local delivery.
+	OnDeliver(env *wire.Envelope, deliverIndex int64) error
+
+	// Snapshot serializes protocol state for inclusion in a checkpoint.
+	Snapshot() []byte
+
+	// Restore replaces protocol state from a checkpoint Snapshot.
+	Restore(data []byte) error
+
+	// RecoveryData returns this (surviving) rank's contribution to the
+	// recovery of rank failed, whose checkpoint recorded
+	// ckptDeliveredCount deliveries. It rides on the RESPONSE control
+	// message. TDI needs nothing (its logged piggyback vectors are
+	// self-sufficient); the PWD protocols return the failed rank's
+	// recorded delivery determinants.
+	RecoveryData(failed int, ckptDeliveredCount int64) []byte
+
+	// BeginRecovery tells the protocol its rank is an incarnation about
+	// to roll forward; expectResponses is the number of RESPONSE
+	// messages that will eventually arrive (n-1).
+	BeginRecovery(expectResponses int)
+
+	// OnRecoveryData merges one RESPONSE's protocol payload.
+	OnRecoveryData(from int, data []byte) error
+
+	// OnPeerCheckpoint notifies the protocol that peer took a checkpoint
+	// covering its first deliveredCount deliveries, so history at or
+	// before that point can never be replayed again and may be pruned.
+	OnPeerCheckpoint(peer int, deliveredCount int64)
+}

@@ -1,0 +1,122 @@
+// Package stable simulates stable storage: the durable medium that
+// survives process failures. Checkpoints (all protocols) and the TEL event
+// logger write here. Writes and reads pay a configurable latency so that
+// protocols which lean on stable storage (TEL) are charged realistically
+// relative to protocols that do not (TDI, TAG).
+package stable
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"windar/internal/clock"
+)
+
+// Store is a latency-modelled durable key/value store. It is safe for
+// concurrent use by every rank in the simulated cluster; its contents
+// survive rank failures because only volatile rank state is dropped on a
+// crash.
+type Store struct {
+	clk          clock.Clock
+	writeLatency time.Duration
+	readLatency  time.Duration
+
+	mu      sync.Mutex
+	objects map[string][]byte
+
+	bytesWritten int64
+	writes       int64
+	reads        int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// Clock used to charge latency. Defaults to the real clock.
+	Clock clock.Clock
+	// WriteLatency is paid by every Put before it becomes durable.
+	WriteLatency time.Duration
+	// ReadLatency is paid by every Get.
+	ReadLatency time.Duration
+}
+
+// NewStore returns an empty store with the given options.
+func NewStore(opts Options) *Store {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	return &Store{
+		clk:          opts.Clock,
+		writeLatency: opts.WriteLatency,
+		readLatency:  opts.ReadLatency,
+		objects:      make(map[string][]byte),
+	}
+}
+
+// Put durably stores data under key, overwriting any previous value. The
+// stored bytes are copied, so the caller may reuse its buffer.
+func (s *Store) Put(key string, data []byte) {
+	if s.writeLatency > 0 {
+		s.clk.Sleep(s.writeLatency)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.objects[key] = cp
+	s.bytesWritten += int64(len(data))
+	s.writes++
+	s.mu.Unlock()
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s.readLatency > 0 {
+		s.clk.Sleep(s.readLatency)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	v, ok := s.objects[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true
+}
+
+// Delete removes key if present.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+}
+
+// Keys returns the stored keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports cumulative usage counters.
+func (s *Store) Stats() (writes, reads, bytesWritten int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes, s.reads, s.bytesWritten
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}

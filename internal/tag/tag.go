@@ -1,0 +1,234 @@
+// Package tag implements the TAG baseline: causal message logging with
+// antecedence-graph dependency tracking under the piecewise-deterministic
+// (PWD) execution model, in the style of Manetho [Elnozahy &
+// Zwaenepoel 1992] and LogOn [Lee et al. 1998] — the first comparator of
+// the paper's Fig. 6 and Fig. 7.
+//
+// Every delivery is a non-deterministic event recorded as a graph node
+// (its determinant plus causal edges). On each send the process computes
+// the *increment* of its graph the destination is estimated to lack and
+// piggybacks it; the destination merges. Piggyback volume therefore grows
+// with message frequency and system scale, and every send pays a graph
+// traversal — the two overheads TDI eliminates.
+//
+// Under PWD, recovery must replay deliveries in exactly the recorded
+// order: the incarnation first collects survivors' records of its
+// post-checkpoint deliveries (via RESPONSE payloads), holds all delivery
+// until every response has arrived, then admits only the exact message
+// recorded for each successive delivery index.
+package tag
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"windar/internal/agraph"
+	"windar/internal/determinant"
+	"windar/internal/metrics"
+	"windar/internal/proto"
+	"windar/internal/wire"
+)
+
+// TAG is one rank's protocol instance. It implements proto.Protocol.
+type TAG struct {
+	rank int
+	n    int
+
+	graph        *agraph.Graph
+	knownTo      []map[agraph.NodeID]struct{} // per-destination estimate
+	ownDelivered int64
+
+	// Recovery (PWD replay) state.
+	pendingResponses int
+	recorded         map[int64]determinant.D // deliverIndex -> determinant
+	recoveryBase     int64
+
+	m *metrics.Rank
+}
+
+var _ proto.Protocol = (*TAG)(nil)
+
+// New returns a TAG instance for rank in an n-process system.
+func New(rank, n int, m *metrics.Rank) *TAG {
+	if m == nil {
+		m = &metrics.Rank{}
+	}
+	t := &TAG{
+		rank:    rank,
+		n:       n,
+		graph:   agraph.New(),
+		knownTo: make([]map[agraph.NodeID]struct{}, n),
+		m:       m,
+	}
+	for i := range t.knownTo {
+		t.knownTo[i] = make(map[agraph.NodeID]struct{})
+	}
+	return t
+}
+
+// Name implements proto.Protocol.
+func (t *TAG) Name() string { return "tag" }
+
+// GraphLen reports the number of events currently tracked (tests,
+// diagnostics).
+func (t *TAG) GraphLen() int { return t.graph.Len() }
+
+// PiggybackForSend implements proto.Protocol. The piggyback is the
+// sender's current state interval followed by the graph increment for
+// dest. The increment computation — the graph traversal Manetho pays on
+// every send — is charged to send-side tracking time.
+func (t *TAG) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
+	start := time.Now()
+	diff := t.graph.DiffAgainst(t.knownTo[dest])
+	buf := binary.AppendVarint(make([]byte, 0, 16+24*len(diff)), t.ownDelivered)
+	buf = agraph.AppendNodes(buf, diff)
+	// Optimistically assume the destination receives it: the paper's
+	// protocols have no way to know, which is why redundant piggyback
+	// remains (Section II.B.2).
+	for _, nd := range diff {
+		t.knownTo[dest][nd.ID()] = struct{}{}
+	}
+	t.m.SendTracking(time.Since(start))
+	return buf, determinant.IdentifierCount*len(diff) + 1
+}
+
+// Deliverable implements proto.Protocol. In normal operation PWD imposes
+// no wait (FIFO and duplicate control are the harness's); during rolling
+// forward the recorded history pins each delivery slot to one exact
+// message.
+func (t *TAG) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdict {
+	if t.pendingResponses > 0 {
+		// The replay order is not fully known yet; delivering now could
+		// violate an order constraint that arrives in a later RESPONSE.
+		return proto.Hold
+	}
+	if det, ok := t.recorded[deliveredCount+1]; ok {
+		if env.From == det.Sender && env.SendIndex == det.SendIndex {
+			return proto.Deliver
+		}
+		return proto.Hold
+	}
+	// Beyond recorded history the event is a fresh non-deterministic
+	// choice.
+	return proto.Deliver
+}
+
+// OnDeliver implements proto.Protocol: merge the piggybacked increment,
+// record this delivery as a new graph node, and advance the known-set
+// estimate for the sender.
+func (t *TAG) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
+	start := time.Now()
+	senderInterval, off := binary.Varint(env.Piggyback)
+	if off <= 0 {
+		return fmt.Errorf("tag: rank %d: bad piggyback header from %d", t.rank, env.From)
+	}
+	nodes, _, err := agraph.ReadNodes(env.Piggyback[off:])
+	if err != nil {
+		return fmt.Errorf("tag: rank %d: bad piggyback from %d: %w", t.rank, env.From, err)
+	}
+	if err := t.graph.Merge(nodes); err != nil {
+		return fmt.Errorf("tag: rank %d: %w", t.rank, err)
+	}
+	for _, nd := range nodes {
+		t.knownTo[env.From][nd.ID()] = struct{}{}
+	}
+	own := agraph.Node{
+		Det: determinant.D{
+			Sender: env.From, SendIndex: env.SendIndex,
+			Receiver: t.rank, DeliverIndex: deliverIndex,
+		},
+		CrossParent: agraph.NodeID{Proc: env.From, Seq: senderInterval},
+	}
+	if _, err := t.graph.Add(own); err != nil {
+		return fmt.Errorf("tag: rank %d: %w", t.rank, err)
+	}
+	t.ownDelivered = deliverIndex
+	delete(t.recorded, deliverIndex)
+	t.m.DeliverTracking(time.Since(start))
+	return nil
+}
+
+// Snapshot implements proto.Protocol: the delivered count and the whole
+// graph. The known-set estimates are an optimization and deliberately not
+// checkpointed — an incarnation restarts pessimistic.
+func (t *TAG) Snapshot() []byte {
+	buf := binary.AppendVarint(nil, t.ownDelivered)
+	return agraph.AppendNodes(buf, t.graph.All())
+}
+
+// Restore implements proto.Protocol.
+func (t *TAG) Restore(data []byte) error {
+	own, off := binary.Varint(data)
+	if off <= 0 {
+		return fmt.Errorf("tag: restore: bad header")
+	}
+	nodes, _, err := agraph.ReadNodes(data[off:])
+	if err != nil {
+		return fmt.Errorf("tag: restore: %w", err)
+	}
+	t.ownDelivered = own
+	t.graph = agraph.New()
+	if err := t.graph.Merge(nodes); err != nil {
+		return err
+	}
+	for i := range t.knownTo {
+		t.knownTo[i] = make(map[agraph.NodeID]struct{})
+	}
+	return nil
+}
+
+// RecoveryData implements proto.Protocol: this survivor's record of the
+// failed rank's deliveries after its checkpoint — the fragment of the
+// antecedence graph that pins the replay order.
+func (t *TAG) RecoveryData(failed int, ckptDeliveredCount int64) []byte {
+	nodes := t.graph.DeliveriesOf(failed, ckptDeliveredCount)
+	return agraph.AppendNodes(nil, nodes)
+}
+
+// BeginRecovery implements proto.Protocol.
+func (t *TAG) BeginRecovery(expectResponses int) {
+	t.pendingResponses = expectResponses
+	t.recorded = make(map[int64]determinant.D)
+	t.recoveryBase = t.ownDelivered
+}
+
+// OnRecoveryData implements proto.Protocol: merge one survivor's record.
+func (t *TAG) OnRecoveryData(from int, data []byte) error {
+	nodes, _, err := agraph.ReadNodes(data)
+	if err != nil {
+		return fmt.Errorf("tag: recovery data from %d: %w", from, err)
+	}
+	if err := t.graph.Merge(nodes); err != nil {
+		return err
+	}
+	if t.recorded == nil {
+		// A stale RESPONSE reached a rank that is not rolling forward
+		// (e.g. addressed to a previous incarnation); the merge above is
+		// still useful, the replay bookkeeping is not.
+		return nil
+	}
+	for _, nd := range nodes {
+		if nd.Det.Receiver == t.rank && nd.Det.DeliverIndex > t.recoveryBase {
+			t.recorded[nd.Det.DeliverIndex] = nd.Det
+		}
+	}
+	if t.pendingResponses > 0 {
+		t.pendingResponses--
+	}
+	return nil
+}
+
+// OnPeerCheckpoint implements proto.Protocol: events at or before the
+// peer's checkpoint can never be replayed, so drop them from the graph
+// and the known-set estimates.
+func (t *TAG) OnPeerCheckpoint(peer int, deliveredCount int64) {
+	t.graph.Prune(peer, deliveredCount)
+	for _, known := range t.knownTo {
+		for id := range known {
+			if id.Proc == peer && id.Seq <= deliveredCount {
+				delete(known, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package tel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"windar/internal/determinant"
+	"windar/internal/vclock"
+	"windar/internal/wire"
+)
+
+// benchTEL builds a TEL instance carrying a given number of unstable
+// determinants (a never-acking logger keeps everything unstable).
+func benchTEL(b *testing.B, unstable int) (*TEL, *sync.Mutex) {
+	b.Helper()
+	lg := NewLogger(8, nil, time.Hour)
+	b.Cleanup(lg.Close)
+	var mu sync.Mutex
+	p := New(1, 8, lg, &mu, nil)
+	feeder := New(0, 8, nil, nil, nil)
+	mu.Lock()
+	for i := 1; i <= unstable; i++ {
+		pig, _ := feeder.PiggybackForSend(1, int64(i))
+		env := &wire.Envelope{Kind: wire.KindApp, From: 0, To: 1, SendIndex: int64(i), Piggyback: pig}
+		if err := p.OnDeliver(env, int64(i)); err != nil {
+			mu.Unlock()
+			b.Fatal(err)
+		}
+	}
+	mu.Unlock()
+	return p, &mu
+}
+
+// BenchmarkPiggybackForSend measures TEL's send cost as a function of
+// the unstable-determinant window — bounded by the event-logger round
+// trip in steady state, unbounded when the logger lags.
+func BenchmarkPiggybackForSend(b *testing.B) {
+	for _, unstable := range []int{0, 16, 256} {
+		b.Run(fmt.Sprintf("unstable%d", unstable), func(b *testing.B) {
+			p, mu := benchTEL(b, unstable)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mu.Lock()
+				_, _ = p.PiggybackForSend(2, int64(i+1))
+				mu.Unlock()
+			}
+		})
+	}
+}
+
+// BenchmarkLoggerCommit measures the stable event logger's ingest rate
+// with zero service latency: pure commit + stable-prefix bookkeeping.
+func BenchmarkLoggerCommit(b *testing.B) {
+	lg := NewLogger(8, nil, 0)
+	defer lg.Close()
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		lg.LogAsync([]determinant.D{{
+			Sender: 0, SendIndex: int64(i + 1),
+			Receiver: 1, DeliverIndex: int64(i + 1),
+		}}, func(vclock.Vec) { wg.Done() })
+	}
+	wg.Wait()
+	if lg.Logged() != int64(b.N) {
+		b.Fatalf("logged %d of %d", lg.Logged(), b.N)
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonEvent is the stable on-disk form of an Event.
+type jsonEvent struct {
+	Kind         string `json:"kind"`
+	Rank         int    `json:"rank"`
+	Peer         int    `json:"peer,omitempty"`
+	SendIndex    int64  `json:"sendIndex,omitempty"`
+	DeliverIndex int64  `json:"deliverIndex,omitempty"`
+	Step         int    `json:"step,omitempty"`
+	Count        int64  `json:"count,omitempty"`
+	Resent       bool   `json:"resent,omitempty"`
+	Seq          int    `json:"seq"`
+}
+
+var kindNames = map[EventKind]string{
+	EvSend:             "send",
+	EvDeliver:          "deliver",
+	EvCheckpoint:       "checkpoint",
+	EvKill:             "kill",
+	EvRecover:          "recover",
+	EvRecoveryComplete: "recovery-complete",
+}
+
+var kindValues = func() map[string]EventKind {
+	m := make(map[string]EventKind, len(kindNames))
+	for k, v := range kindNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Export writes the recorded events to w as JSON Lines, one event per
+// line, suitable for offline analysis or re-import.
+func (r *Recorder) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		je := jsonEvent{
+			Kind: e.Kind.String(), Rank: e.Rank, Peer: e.Peer,
+			SendIndex: e.SendIndex, DeliverIndex: e.DeliverIndex,
+			Step: e.Step, Count: e.Count, Resent: e.Resent, Seq: e.Seq,
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: export: %w", err)
+		}
+	}
+	return nil
+}
+
+// Import reads a JSON Lines trace written by Export into a fresh
+// Recorder.
+func Import(rd io.Reader) (*Recorder, error) {
+	dec := json.NewDecoder(rd)
+	rec := &Recorder{}
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: import: %w", err)
+		}
+		kind, ok := kindValues[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: import: unknown kind %q", je.Kind)
+		}
+		rec.add(Event{
+			Kind: kind, Rank: je.Rank, Peer: je.Peer,
+			SendIndex: je.SendIndex, DeliverIndex: je.DeliverIndex,
+			Step: je.Step, Count: je.Count, Resent: je.Resent,
+		})
+	}
+	return rec, nil
+}
+
+// Summary aggregates a trace into per-rank counts for human inspection.
+type Summary struct {
+	Rank        int
+	Sends       int
+	Resends     int
+	Deliveries  int
+	Checkpoints int
+	Kills       int
+	Recoveries  int
+}
+
+// Summarize computes per-rank summaries, ordered by rank.
+func (r *Recorder) Summarize() []Summary {
+	byRank := map[int]*Summary{}
+	get := func(rank int) *Summary {
+		s := byRank[rank]
+		if s == nil {
+			s = &Summary{Rank: rank}
+			byRank[rank] = s
+		}
+		return s
+	}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case EvSend:
+			if e.Resent {
+				get(e.Rank).Resends++
+			} else {
+				get(e.Rank).Sends++
+			}
+		case EvDeliver:
+			get(e.Rank).Deliveries++
+		case EvCheckpoint:
+			get(e.Rank).Checkpoints++
+		case EvKill:
+			get(e.Rank).Kills++
+		case EvRecover:
+			get(e.Rank).Recoveries++
+		}
+	}
+	out := make([]Summary, 0, len(byRank))
+	for _, s := range byRank {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// FormatSummaries renders Summarize output as an aligned table.
+func FormatSummaries(sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %8s %8s %10s %11s %6s %10s\n",
+		"rank", "sends", "resends", "deliveries", "checkpoints", "kills", "recoveries")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-5d %8d %8d %10d %11d %6d %10d\n",
+			s.Rank, s.Sends, s.Resends, s.Deliveries, s.Checkpoints, s.Kills, s.Recoveries)
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+// Package trace records harness events and validates global execution
+// properties a correct rollback-recovery protocol must preserve: FIFO
+// delivery per channel, no duplicate delivery surviving recovery, and no
+// lost messages (every effective send is eventually delivered). Orphan
+// messages — a survivor state depending on a delivery the recovered
+// sender never re-produced — surface here as a no-loss/no-duplicate
+// violation on the affected channel (the delivered set then disagrees
+// with the sender's effective send range), and at the application level
+// as a determinism failure in the integration tests.
+//
+// Recorder implements harness.Observer structurally; plug it into
+// harness.Config.Observer, run the cluster (with any number of injected
+// failures), then call Validate.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind labels a recorded event.
+type EventKind int
+
+const (
+	// EvSend is an application message leaving a rank.
+	EvSend EventKind = iota
+	// EvDeliver is an application message delivered to the app.
+	EvDeliver
+	// EvCheckpoint is a completed checkpoint.
+	EvCheckpoint
+	// EvKill is an injected failure.
+	EvKill
+	// EvRecover is an incarnation starting.
+	EvRecover
+	// EvRecoveryComplete marks the end of rolling forward.
+	EvRecoveryComplete
+)
+
+// Event is one recorded harness event. Fields are used as relevant for
+// the kind.
+type Event struct {
+	Kind         EventKind
+	Rank         int
+	Peer         int   // dest (send) or source (deliver)
+	SendIndex    int64 // send / deliver
+	DeliverIndex int64 // deliver
+	Step         int   // checkpoint / recover
+	Count        int64 // checkpoint deliveredCount
+	Resent       bool  // send
+	Seq          int   // global arrival order in the recorder
+}
+
+// Recorder collects events from a running cluster. Safe for concurrent
+// use. The zero value is ready.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	e.Seq = len(r.events)
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// OnSend implements harness.Observer.
+func (r *Recorder) OnSend(rank, dest int, sendIndex int64, resent bool) {
+	r.add(Event{Kind: EvSend, Rank: rank, Peer: dest, SendIndex: sendIndex, Resent: resent})
+}
+
+// OnDeliver implements harness.Observer.
+func (r *Recorder) OnDeliver(rank, from int, sendIndex, deliverIndex int64) {
+	r.add(Event{Kind: EvDeliver, Rank: rank, Peer: from, SendIndex: sendIndex, DeliverIndex: deliverIndex})
+}
+
+// OnCheckpoint implements harness.Observer.
+func (r *Recorder) OnCheckpoint(rank, step int, deliveredCount int64) {
+	r.add(Event{Kind: EvCheckpoint, Rank: rank, Step: step, Count: deliveredCount})
+}
+
+// OnKill implements harness.Observer.
+func (r *Recorder) OnKill(rank int) {
+	r.add(Event{Kind: EvKill, Rank: rank})
+}
+
+// OnRecover implements harness.Observer.
+func (r *Recorder) OnRecover(rank, fromStep int) {
+	r.add(Event{Kind: EvRecover, Rank: rank, Step: fromStep})
+}
+
+// OnRecoveryComplete implements harness.Observer.
+func (r *Recorder) OnRecoveryComplete(rank int, d time.Duration) {
+	r.add(Event{Kind: EvRecoveryComplete, Rank: rank})
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Problem is one detected violation.
+type Problem struct {
+	Rule   string
+	Detail string
+}
+
+func (p Problem) String() string { return p.Rule + ": " + p.Detail }
+
+type channel struct{ from, to int }
+
+// Validate checks the recorded execution. It reconstructs each rank's
+// *effective* history: on every EvKill, the rank's post-checkpoint
+// deliveries and sends are rolled back (they re-occur during rolling
+// forward), exactly as the recovery protocols promise. On the surviving
+// history it enforces:
+//
+//   - fifo-delivery: per channel, delivered send indexes are strictly
+//     increasing within each epoch;
+//   - no-duplicate: no (channel, send index) is delivered twice in the
+//     effective history;
+//   - no-loss: the effective delivered set per channel is exactly the
+//     contiguous range 1..max of the effective sent set (every sent
+//     message that the run consumed arrived exactly once).
+//
+// finished reports whether the run completed (all application steps
+// done); the no-loss rule only holds then.
+func (r *Recorder) Validate(finished bool) []Problem {
+	events := r.Events()
+	var problems []Problem
+
+	// Effective per-rank histories, rebuilt with rollback on kill.
+	type rankHist struct {
+		delivered   map[channel][]int64 // per source channel, in delivery order
+		sent        map[channel]int64   // per dest channel, max effective index
+		ckptDeliver map[channel]int64   // channel state at last checkpoint
+		ckptSent    map[channel]int64
+	}
+	hist := map[int]*rankHist{}
+	get := func(rank int) *rankHist {
+		h := hist[rank]
+		if h == nil {
+			h = &rankHist{
+				delivered:   map[channel][]int64{},
+				sent:        map[channel]int64{},
+				ckptDeliver: map[channel]int64{},
+				ckptSent:    map[channel]int64{},
+			}
+			hist[rank] = h
+		}
+		return h
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvSend:
+			if e.Resent {
+				continue // retransmissions are not new sends
+			}
+			h := get(e.Rank)
+			ch := channel{from: e.Rank, to: e.Peer}
+			if e.SendIndex > h.sent[ch] {
+				h.sent[ch] = e.SendIndex
+			}
+		case EvDeliver:
+			h := get(e.Rank)
+			ch := channel{from: e.Peer, to: e.Rank}
+			h.delivered[ch] = append(h.delivered[ch], e.SendIndex)
+		case EvCheckpoint:
+			h := get(e.Rank)
+			for ch, idxs := range h.delivered {
+				h.ckptDeliver[ch] = int64(len(idxs))
+			}
+			for ch, max := range h.sent {
+				h.ckptSent[ch] = max
+			}
+		case EvRecover:
+			// Roll the rank back to its last checkpoint: deliveries and
+			// sends after it will be re-executed by the incarnation.
+			// Truncation happens at EvRecover rather than EvKill because
+			// a killed rank's final in-flight event can be recorded just
+			// after the kill; by recovery time its goroutines are gone.
+			h := get(e.Rank)
+			for ch := range h.delivered {
+				keep := h.ckptDeliver[ch]
+				if int64(len(h.delivered[ch])) > keep {
+					h.delivered[ch] = h.delivered[ch][:keep]
+				}
+			}
+			for ch := range h.sent {
+				h.sent[ch] = h.ckptSent[ch]
+			}
+		}
+	}
+
+	// FIFO and duplicates on effective delivery histories.
+	for rank, h := range hist {
+		for ch, idxs := range h.delivered {
+			seen := map[int64]bool{}
+			prev := int64(0)
+			for _, idx := range idxs {
+				if seen[idx] {
+					problems = append(problems, Problem{
+						Rule:   "no-duplicate",
+						Detail: fmt.Sprintf("rank %d delivered message (%d->%d #%d) twice", rank, ch.from, ch.to, idx),
+					})
+				}
+				seen[idx] = true
+				if idx <= prev {
+					problems = append(problems, Problem{
+						Rule:   "fifo-delivery",
+						Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after #%d", rank, ch.from, ch.to, idx, prev),
+					})
+				}
+				prev = idx
+			}
+		}
+	}
+
+	if finished {
+		// No-loss: per channel, the receiver's effective delivered set
+		// must be exactly 1..maxSent.
+		for _, h := range hist {
+			for ch, maxSent := range h.sent {
+				recv := hist[ch.to]
+				var got []int64
+				if recv != nil {
+					got = recv.delivered[ch]
+				}
+				sorted := append([]int64(nil), got...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				if int64(len(sorted)) != maxSent {
+					problems = append(problems, Problem{
+						Rule: "no-loss",
+						Detail: fmt.Sprintf("channel %d->%d: sent %d messages, delivered %d",
+							ch.from, ch.to, maxSent, len(sorted)),
+					})
+					continue
+				}
+				for i, idx := range sorted {
+					if idx != int64(i+1) {
+						problems = append(problems, Problem{
+							Rule: "no-loss",
+							Detail: fmt.Sprintf("channel %d->%d: delivery set has gap at #%d",
+								ch.from, ch.to, i+1),
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	return problems
+}

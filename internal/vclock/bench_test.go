@@ -1,0 +1,57 @@
+package vclock
+
+import "testing"
+
+func benchVec(n int) Vec {
+	v := New(n)
+	for i := range v {
+		v[i] = int64(i * 7)
+	}
+	return v
+}
+
+func BenchmarkMerge(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			dst := benchVec(n)
+			src := benchVec(n)
+			src[n/2] += 100
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst.Merge(src)
+			}
+		})
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			v := benchVec(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = v.Clone()
+			}
+		})
+	}
+}
+
+func BenchmarkDominates(b *testing.B) {
+	v := benchVec(32)
+	o := benchVec(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.Dominates(o)
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 4:
+		return "n4"
+	case 32:
+		return "n32"
+	default:
+		return "n256"
+	}
+}

@@ -1,0 +1,188 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZeroed(t *testing.T) {
+	v := New(5)
+	if len(v) != 5 {
+		t.Fatalf("len = %d, want 5", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("v[%d] = %d, want 0", i, x)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("clone aliases original: v = %v", v)
+	}
+	if !v.Equal(Vec{1, 2, 3}) {
+		t.Fatalf("original mutated: %v", v)
+	}
+}
+
+func TestMergePaperExample(t *testing.T) {
+	// Section III.B: before P1 delivers m5 its vector is (0, 2, 1, 0);
+	// the piggyback on m5 is (0, 2, 2, 1); after the merge it must read
+	// (0, 2, 2, 1).
+	own := Vec{0, 2, 1, 0}
+	pig := Vec{0, 2, 2, 1}
+	own.Merge(pig)
+	if !own.Equal(Vec{0, 2, 2, 1}) {
+		t.Fatalf("merge = %v, want (0, 2, 2, 1)", own)
+	}
+}
+
+func TestMergeExceptSkipsSelf(t *testing.T) {
+	own := Vec{3, 0, 0}
+	pig := Vec{7, 5, 1}
+	own.MergeExcept(pig, 0)
+	if own[0] != 3 {
+		t.Fatalf("self element advanced by hearsay: %v", own)
+	}
+	if own[1] != 5 || own[2] != 1 {
+		t.Fatalf("other elements not merged: %v", own)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want bool
+	}{
+		{Vec{1, 2}, Vec{1, 2}, true},
+		{Vec{2, 2}, Vec{1, 2}, true},
+		{Vec{1, 1}, Vec{1, 2}, false},
+		{Vec{1, 2}, Vec{1, 2, 3}, false},
+		{Vec{}, Vec{}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%v dominates %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCopyFromPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(2).CopyFrom(New(3))
+}
+
+func TestString(t *testing.T) {
+	if got := (Vec{0, 2, 2, 1}).String(); got != "(0, 2, 2, 1)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Vec{}).String(); got != "()" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// genVec produces a random vector of the given length for property tests.
+func genVec(r *rand.Rand, n int) Vec {
+	v := New(n)
+	for i := range v {
+		v[i] = int64(r.Intn(100))
+	}
+	return v
+}
+
+func TestMergeProperties(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(16)
+			vals[0] = reflect.ValueOf(genVec(r, n))
+			vals[1] = reflect.ValueOf(genVec(r, n))
+		},
+	}
+
+	// Merge result dominates both inputs (least upper bound property).
+	dominatesBoth := func(a, b Vec) bool {
+		m := a.Clone()
+		m.Merge(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(dominatesBoth, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Merge is commutative.
+	commutes := func(a, b Vec) bool {
+		x := a.Clone()
+		x.Merge(b)
+		y := b.Clone()
+		y.Merge(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(commutes, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Merge is idempotent.
+	idempotent := func(a, b Vec) bool {
+		x := a.Clone()
+		x.Merge(b)
+		y := x.Clone()
+		y.Merge(b)
+		return x.Equal(y)
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(16)
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genVec(r, n))
+			}
+		},
+	}
+	assoc := func(a, b, c Vec) bool {
+		x := a.Clone()
+		x.Merge(b)
+		x.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		y := a.Clone()
+		y.Merge(bc)
+		return x.Equal(y)
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumMonotoneUnderMerge(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(16)
+			vals[0] = reflect.ValueOf(genVec(r, n))
+			vals[1] = reflect.ValueOf(genVec(r, n))
+		},
+	}
+	mono := func(a, b Vec) bool {
+		before := a.Sum()
+		m := a.Clone()
+		m.Merge(b)
+		return m.Sum() >= before && m.Sum() >= b.Sum()
+	}
+	if err := quick.Check(mono, cfg); err != nil {
+		t.Error(err)
+	}
+}

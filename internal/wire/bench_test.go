@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"testing"
+
+	"windar/internal/vclock"
+)
+
+func benchEnvelope(payload, pig int) *Envelope {
+	return &Envelope{
+		Kind: KindApp, From: 3, To: 17, Incarnation: 1, Tag: 42,
+		SendIndex: 123456,
+		Piggyback: make([]byte, pig),
+		Payload:   make([]byte, payload),
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, c := range []struct {
+		name         string
+		payload, pig int
+	}{
+		{"small", 64, 32},
+		{"luLine", 480, 32},
+		{"btFace", 28800, 32},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			env := benchEnvelope(c.payload, c.pig)
+			b.ReportAllocs()
+			b.SetBytes(int64(EncodedSize(env)))
+			for i := 0; i < b.N; i++ {
+				_ = Encode(env)
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, c := range []struct {
+		name         string
+		payload, pig int
+	}{
+		{"small", 64, 32},
+		{"btFace", 28800, 32},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			buf := Encode(benchEnvelope(c.payload, c.pig))
+			b.ReportAllocs()
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVecCodec(b *testing.B) {
+	for _, n := range []int{4, 32} {
+		b.Run(map[int]string{4: "n4", 32: "n32"}[n], func(b *testing.B) {
+			v := vclock.New(n)
+			for i := range v {
+				v[i] = int64(i * 1000)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := AppendVec(nil, v)
+				if _, _, err := ReadVec(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

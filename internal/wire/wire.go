@@ -1,0 +1,234 @@
+// Package wire defines the binary envelope format every message in the
+// simulated cluster travels in, plus small codec helpers (varint vectors)
+// shared by the logging protocols' piggyback encoders.
+//
+// The format is a compact varint framing, not a general-purpose
+// serialization: the fabric is in-process, so the encoding exists to make
+// byte accounting honest (piggyback size in Fig. 6 is measured on real
+// encoded bytes) and to force protocols to round-trip their state the way
+// a networked implementation would.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"windar/internal/vclock"
+)
+
+// Kind discriminates the envelope types used by the rollback-recovery
+// layer. Application payloads and every control message of Algorithm 1
+// share one envelope format so that the fabric treats them uniformly.
+type Kind uint8
+
+const (
+	// KindApp is an application message: logged by its sender,
+	// piggybacked with protocol metadata, subject to delivery control.
+	KindApp Kind = 1 + iota
+	// KindRollback is the ROLLBACK broadcast an incarnation sends after
+	// restoring its last checkpoint (Algorithm 1 line 46). Its payload is
+	// the checkpointed last_deliver_index vector.
+	KindRollback
+	// KindResponse answers a ROLLBACK (line 48). Its payload carries the
+	// responder's last_deliver_index entry for the recovering process so
+	// repetitive sends can be suppressed.
+	KindResponse
+	// KindCkptAdvance is the CHECKPOINT_ADVANCE log-release notice
+	// (line 36): the payload carries the checkpointed deliver index so
+	// the receiver can free log items that can never be replayed again.
+	KindCkptAdvance
+	// KindDeterminant carries a batch of delivery-event determinants from
+	// a process to the TEL stable event logger.
+	KindDeterminant
+	// KindDeterminantAck is the event logger's acknowledgement, carrying
+	// the per-process stable event counts.
+	KindDeterminantAck
+)
+
+// String implements fmt.Stringer for diagnostics and traces.
+func (k Kind) String() string {
+	switch k {
+	case KindApp:
+		return "APP"
+	case KindRollback:
+		return "ROLLBACK"
+	case KindResponse:
+		return "RESPONSE"
+	case KindCkptAdvance:
+		return "CKPT_ADVANCE"
+	case KindDeterminant:
+		return "DETERMINANT"
+	case KindDeterminantAck:
+		return "DETERMINANT_ACK"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Envelope is the unit the fabric transports between ranks.
+type Envelope struct {
+	Kind        Kind
+	From        int   // sender rank
+	To          int   // destination rank
+	Incarnation int32 // sender incarnation number at send time
+	Tag         int32 // application tag (KindApp only)
+	// SendIndex is the per-(From,To) application message counter
+	// (last_send_index[To] at the sender when the message left). It
+	// identifies the message for duplicate suppression and log replay.
+	SendIndex int64
+	// Resent marks a message re-transmitted from a sender log during a
+	// peer's rolling forward, for tracing and metrics only — receivers
+	// must treat resent and fresh copies identically.
+	Resent    bool
+	Piggyback []byte // protocol-owned metadata
+	Payload   []byte // application bytes or control body
+}
+
+// Encode serializes e into a fresh byte slice.
+func Encode(e *Envelope) []byte {
+	buf := make([]byte, 0, 32+len(e.Piggyback)+len(e.Payload))
+	buf = append(buf, byte(e.Kind))
+	var flags byte
+	if e.Resent {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, int64(e.From))
+	buf = binary.AppendVarint(buf, int64(e.To))
+	buf = binary.AppendVarint(buf, int64(e.Incarnation))
+	buf = binary.AppendVarint(buf, int64(e.Tag))
+	buf = binary.AppendVarint(buf, e.SendIndex)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Piggyback)))
+	buf = append(buf, e.Piggyback...)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	return buf
+}
+
+// ErrTruncated reports a decode that ran out of bytes.
+var ErrTruncated = errors.New("wire: truncated envelope")
+
+// Decode parses an envelope previously produced by Encode.
+func Decode(b []byte) (*Envelope, error) {
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	e := &Envelope{Kind: Kind(b[0]), Resent: b[1]&1 != 0}
+	i := 2
+	readInt := func() (int64, error) {
+		v, n := binary.Varint(b[i:])
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		i += n
+		return v, nil
+	}
+	readBytes := func() ([]byte, error) {
+		l, n := binary.Uvarint(b[i:])
+		if n <= 0 {
+			return nil, ErrTruncated
+		}
+		i += n
+		if uint64(len(b)-i) < l {
+			return nil, ErrTruncated
+		}
+		out := make([]byte, l)
+		copy(out, b[i:i+int(l)])
+		i += int(l)
+		return out, nil
+	}
+
+	v, err := readInt()
+	if err != nil {
+		return nil, err
+	}
+	e.From = int(v)
+	if v, err = readInt(); err != nil {
+		return nil, err
+	}
+	e.To = int(v)
+	if v, err = readInt(); err != nil {
+		return nil, err
+	}
+	e.Incarnation = int32(v)
+	if v, err = readInt(); err != nil {
+		return nil, err
+	}
+	e.Tag = int32(v)
+	if e.SendIndex, err = readInt(); err != nil {
+		return nil, err
+	}
+	if e.Piggyback, err = readBytes(); err != nil {
+		return nil, err
+	}
+	if e.Payload, err = readBytes(); err != nil {
+		return nil, err
+	}
+	if len(e.Piggyback) == 0 {
+		e.Piggyback = nil
+	}
+	if len(e.Payload) == 0 {
+		e.Payload = nil
+	}
+	return e, nil
+}
+
+// EncodedSize returns the number of bytes Encode would produce without
+// allocating the buffer. The fabric uses it for transmission-time and
+// bandwidth accounting.
+func EncodedSize(e *Envelope) int {
+	n := 2
+	n += varintLen(int64(e.From))
+	n += varintLen(int64(e.To))
+	n += varintLen(int64(e.Incarnation))
+	n += varintLen(int64(e.Tag))
+	n += varintLen(e.SendIndex)
+	n += uvarintLen(uint64(len(e.Piggyback))) + len(e.Piggyback)
+	n += uvarintLen(uint64(len(e.Payload))) + len(e.Payload)
+	return n
+}
+
+func varintLen(v int64) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutVarint(tmp[:], v)
+}
+
+func uvarintLen(v uint64) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], v)
+}
+
+// AppendVec appends a length-prefixed varint encoding of v to buf and
+// returns the extended slice. It is the shared piggyback primitive: TDI's
+// entire piggyback is one such vector.
+func AppendVec(buf []byte, v vclock.Vec) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.AppendVarint(buf, x)
+	}
+	return buf
+}
+
+// ReadVec decodes a vector written by AppendVec from b, returning the
+// vector and the number of bytes consumed.
+func ReadVec(b []byte) (vclock.Vec, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	i := n
+	if l > uint64(len(b)) { // cheap sanity bound before allocating
+		return nil, 0, ErrTruncated
+	}
+	v := vclock.New(int(l))
+	for j := range v {
+		x, m := binary.Varint(b[i:])
+		if m <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		v[j] = x
+		i += m
+	}
+	return v, i, nil
+}

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"windar/internal/vclock"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := &Envelope{
+		Kind:        KindApp,
+		From:        3,
+		To:          7,
+		Incarnation: 2,
+		Tag:         42,
+		SendIndex:   1001,
+		Resent:      true,
+		Piggyback:   []byte{1, 2, 3},
+		Payload:     []byte("hello"),
+	}
+	b := Encode(e)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestEnvelopeRoundTripEmpty(t *testing.T) {
+	e := &Envelope{Kind: KindRollback, From: 0, To: 1}
+	got, err := Decode(Encode(e))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	f := func(from, to int16, inc, tag int32, idx int64, pig, pay []byte) bool {
+		e := &Envelope{
+			Kind: KindApp, From: int(from), To: int(to),
+			Incarnation: inc, Tag: tag, SendIndex: idx,
+			Piggyback: pig, Payload: pay,
+		}
+		return EncodedSize(e) == len(Encode(e))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	e := &Envelope{
+		Kind: KindApp, From: 1, To: 2, SendIndex: 9,
+		Piggyback: []byte{1, 2, 3, 4, 5}, Payload: []byte{6, 7, 8},
+	}
+	full := Encode(e)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d/%d bytes", cut, len(full))
+		}
+	}
+	if _, err := Decode(full); err != nil {
+		t.Fatalf("Decode rejected full envelope: %v", err)
+	}
+}
+
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			e := &Envelope{
+				Kind:        Kind(1 + r.Intn(6)),
+				From:        r.Intn(1024),
+				To:          r.Intn(1024),
+				Incarnation: int32(r.Intn(8)),
+				Tag:         int32(r.Intn(1 << 20)),
+				SendIndex:   r.Int63n(1 << 40),
+				Resent:      r.Intn(2) == 0,
+			}
+			if n := r.Intn(64); n > 0 {
+				e.Piggyback = make([]byte, n)
+				r.Read(e.Piggyback)
+			}
+			if n := r.Intn(256); n > 0 {
+				e.Payload = make([]byte, n)
+				r.Read(e.Payload)
+			}
+			vals[0] = reflect.ValueOf(e)
+		},
+	}
+	f := func(e *Envelope) bool {
+		got, err := Decode(Encode(e))
+		return err == nil && reflect.DeepEqual(e, got)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecRoundTrip(t *testing.T) {
+	v := vclock.Vec{0, 2, 2, 1}
+	buf := AppendVec(nil, v)
+	got, n, err := ReadVec(buf)
+	if err != nil {
+		t.Fatalf("ReadVec: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !got.Equal(v) {
+		t.Fatalf("got %v, want %v", got, v)
+	}
+}
+
+func TestVecRoundTripWithTrailingData(t *testing.T) {
+	v := vclock.Vec{-5, 0, 1 << 40}
+	buf := AppendVec(nil, v)
+	withTail := append(buf, 0xAA, 0xBB)
+	got, n, err := ReadVec(withTail)
+	if err != nil {
+		t.Fatalf("ReadVec: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d, want %d", n, len(buf))
+	}
+	if !got.Equal(v) {
+		t.Fatalf("got %v, want %v", got, v)
+	}
+}
+
+func TestVecRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(64)
+			v := vclock.New(n)
+			for i := range v {
+				v[i] = r.Int63n(1<<50) - 1<<49
+			}
+			vals[0] = reflect.ValueOf(v)
+		},
+	}
+	f := func(v vclock.Vec) bool {
+		buf := AppendVec(nil, v)
+		got, n, err := ReadVec(buf)
+		return err == nil && n == len(buf) && got.Equal(v)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadVecTruncated(t *testing.T) {
+	buf := AppendVec(nil, vclock.Vec{1, 2, 3})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ReadVec(buf[:cut]); err == nil {
+			t.Fatalf("ReadVec accepted truncation at %d/%d", cut, len(buf))
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindApp:            "APP",
+		KindRollback:       "ROLLBACK",
+		KindResponse:       "RESPONSE",
+		KindCkptAdvance:    "CKPT_ADVANCE",
+		KindDeterminant:    "DETERMINANT",
+		KindDeterminantAck: "DETERMINANT_ACK",
+		Kind(99):           "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}

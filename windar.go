@@ -1,0 +1,300 @@
+// Package windar is a from-scratch Go reproduction of the system in
+// Jin-Min Yang, "A Lightweight Causal Message Logging Protocol to Lower
+// Fault Tolerance Overhead" (IEEE CLUSTER 2016): the TDI causal message
+// logging protocol, the TAG (antecedence graph) and TEL (event logger)
+// baselines it is evaluated against, a simulated cluster substrate
+// (fabric, MPI-style messaging, stable storage, checkpointing, failure
+// injection), NPB-like LU/BT/SP workloads, and drivers that regenerate
+// the paper's Fig. 6, Fig. 7 and Fig. 8.
+//
+// Quick start:
+//
+//	cfg := windar.Config{Procs: 4, Protocol: windar.TDI, CheckpointEvery: 3}
+//	factory, _ := windar.WorkloadFactory("ring", 50)
+//	c, _ := windar.NewCluster(cfg, factory)
+//	c.Start()
+//	c.KillAndRecover(2, time.Millisecond) // inject a failure, recover it
+//	c.Wait()
+//
+// Applications implement the App interface (deterministic,
+// step-structured, snapshot-restorable); the harness runs one instance
+// per rank, logs messages causally under the chosen protocol,
+// checkpoints to simulated stable storage, and recovers killed ranks by
+// rolling forward from their last checkpoint.
+package windar
+
+import (
+	"fmt"
+	"time"
+
+	iapp "windar/internal/app"
+	"windar/internal/experiments"
+	"windar/internal/fabric"
+	"windar/internal/harness"
+	"windar/internal/metrics"
+	"windar/internal/npb"
+	"windar/internal/trace"
+	"windar/internal/workload"
+)
+
+// Protocol selects the causal message logging protocol.
+type Protocol string
+
+const (
+	// TDI is the paper's lightweight dependent-interval protocol.
+	TDI Protocol = "tdi"
+	// TAG is the antecedence-graph baseline (Manetho/LogOn style).
+	TAG Protocol = "tag"
+	// TEL is the event-logger baseline (Bouteiller et al. style).
+	TEL Protocol = "tel"
+)
+
+// Mode selects the communication architecture of the paper's Fig. 4.
+type Mode int
+
+const (
+	// NonBlocking buffers sends in queue A with a dedicated sender
+	// goroutine (Fig. 4b).
+	NonBlocking Mode = iota
+	// Blocking performs rendezvous sends from the application thread
+	// (Fig. 4a).
+	Blocking
+)
+
+// AnySource matches any sender in Recv — MPI_ANY_SOURCE.
+const AnySource = iapp.AnySource
+
+// AnyTag matches any tag in Recv.
+const AnyTag = iapp.AnyTag
+
+// Env is the communication interface handed to applications. Delivery is
+// strictly FIFO per sender channel.
+type Env interface {
+	Rank() int
+	N() int
+	Send(dest int, tag int32, data []byte)
+	Recv(source int, tag int32) (data []byte, from int)
+}
+
+// App is a deterministic step-structured application; see the paper's
+// execution model discussion (Section II). Apps using AnySource must be
+// insensitive to the matched arrival order.
+type App interface {
+	Steps() int
+	Step(env Env, s int)
+	Snapshot() []byte
+	Restore(data []byte) error
+}
+
+// Factory creates the rank-th application instance; called again for
+// every incarnation after a failure.
+type Factory func(rank, n int) App
+
+// Stats is the per-run overhead counter snapshot (piggyback identifiers
+// and bytes, tracking time, log retention, recovery counts...).
+type Stats = metrics.Snapshot
+
+// TraceRecorder records harness events for global-consistency
+// validation.
+type TraceRecorder = trace.Recorder
+
+// Config describes a cluster run.
+type Config struct {
+	// Procs is the number of ranks. Required.
+	Procs int
+	// Protocol defaults to TDI.
+	Protocol Protocol
+	// Mode defaults to NonBlocking.
+	Mode Mode
+	// CheckpointEvery takes a checkpoint before every k-th step; 0
+	// disables periodic checkpoints.
+	CheckpointEvery int
+	// BaseLatency is the per-message network latency (default 20µs).
+	BaseLatency time.Duration
+	// Bandwidth in bytes/second; 0 means infinite.
+	Bandwidth int64
+	// JitterFraction adds up to that fraction of extra random delay.
+	JitterFraction float64
+	// Seed makes network jitter reproducible.
+	Seed int64
+	// EventLoggerLatency is TEL's stable event-logger round trip.
+	EventLoggerLatency time.Duration
+	// StableWriteLatency is the checkpoint write latency.
+	StableWriteLatency time.Duration
+	// StallTimeout, when positive, crashes with a diagnostic if a rank's
+	// receive waits longer than this (a debugging aid).
+	StallTimeout time.Duration
+	// Trace, if non-nil, records every send/deliver/checkpoint/failure
+	// event for validation.
+	Trace *TraceRecorder
+}
+
+func (c Config) internal() harness.Config {
+	base := c.BaseLatency
+	if base == 0 {
+		base = 20 * time.Microsecond
+	}
+	cfg := harness.Config{
+		N:               c.Procs,
+		Protocol:        harness.ProtocolKind(c.Protocol),
+		CheckpointEvery: c.CheckpointEvery,
+		Fabric: fabric.Config{
+			BaseLatency:    base,
+			BytesPerSecond: c.Bandwidth,
+			JitterFraction: c.JitterFraction,
+			Seed:           c.Seed,
+		},
+		EventLoggerLatency: c.EventLoggerLatency,
+		StableWriteLatency: c.StableWriteLatency,
+		StallTimeout:       c.StallTimeout,
+	}
+	if c.Mode == Blocking {
+		cfg.Mode = harness.Blocking
+	}
+	if c.Trace != nil {
+		cfg.Observer = c.Trace
+	}
+	return cfg
+}
+
+// appAdapter bridges the public App to the internal application model.
+type appAdapter struct{ inner App }
+
+func (a appAdapter) Steps() int               { return a.inner.Steps() }
+func (a appAdapter) Step(env iapp.Env, s int) { a.inner.Step(env, s) }
+func (a appAdapter) Snapshot() []byte         { return a.inner.Snapshot() }
+func (a appAdapter) Restore(b []byte) error   { return a.inner.Restore(b) }
+
+// Cluster is a running n-rank system with failure injection.
+type Cluster struct {
+	inner *harness.Cluster
+}
+
+// NewCluster builds a cluster executing factory's application under cfg.
+func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("windar: nil factory")
+	}
+	inner, err := harness.NewCluster(cfg.internal(), func(rank, n int) iapp.App {
+		a := factory(rank, n)
+		if a == nil {
+			return nil
+		}
+		return appAdapter{inner: a}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Start launches every rank.
+func (c *Cluster) Start() error { return c.inner.Start() }
+
+// Wait blocks until every rank's application completed, across any
+// injected failures and recoveries.
+func (c *Cluster) Wait() { c.inner.Wait() }
+
+// Close releases all resources.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// Kill injects a failure: the rank loses all volatile state.
+func (c *Cluster) Kill(rank int) error { return c.inner.Kill(rank) }
+
+// Recover starts the failed rank's incarnation from its last checkpoint.
+func (c *Cluster) Recover(rank int) error { return c.inner.Recover(rank) }
+
+// KillAndRecover kills rank and recovers it after detectDelay.
+func (c *Cluster) KillAndRecover(rank int, detectDelay time.Duration) error {
+	return c.inner.KillAndRecover(rank, detectDelay)
+}
+
+// Stats returns the aggregated overhead counters.
+func (c *Cluster) Stats() Stats { return c.inner.Metrics().Total() }
+
+// RankStats returns one rank's overhead counters.
+func (c *Cluster) RankStats(rank int) Stats {
+	return c.inner.Metrics().Rank(rank).Snapshot()
+}
+
+// AppSnapshot returns rank's current application snapshot (call after
+// Wait).
+func (c *Cluster) AppSnapshot(rank int) []byte { return c.inner.AppSnapshot(rank) }
+
+// LogItemsLive reports the retained sender-log population across ranks.
+func (c *Cluster) LogItemsLive() int { return c.inner.LogItemsLive() }
+
+// NPBFactory returns one of the paper's benchmarks: "lu", "bt" or "sp",
+// on an N^3 domain for the given iteration count.
+func NPBFactory(name string, n, iterations int) (Factory, error) {
+	inner, err := npb.Benchmark(name, npb.Params{N: n, Iterations: iterations, NormEvery: 4})
+	if err != nil {
+		return nil, err
+	}
+	return wrapFactory(inner), nil
+}
+
+// WorkloadFactory returns a synthetic workload: "ring", "halo",
+// "masterworker" or "pairs".
+func WorkloadFactory(name string, steps int) (Factory, error) {
+	inner, err := workload.ByName(name, steps)
+	if err != nil {
+		return nil, err
+	}
+	return wrapFactory(inner), nil
+}
+
+// wrapFactory adapts an internal factory to the public Factory type.
+func wrapFactory(inner iapp.Factory) Factory {
+	return func(rank, n int) App {
+		a := inner(rank, n)
+		return publicApp{inner: a}
+	}
+}
+
+// publicApp bridges internal apps back out through the public interface.
+type publicApp struct{ inner iapp.App }
+
+func (p publicApp) Steps() int             { return p.inner.Steps() }
+func (p publicApp) Step(env Env, s int)    { p.inner.Step(env, s) }
+func (p publicApp) Snapshot() []byte       { return p.inner.Snapshot() }
+func (p publicApp) Restore(b []byte) error { return p.inner.Restore(b) }
+
+// ExperimentOptions configures the figure-regeneration sweeps.
+type ExperimentOptions = experiments.Options
+
+// OverheadRow is one cell of the Fig. 6 / Fig. 7 sweep.
+type OverheadRow = experiments.OverheadRow
+
+// Fig8Row is one cell of the Fig. 8 comparison.
+type Fig8Row = experiments.Fig8Row
+
+// RunOverheadSweep regenerates the data behind Fig. 6 and Fig. 7.
+func RunOverheadSweep(o ExperimentOptions) ([]OverheadRow, error) {
+	return experiments.RunOverheadSweep(o)
+}
+
+// RunFig8 regenerates the blocking vs non-blocking comparison.
+func RunFig8(o ExperimentOptions) ([]Fig8Row, error) { return experiments.RunFig8(o) }
+
+// Fig6Text renders the Fig. 6 series as an aligned text table.
+func Fig6Text(rows []OverheadRow) string { return experiments.Fig6Table(rows).String() }
+
+// Fig7Text renders the Fig. 7 series.
+func Fig7Text(rows []OverheadRow) string { return experiments.Fig7Table(rows).String() }
+
+// Fig8Text renders the Fig. 8 series.
+func Fig8Text(rows []Fig8Row) string { return experiments.Fig8Table(rows).String() }
+
+// CkptRow is one cell of the checkpoint-interval tradeoff sweep (an
+// extension experiment beyond the paper's figures).
+type CkptRow = experiments.CkptRow
+
+// RunCheckpointSweep measures the checkpoint-interval tradeoff: log
+// memory and rolling-forward distance vs. checkpointing traffic.
+func RunCheckpointSweep(o ExperimentOptions, intervals []int) ([]CkptRow, error) {
+	return experiments.RunCheckpointSweep(o, intervals)
+}
+
+// CkptText renders the checkpoint sweep.
+func CkptText(rows []CkptRow) string { return experiments.CkptTable(rows).String() }
