@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race lint verify vet clean
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The protocol harness is goroutine-heavy; the race matrix is a tier-1
+# gate, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Protocol-aware static analysis (cmd/windar-lint): directclock,
+# locksend, nilmetrics, piggyback. Exit 1 on any finding.
+lint:
+	$(GO) run ./cmd/windar-lint ./...
+
+# Randomized fault-injection soak with trace export/import and offline
+# invariant audit on every round.
+verify:
+	$(GO) run ./cmd/windar-verify -rounds 3 -procs 4
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,73 @@
+// Command windar-lint runs the repository's protocol-aware static
+// analysis suite (internal/lint) over package patterns:
+//
+//	go run ./cmd/windar-lint ./...
+//
+// Analyzers: directclock (no wall-clock access outside internal/clock),
+// locksend (no blocking operations under a sync.Mutex), nilmetrics
+// (*metrics.Rank parameters must be nil-checked), piggyback (KindApp
+// envelopes must carry the protocol piggyback). Exit status 1 when any
+// diagnostic is reported, 2 on loading errors. Suppress a single line
+// with `//windar:allow <analyzer>` plus a reason.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"windar/internal/lint"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "windar-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "windar-lint: %v\n", err)
+		os.Exit(2)
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

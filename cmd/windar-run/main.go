@@ -70,19 +70,20 @@ func main() {
 	}
 	defer c.Close()
 
-	start := time.Now()
+	clk := windar.RealClock()
+	start := clk.Now()
 	if err := c.Start(); err != nil {
 		fatal("start: %v", err)
 	}
 	if *kill >= 0 {
-		time.Sleep(*killAfter)
+		clk.Sleep(*killAfter)
 		fmt.Printf("injecting failure: killing rank %d\n", *kill)
 		if err := c.KillAndRecover(*kill, *detect); err != nil {
 			fatal("kill/recover: %v", err)
 		}
 	}
 	c.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	s := c.Stats()
 	fmt.Printf("app=%s procs=%d protocol=%s mode=%s elapsed=%v\n",

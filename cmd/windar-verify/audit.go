@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"windar"
+	"windar/internal/trace"
+)
+
+// auditTrace subjects one recorded run to the full offline pipeline: the
+// trace is exported to JSONL, re-imported, and both checkers run on the
+// round-tripped copy — Validate for the end-to-end properties (FIFO, no
+// duplicate, no loss) and CheckInvariants for the protocol-level replay
+// rules (per-link order, deliver-index monotonicity, demand
+// satisfaction, checkpoint counts). Every windar-verify round therefore
+// exercises the same path an operator uses on a trace file written with
+// windar-run -trace-out. finished reports whether the run completed.
+func auditTrace(rec *windar.TraceRecorder, finished bool) ([]string, error) {
+	var buf bytes.Buffer
+	if err := rec.Export(&buf); err != nil {
+		return nil, fmt.Errorf("trace export: %w", err)
+	}
+	imported, err := trace.Import(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("trace import: %w", err)
+	}
+	if imported.Len() != rec.Len() {
+		return nil, fmt.Errorf("trace round trip: %d events in, %d out", rec.Len(), imported.Len())
+	}
+	var out []string
+	for _, p := range imported.Validate(finished) {
+		out = append(out, p.String())
+	}
+	for _, p := range imported.CheckInvariants() {
+		out = append(out, p.String())
+	}
+	return out, nil
+}

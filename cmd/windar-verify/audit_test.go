@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"windar"
+)
+
+// validRun records a small two-rank exchange that satisfies every
+// invariant: rank 0 sends three messages, rank 1 delivers them in order
+// with matching demands and checkpoints after the second delivery.
+func validRun() *windar.TraceRecorder {
+	rec := &windar.TraceRecorder{}
+	rec.OnSend(0, 1, 1, false)
+	rec.OnDeliver(1, 0, 1, 1, 0)
+	rec.OnSend(0, 1, 2, false)
+	rec.OnDeliver(1, 0, 2, 2, 1)
+	rec.OnCheckpoint(1, 1, 2)
+	rec.OnSend(0, 1, 3, false)
+	rec.OnDeliver(1, 0, 3, 3, 2)
+	return rec
+}
+
+func TestAuditPassesValidTrace(t *testing.T) {
+	problems, err := auditTrace(validRun(), true)
+	if err != nil {
+		t.Fatalf("auditTrace: %v", err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("valid trace flagged: %v", problems)
+	}
+}
+
+// TestAuditFailsCorruptedTrace deliberately corrupts traces and asserts
+// the audit rejects each corruption — the property windar-verify's exit
+// status rests on.
+func TestAuditFailsCorruptedTrace(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(rec *windar.TraceRecorder)
+		rule    string
+	}{
+		{
+			name: "fifo order inverted",
+			corrupt: func(rec *windar.TraceRecorder) {
+				rec.OnSend(0, 1, 4, false)
+				rec.OnSend(0, 1, 5, false)
+				rec.OnDeliver(1, 0, 5, 4, -1)
+				rec.OnDeliver(1, 0, 4, 5, -1)
+			},
+			rule: "fifo-order",
+		},
+		{
+			name: "deliver index skips",
+			corrupt: func(rec *windar.TraceRecorder) {
+				rec.OnSend(0, 1, 4, false)
+				rec.OnDeliver(1, 0, 4, 7, -1)
+			},
+			rule: "deliver-monotonic",
+		},
+		{
+			name: "demand unsatisfied",
+			corrupt: func(rec *windar.TraceRecorder) {
+				rec.OnSend(0, 1, 4, false)
+				// Rank 1 has delivered 3 messages; demanding 9 means the
+				// protocol's Algorithm 1 line 17 comparison was violated.
+				rec.OnDeliver(1, 0, 4, 4, 9)
+			},
+			rule: "deliver-demand",
+		},
+		{
+			name: "checkpoint count drifts",
+			corrupt: func(rec *windar.TraceRecorder) {
+				rec.OnCheckpoint(1, 2, 42)
+			},
+			rule: "checkpoint-count",
+		},
+		{
+			name: "duplicate delivery",
+			corrupt: func(rec *windar.TraceRecorder) {
+				rec.OnDeliver(1, 0, 3, 4, -1)
+			},
+			rule: "no-duplicate",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := validRun()
+			tc.corrupt(rec)
+			problems, err := auditTrace(rec, false)
+			if err != nil {
+				t.Fatalf("auditTrace: %v", err)
+			}
+			if len(problems) == 0 {
+				t.Fatalf("corrupted trace (%s) passed the audit", tc.name)
+			}
+			found := false
+			for _, p := range problems {
+				if strings.HasPrefix(p, tc.rule+":") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("expected a %s violation, got %v", tc.rule, problems)
+			}
+		})
+	}
+}

@@ -19,13 +19,17 @@ import (
 	"windar"
 )
 
+// clk is the command's wall clock; the directclock analyzer keeps the
+// time package itself confined to internal/clock.
+var clk = windar.RealClock()
+
 func main() {
 	var (
 		rounds   = flag.Int("rounds", 3, "fault-injection rounds per (app, protocol)")
 		procs    = flag.Int("procs", 4, "number of processes")
 		steps    = flag.Int("steps", 20, "workload steps")
 		maxKills = flag.Int("max-kills", 2, "maximum concurrent failures per round")
-		seed     = flag.Int64("seed", time.Now().UnixNano(), "randomization seed")
+		seed     = flag.Int64("seed", clk.Now().UnixNano(), "randomization seed")
 		apps     = flag.String("apps", "ring,masterworker,lu", "comma-separated workloads")
 	)
 	flag.Parse()
@@ -42,9 +46,18 @@ func main() {
 			fatal("unknown app %q", appName)
 		}
 		for _, proto := range []windar.Protocol{windar.TDI, windar.TAG, windar.TEL} {
-			clean, err := run(factory, proto, *procs, nil, nil)
+			cleanRec := &windar.TraceRecorder{}
+			clean, err := run(factory, proto, *procs, cleanRec, nil)
 			if err != nil {
 				fatal("clean run %s/%s: %v", appName, proto, err)
+			}
+			if problems, err := auditTrace(cleanRec, true); err != nil {
+				fatal("clean run %s/%s: %v", appName, proto, err)
+			} else if len(problems) > 0 {
+				for _, p := range problems {
+					fmt.Printf("FAIL %s/%s clean: %s\n", appName, proto, p)
+				}
+				failures++
 			}
 			for round := 0; round < *rounds; round++ {
 				rec := &windar.TraceRecorder{}
@@ -52,13 +65,13 @@ func main() {
 				victims := rng.Perm(*procs)[:kills]
 				delay := time.Duration(1+rng.Intn(8)) * time.Millisecond
 				chaos := func(c *windar.Cluster) error {
-					time.Sleep(delay)
+					clk.Sleep(delay)
 					for _, v := range victims {
 						if err := c.Kill(v); err != nil {
 							return err
 						}
 					}
-					time.Sleep(time.Millisecond)
+					clk.Sleep(time.Millisecond)
 					for _, v := range victims {
 						if err := c.Recover(v); err != nil {
 							return err

@@ -90,7 +90,7 @@ func main() {
 	clean := finalTotal(cfg, nil)
 
 	faulty := finalTotal(cfg, func(c *windar.Cluster) {
-		time.Sleep(3 * time.Millisecond)
+		windar.RealClock().Sleep(3 * time.Millisecond)
 		fmt.Println("!! killing the master (rank 0) mid-run")
 		if err := c.KillAndRecover(0, time.Millisecond); err != nil {
 			log.Fatal(err)

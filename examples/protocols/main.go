@@ -41,7 +41,7 @@ func main() {
 		if err := c.Start(); err != nil {
 			log.Fatal(err)
 		}
-		time.Sleep(8 * time.Millisecond)
+		windar.RealClock().Sleep(8 * time.Millisecond)
 		if err := c.KillAndRecover(3, time.Millisecond); err != nil {
 			log.Fatal(err)
 		}

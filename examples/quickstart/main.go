@@ -37,7 +37,7 @@ func main() {
 	rec := &windar.TraceRecorder{}
 	cfg.Trace = rec
 	faulty := run(cfg, factory, func(c *windar.Cluster) {
-		time.Sleep(3 * time.Millisecond)
+		windar.RealClock().Sleep(3 * time.Millisecond)
 		fmt.Println("!! killing rank 2")
 		if err := c.KillAndRecover(2, time.Millisecond); err != nil {
 			log.Fatal(err)

@@ -154,7 +154,7 @@ func main() {
 	if err := c.Start(); err != nil {
 		log.Fatal(err)
 	}
-	time.Sleep(2 * time.Millisecond)
+	windar.RealClock().Sleep(2 * time.Millisecond)
 	fmt.Println("!! killing rank 3 mid-simulation")
 	if err := c.KillAndRecover(3, time.Millisecond); err != nil {
 		log.Fatal(err)

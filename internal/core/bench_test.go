@@ -14,7 +14,7 @@ import (
 func BenchmarkPiggybackForSend(b *testing.B) {
 	for _, n := range []int{4, 32, 256} {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
-			tdi := New(0, n, nil)
+			tdi := New(0, n, nil, nil)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, _ = tdi.PiggybackForSend(1, int64(i+1))
@@ -27,7 +27,7 @@ func BenchmarkPiggybackForSend(b *testing.B) {
 func BenchmarkOnDeliver(b *testing.B) {
 	for _, n := range []int{4, 32} {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
-			tdi := New(0, n, nil)
+			tdi := New(0, n, nil, nil)
 			pig := wire.AppendVec(nil, vclock.New(n))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -46,7 +46,7 @@ func BenchmarkOnDeliver(b *testing.B) {
 // BenchmarkDeliverable measures the delivery predicate (Algorithm 1 line
 // 17): one vector decode and one comparison.
 func BenchmarkDeliverable(b *testing.B) {
-	tdi := New(0, 32, nil)
+	tdi := New(0, 32, nil, nil)
 	pig := wire.AppendVec(nil, vclock.New(32))
 	env := &wire.Envelope{Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1, Piggyback: pig}
 	b.ReportAllocs()

@@ -45,7 +45,7 @@ func genHistory(r *rand.Rand) history {
 
 func (h history) run(t *testing.T) *TDI {
 	t.Helper()
-	tdi := New(h.rank, h.n, nil)
+	tdi := New(h.rank, h.n, nil, nil)
 	counts := make(map[int]int64)
 	for i, pig := range h.pigs {
 		from := h.froms[i]
@@ -125,7 +125,7 @@ func TestPropertySnapshotRestoreIdentity(t *testing.T) {
 	}
 	f := func(h history) bool {
 		tdi := h.run(t)
-		restored := New(h.rank, h.n, nil)
+		restored := New(h.rank, h.n, nil, nil)
 		if err := restored.Restore(tdi.Snapshot()); err != nil {
 			return false
 		}
@@ -153,7 +153,7 @@ func TestPropertyDeliverablePredicate(t *testing.T) {
 		},
 	}
 	f := func(pig vclock.Vec, count int64, rank int) bool {
-		tdi := New(rank, len(pig), nil)
+		tdi := New(rank, len(pig), nil, nil)
 		env := &wire.Envelope{
 			Kind: wire.KindApp, From: (rank + 1) % len(pig), To: rank,
 			SendIndex: 1, Piggyback: wire.AppendVec(nil, pig),

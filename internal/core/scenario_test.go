@@ -31,10 +31,10 @@ import (
 //     until two messages are delivered.
 func TestFig1Walkthrough(t *testing.T) {
 	const n = 4
-	p0 := New(0, n, nil)
-	p1 := New(1, n, nil)
-	p2 := New(2, n, nil)
-	p3 := New(3, n, nil)
+	p0 := New(0, n, nil, nil)
+	p1 := New(1, n, nil, nil)
+	p2 := New(2, n, nil, nil)
+	p3 := New(3, n, nil, nil)
 
 	send := func(p *TDI, from, to int, idx int64) *wire.Envelope {
 		pig, ids := p.PiggybackForSend(to, idx)
@@ -81,7 +81,7 @@ func TestFig1Walkthrough(t *testing.T) {
 
 	// Claim: a recovering P1 (fresh incarnation, zero state) may deliver
 	// m0 and m2 in either order — both carry depend_interval[P1] = 0.
-	inc := New(1, n, nil)
+	inc := New(1, n, nil, nil)
 	for _, m := range []*wire.Envelope{m0, m2} {
 		if got := inc.Deliverable(m, 0); got != proto.Deliver {
 			t.Fatalf("recovering P1 held %v at count 0", m)
@@ -120,10 +120,10 @@ func TestFig1Walkthrough(t *testing.T) {
 // determinant.
 func TestFig1TAGComparison(t *testing.T) {
 	const n = 4
-	p0 := tag.New(0, n, nil)
-	p1 := tag.New(1, n, nil)
-	p2 := tag.New(2, n, nil)
-	p3 := tag.New(3, n, nil)
+	p0 := tag.New(0, n, nil, nil)
+	p1 := tag.New(1, n, nil, nil)
+	p2 := tag.New(2, n, nil, nil)
+	p3 := tag.New(3, n, nil, nil)
 
 	send := func(p *tag.TAG, from, to int, idx int64) (*wire.Envelope, int) {
 		pig, ids := p.PiggybackForSend(to, idx)
@@ -177,8 +177,8 @@ func TestFig2MultiFailureScenario(t *testing.T) {
 	const n = 4
 	// Rebuild the Fig. 1 history so the incarnations' regenerated
 	// messages exist with their original piggybacks.
-	p0 := New(0, n, nil)
-	p3 := New(3, n, nil)
+	p0 := New(0, n, nil, nil)
+	p3 := New(3, n, nil, nil)
 
 	mk := func(p *TDI, from, to int, idx int64) *wire.Envelope {
 		pig, _ := p.PiggybackForSend(to, idx)
@@ -197,7 +197,7 @@ func TestFig2MultiFailureScenario(t *testing.T) {
 	// opposite order from the original execution — legal, because both
 	// require zero prior deliveries (their delivery order cannot create
 	// an orphan: they are causally independent).
-	inc1 := New(1, n, nil)
+	inc1 := New(1, n, nil, nil)
 	if v := inc1.Deliverable(m2, 0); v != proto.Deliver {
 		t.Fatalf("m2 held at count 0: %v", v)
 	}
@@ -224,7 +224,7 @@ func TestFig2MultiFailureScenario(t *testing.T) {
 	if v[1] != 2 {
 		t.Fatalf("regenerated dependency = %v, want [1]=2", v)
 	}
-	inc2 := New(2, n, nil)
+	inc2 := New(2, n, nil, nil)
 	// P2's incarnation can deliver m7 only after its own count reaches
 	// the piggybacked requirement for rank 2 — which is 0 here — but the
 	// requirement travels: a message from P2 to P1 after delivering m7
@@ -242,7 +242,7 @@ func TestFig2MultiFailureScenario(t *testing.T) {
 	}
 	// A third-incarnation P1 with no deliveries must hold that onward
 	// message until it has replayed two deliveries — no orphan can form.
-	inc1b := New(1, n, nil)
+	inc1b := New(1, n, nil, nil)
 	if v := inc1b.Deliverable(onward, 0); v != proto.Hold {
 		t.Fatal("onward message delivered before its dependencies")
 	}

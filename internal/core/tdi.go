@@ -36,8 +36,8 @@ package core
 
 import (
 	"fmt"
-	"time"
 
+	"windar/internal/clock"
 	"windar/internal/metrics"
 	"windar/internal/proto"
 	"windar/internal/vclock"
@@ -51,17 +51,23 @@ type TDI struct {
 	// dependInterval is the vector of Algorithm 1 line 3.
 	dependInterval vclock.Vec
 	m              *metrics.Rank
+	clk            clock.Clock
 }
 
 var _ proto.Protocol = (*TDI)(nil)
+var _ proto.Demander = (*TDI)(nil)
 
 // New returns a TDI instance for rank in an n-process system. The metrics
-// rank may be nil (e.g. in unit tests).
-func New(rank, n int, m *metrics.Rank) *TDI {
+// rank may be nil (e.g. in unit tests); clk times the tracking overhead
+// charged to it and defaults to the wall clock.
+func New(rank, n int, m *metrics.Rank, clk clock.Clock) *TDI {
 	if m == nil {
 		m = &metrics.Rank{}
 	}
-	return &TDI{rank: rank, n: n, dependInterval: vclock.New(n), m: m}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &TDI{rank: rank, n: n, dependInterval: vclock.New(n), m: m, clk: clk}
 }
 
 // Name implements proto.Protocol.
@@ -74,9 +80,9 @@ func (t *TDI) DependInterval() vclock.Vec { return t.dependInterval.Clone() }
 // PiggybackForSend implements proto.Protocol: the piggyback is the whole
 // current depend_interval vector (Algorithm 1 line 11), n identifiers.
 func (t *TDI) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
-	start := time.Now()
+	start := t.clk.Now()
 	pig := wire.AppendVec(make([]byte, 0, 4*t.n), t.dependInterval)
-	t.m.SendTracking(time.Since(start))
+	t.m.SendTracking(t.clk.Now().Sub(start))
 	return pig, t.n
 }
 
@@ -98,7 +104,7 @@ func (t *TDI) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdic
 // is advanced by exactly one (this delivery); the rest is merged from the
 // piggyback.
 func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
-	start := time.Now()
+	start := t.clk.Now()
 	pig, _, err := wire.ReadVec(env.Piggyback)
 	if err != nil {
 		return fmt.Errorf("core: rank %d: bad TDI piggyback from %d: %w", t.rank, env.From, err)
@@ -112,8 +118,21 @@ func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 			t.rank, t.dependInterval[t.rank], deliverIndex)
 	}
 	t.dependInterval.MergeExcept(pig, t.rank)
-	t.m.DeliverTracking(time.Since(start))
+	t.m.DeliverTracking(t.clk.Now().Sub(start))
 	return nil
+}
+
+// DeliveryDemand implements proto.Demander: the piggybacked
+// depend_interval element for this rank is exactly the delivery count
+// Algorithm 1 line 17 requires before env may be delivered. It feeds the
+// trace recorder so the offline invariant checker can re-verify the
+// comparison on every recorded delivery.
+func (t *TDI) DeliveryDemand(env *wire.Envelope) (int64, bool) {
+	pig, _, err := wire.ReadVec(env.Piggyback)
+	if err != nil || t.rank >= len(pig) {
+		return 0, false
+	}
+	return pig[t.rank], true
 }
 
 // Snapshot implements proto.Protocol: the protocol state is exactly the

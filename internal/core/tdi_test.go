@@ -17,7 +17,7 @@ func env(from, to int, sendIndex int64, pig vclock.Vec) *wire.Envelope {
 }
 
 func TestPiggybackIsWholeVector(t *testing.T) {
-	tdi := New(1, 4, nil)
+	tdi := New(1, 4, nil, nil)
 	pig, ids := tdi.PiggybackForSend(2, 1)
 	if ids != 4 {
 		t.Fatalf("identifiers = %d, want n=4", ids)
@@ -37,7 +37,7 @@ func TestDeliverAdvancesOwnIntervalAndMerges(t *testing.T) {
 	// after delivery P1's vector must be (0, 2, 2, 1) — except that the
 	// own element P1 is advanced by the delivery itself, so we arrange
 	// for the own element to match.
-	tdi := New(1, 4, nil)
+	tdi := New(1, 4, nil, nil)
 	// Drive P1 to (0, 2, 1, 0) by delivering two messages.
 	if err := tdi.OnDeliver(env(2, 1, 1, vclock.Vec{0, 0, 1, 0}), 1); err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ func TestDeliverAdvancesOwnIntervalAndMerges(t *testing.T) {
 func TestOwnElementNotAdvancedByHearsay(t *testing.T) {
 	// A piggyback claiming this rank delivered 10 messages must not jump
 	// the own counter: only actual deliveries advance it.
-	tdi := New(0, 3, nil)
+	tdi := New(0, 3, nil, nil)
 	if err := tdi.OnDeliver(env(1, 0, 1, vclock.Vec{0, 5, 5}), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestOwnElementNotAdvancedByHearsay(t *testing.T) {
 }
 
 func TestDeliverableCountPredicate(t *testing.T) {
-	tdi := New(1, 4, nil)
+	tdi := New(1, 4, nil, nil)
 	// Paper Section III.A: messages m0 and m2 both carry
 	// depend_interval[P1] = 0, so either may be delivered first; m5
 	// carries depend_interval[P1] = 2 and must wait for two deliveries.
@@ -101,13 +101,13 @@ func TestDeliverableCountPredicate(t *testing.T) {
 }
 
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
-	tdi := New(2, 3, nil)
+	tdi := New(2, 3, nil, nil)
 	if err := tdi.OnDeliver(env(0, 2, 1, vclock.Vec{3, 1, 0}), 1); err != nil {
 		t.Fatal(err)
 	}
 	snap := tdi.Snapshot()
 
-	restored := New(2, 3, nil)
+	restored := New(2, 3, nil, nil)
 	if err := restored.Restore(snap); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -117,7 +117,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 }
 
 func TestRestoreRejectsWrongLength(t *testing.T) {
-	tdi := New(0, 3, nil)
+	tdi := New(0, 3, nil, nil)
 	bad := wire.AppendVec(nil, vclock.New(5))
 	if err := tdi.Restore(bad); err == nil {
 		t.Fatal("Restore accepted wrong-length vector")
@@ -128,7 +128,7 @@ func TestRestoreRejectsWrongLength(t *testing.T) {
 }
 
 func TestOnDeliverRejectsWrongLengthPiggyback(t *testing.T) {
-	tdi := New(0, 3, nil)
+	tdi := New(0, 3, nil, nil)
 	bad := &wire.Envelope{
 		Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1,
 		Piggyback: wire.AppendVec(nil, vclock.New(7)),
@@ -139,7 +139,7 @@ func TestOnDeliverRejectsWrongLengthPiggyback(t *testing.T) {
 }
 
 func TestOnDeliverDetectsIndexDivergence(t *testing.T) {
-	tdi := New(0, 2, nil)
+	tdi := New(0, 2, nil, nil)
 	// The harness says this is delivery #5, but the protocol has only
 	// seen 0 deliveries: corruption must be reported.
 	if err := tdi.OnDeliver(env(1, 0, 1, vclock.New(2)), 5); err == nil {
@@ -148,7 +148,7 @@ func TestOnDeliverDetectsIndexDivergence(t *testing.T) {
 }
 
 func TestRecoveryHooksAreNoOps(t *testing.T) {
-	tdi := New(0, 2, nil)
+	tdi := New(0, 2, nil, nil)
 	if data := tdi.RecoveryData(1, 0); data != nil {
 		t.Fatalf("RecoveryData = %v, want nil", data)
 	}
@@ -167,8 +167,8 @@ func TestRecoveryHooksAreNoOps(t *testing.T) {
 // m5 to P1; m5's piggyback must transitively require P1 to respect
 // messages P2 delivered, even though P1 never heard from P3.
 func TestCausalTransitivity(t *testing.T) {
-	p2 := New(2, 4, nil)
-	p3 := New(3, 4, nil)
+	p2 := New(2, 4, nil, nil)
+	p3 := New(3, 4, nil, nil)
 
 	// P3 delivers some message first (its interval becomes 1), then
 	// sends m4 to P2.
@@ -200,7 +200,7 @@ func TestCausalTransitivity(t *testing.T) {
 	// P1, having delivered nothing, must hold m5 until it has delivered
 	// 0 >= v[1] = 0 messages — v[1] is 0, so deliverable immediately;
 	// the constraint binds on *P1's own* element only.
-	p1 := New(1, 4, nil)
+	p1 := New(1, 4, nil, nil)
 	m5 := &wire.Envelope{Kind: wire.KindApp, From: 2, To: 1, SendIndex: 1, Piggyback: pigM5}
 	if got := p1.Deliverable(m5, 0); got != proto.Deliver {
 		t.Fatalf("m5 at P1: %v", got)
@@ -217,7 +217,7 @@ func TestCausalTransitivity(t *testing.T) {
 func TestPiggybackSizeIndependentOfHistory(t *testing.T) {
 	// The TDI selling point: after thousands of deliveries the piggyback
 	// is still exactly n identifiers.
-	tdi := New(0, 8, nil)
+	tdi := New(0, 8, nil, nil)
 	for i := int64(1); i <= 2000; i++ {
 		if err := tdi.OnDeliver(env(1, 0, i, vclock.New(8)), i); err != nil {
 			t.Fatal(err)

@@ -47,18 +47,18 @@ func RunCheckpointSweep(o Options, intervals []int) ([]CkptRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := o.Clock.Now()
 		if err := c.Start(); err != nil {
 			c.Close()
 			return nil, err
 		}
-		time.Sleep(o.FaultAfter)
+		o.Clock.Sleep(o.FaultAfter)
 		if err := c.KillAndRecover(o.FaultRank%o.ProcCounts[0], o.DetectDelay); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("experiments: ckpt sweep interval %d: %w", interval, err)
 		}
 		c.Wait()
-		total := time.Since(start)
+		total := o.Clock.Now().Sub(start)
 		tot := c.Metrics().Total()
 		rows = append(rows, CkptRow{
 			Interval:     interval,

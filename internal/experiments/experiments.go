@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"windar/internal/app"
+	"windar/internal/clock"
 	"windar/internal/fabric"
 	"windar/internal/harness"
 	"windar/internal/metrics"
@@ -64,6 +65,9 @@ type Options struct {
 	// Repetitions for each Fig. 8 cell; the median duration is reported.
 	// Default 3.
 	Repetitions int
+	// Clock drives run timing (duration measurement, fault-injection
+	// delays) and is handed to every cluster; default the wall clock.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +107,9 @@ func (o Options) withDefaults() Options {
 	if o.Repetitions == 0 {
 		o.Repetitions = 3
 	}
+	if o.Clock == nil {
+		o.Clock = clock.Real{}
+	}
 	return o
 }
 
@@ -128,19 +135,20 @@ func (o Options) clusterConfig(procs int, p harness.ProtocolKind, mode harness.M
 		},
 		EventLoggerLatency: o.EventLoggerLatency,
 		StallTimeout:       60 * time.Second,
+		Clock:              o.Clock,
 	}
 }
 
 // runOnce executes one cluster to completion and returns the aggregated
 // metrics and the wall-clock duration. chaos, if non-nil, runs after
 // startup (failure injection).
-func runOnce(cfg harness.Config, factory app.Factory, chaos func(*harness.Cluster) error) (metrics.Snapshot, time.Duration, error) {
+func runOnce(clk clock.Clock, cfg harness.Config, factory app.Factory, chaos func(*harness.Cluster) error) (metrics.Snapshot, time.Duration, error) {
 	c, err := harness.NewCluster(cfg, factory)
 	if err != nil {
 		return metrics.Snapshot{}, 0, err
 	}
 	defer c.Close()
-	start := time.Now()
+	start := clk.Now()
 	if err := c.Start(); err != nil {
 		return metrics.Snapshot{}, 0, err
 	}
@@ -150,7 +158,7 @@ func runOnce(cfg harness.Config, factory app.Factory, chaos func(*harness.Cluste
 		}
 	}
 	c.Wait()
-	dur := time.Since(start)
+	dur := clk.Now().Sub(start)
 	return c.Metrics().Total(), dur, nil
 }
 
@@ -184,7 +192,7 @@ func RunOverheadSweep(o Options) ([]OverheadRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				tot, _, err := runOnce(o.clusterConfig(procs, p, harness.NonBlocking), factory, nil)
+				tot, _, err := runOnce(o.Clock, o.clusterConfig(procs, p, harness.NonBlocking), factory, nil)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s/%d/%s: %w", bench, procs, p, err)
 				}
@@ -290,9 +298,9 @@ func RunFig8(o Options) ([]Fig8Row, error) {
 				cfg.Fabric.BytesPerSecond = o.Fig8Bandwidth
 				var durs []time.Duration
 				for rep := 0; rep < o.Repetitions; rep++ {
-					_, dur, err := runOnce(cfg, factory,
+					_, dur, err := runOnce(o.Clock, cfg, factory,
 						func(c *harness.Cluster) error {
-							time.Sleep(o.FaultAfter)
+							o.Clock.Sleep(o.FaultAfter)
 							return c.KillAndRecover(rank, o.DetectDelay)
 						})
 					if err != nil {

@@ -78,7 +78,11 @@ func (m Mode) String() string {
 // synchronize internally. Any method may be a no-op.
 type Observer interface {
 	OnSend(rank, dest int, sendIndex int64, resent bool)
-	OnDeliver(rank, from int, sendIndex, deliverIndex int64)
+	// OnDeliver reports a delivery. demand is the protocol's dependency
+	// requirement extracted from the piggyback (the depend_interval
+	// element for the receiving rank, TDI only); -1 when the protocol
+	// exposes none. Trace invariant checking relies on it.
+	OnDeliver(rank, from int, sendIndex, deliverIndex, demand int64)
 	OnCheckpoint(rank, step int, deliveredCount int64)
 	OnKill(rank int)
 	OnRecover(rank, fromStep int)
@@ -188,11 +192,11 @@ func (c *Cluster) newProtocol(r *rankRuntime) (proto.Protocol, error) {
 	m := c.coll.Rank(r.id)
 	switch c.cfg.Protocol {
 	case TDI:
-		return core.New(r.id, c.cfg.N, m), nil
+		return core.New(r.id, c.cfg.N, m, c.clk), nil
 	case TAG:
-		return tag.New(r.id, c.cfg.N, m), nil
+		return tag.New(r.id, c.cfg.N, m, c.clk), nil
 	case TEL:
-		return tel.New(r.id, c.cfg.N, c.telLog, &r.mu, m), nil
+		return tel.New(r.id, c.cfg.N, c.telLog, &r.mu, m, c.clk), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown protocol %q", c.cfg.Protocol)
 	}
@@ -227,7 +231,7 @@ func (c *Cluster) stallWatchdog() {
 		select {
 		case <-c.closed:
 			return
-		case <-time.After(period):
+		case <-c.clk.After(period):
 		}
 		c.ranksMu.Lock()
 		rs := append([]*rankRuntime(nil), c.ranks...)
@@ -347,9 +351,9 @@ func (c *Cluster) observer() Observer {
 
 type nopObserver struct{}
 
-func (nopObserver) OnSend(int, int, int64, bool)          {}
-func (nopObserver) OnDeliver(int, int, int64, int64)      {}
-func (nopObserver) OnCheckpoint(int, int, int64)          {}
-func (nopObserver) OnKill(int)                            {}
-func (nopObserver) OnRecover(int, int)                    {}
-func (nopObserver) OnRecoveryComplete(int, time.Duration) {}
+func (nopObserver) OnSend(int, int, int64, bool)            {}
+func (nopObserver) OnDeliver(int, int, int64, int64, int64) {}
+func (nopObserver) OnCheckpoint(int, int, int64)            {}
+func (nopObserver) OnKill(int)                              {}
+func (nopObserver) OnRecover(int, int)                      {}
+func (nopObserver) OnRecoveryComplete(int, time.Duration)   {}

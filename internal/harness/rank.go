@@ -210,9 +210,9 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 // transmit hands env to the fabric according to the configured mode.
 func (r *rankRuntime) transmit(env *wire.Envelope) {
 	if r.c.cfg.Mode == Blocking {
-		start := time.Now()
+		start := r.c.clk.Now()
 		err := r.c.fab.Send(env, fabricSendOpts(true, r.killed))
-		r.c.coll.Rank(r.id).BlockedSend(time.Since(start))
+		r.c.coll.Rank(r.id).BlockedSend(r.c.clk.Now().Sub(start))
 		if err != nil {
 			panic(killedPanic{})
 		}
@@ -280,7 +280,7 @@ func (r *rankRuntime) drainSends() {
 // protocol's delivery predicate.
 func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 	r.checkKilled()
-	start := time.Now()
+	start := r.c.clk.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
@@ -290,7 +290,7 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 		if r.isKilled() {
 			panic(killedPanic{})
 		}
-		if st := r.c.cfg.StallTimeout; st > 0 && time.Since(start) > st {
+		if st := r.c.cfg.StallTimeout; st > 0 && r.c.clk.Now().Sub(start) > st {
 			panic(r.stallReportLocked(source, tag))
 		}
 		r.cond.Wait()
@@ -343,10 +343,16 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 	}
 	m := r.c.coll.Rank(r.id)
 	m.MsgDelivered()
-	r.c.observer().OnDeliver(r.id, src, env.SendIndex, r.deliveredCount)
+	demand := int64(-1)
+	if dm, ok := r.prot.(proto.Demander); ok {
+		if v, ok := dm.DeliveryDemand(env); ok {
+			demand = v
+		}
+	}
+	r.c.observer().OnDeliver(r.id, src, env.SendIndex, r.deliveredCount, demand)
 	if r.recovering && r.deliveredCount >= r.recoveryTarget {
 		r.recovering = false
-		d := time.Since(r.recoveryStart)
+		d := r.c.clk.Now().Sub(r.recoveryStart)
 		m.RecoveryDone(d)
 		r.c.observer().OnRecoveryComplete(r.id, d)
 	}

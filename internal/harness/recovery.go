@@ -77,7 +77,7 @@ func (c *Cluster) Recover(rank int) error {
 		fromStep = cp.Step
 	}
 
-	r.recoveryStart = time.Now()
+	r.recoveryStart = c.clk.Now()
 	c.ranksMu.Lock()
 	target := c.failedAt[rank]
 	c.ranksMu.Unlock()

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockPackage is the only package that may touch package time's clock
+// directly: it is where the injectable abstraction lives.
+const clockPackage = "windar/internal/clock"
+
+// forbiddenTimeFuncs are the package time functions that read or wait on
+// the wall clock. Code using them bypasses clock.Clock, which makes
+// fault-injection timing non-reproducible under the fake clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// DirectClock reports direct wall-clock access outside internal/clock.
+var DirectClock = &Analyzer{
+	Name: "directclock",
+	Doc:  "forbid time.Now/Sleep/After outside internal/clock; use the injectable clock.Clock",
+	Run:  runDirectClock,
+}
+
+func runDirectClock(pass *Pass) {
+	if pass.Pkg.Path == clockPackage {
+		return
+	}
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"direct time.%s bypasses the injectable clock.Clock; take a clock.Clock and use it (or annotate //windar:allow directclock for true wall-clock measurement)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

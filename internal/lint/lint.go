@@ -1,0 +1,165 @@
+// Package lint is a protocol-aware static analysis suite for this
+// repository. It provides a small analyzer framework in the shape of
+// golang.org/x/tools/go/analysis (which is deliberately not imported:
+// the suite is self-contained and stdlib-only) plus the analyzers that
+// enforce the invariants TDI's correctness argument rests on but the Go
+// type system cannot see:
+//
+//   - directclock: all time must flow through the injectable clock.Clock
+//     so fault-injection timing stays reproducible;
+//   - locksend: no blocking channel/fabric operation while a sync.Mutex
+//     is held (the classic harness/fabric deadlock shape);
+//   - nilmetrics: *metrics.Rank parameters are documented nilable and
+//     must be nil-checked before use;
+//   - piggyback: wire application envelopes must carry the protocol's
+//     piggyback; constructing one without it breaks delivery control.
+//
+// Run all analyzers over package patterns with Run, or over a single
+// loaded package with RunPackage. The escape hatch for a genuine
+// wall-clock measurement or a provably safe send is a line comment:
+//
+//	//windar:allow directclock — measuring real elapsed time
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. It mirrors the x/tools analysis.Analyzer
+// shape so the passes can be ported onto the real framework if the
+// dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's execution over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic as path:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DirectClock, LockSend, NilMetrics, Piggyback}
+}
+
+// allowRe matches the suppression comment: //windar:allow name[,name...]
+// with an optional trailing reason.
+var allowRe = regexp.MustCompile(`//windar:allow\s+([a-z,]+)`)
+
+// allowedLines maps file:line to the analyzer names suppressed there.
+func allowedLines(pkg *Package) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if out[key] == nil {
+					out[key] = map[string]bool{}
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					out[key][name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunPackage executes the analyzers over one loaded package, applying
+// //windar:allow suppressions, and returns the surviving diagnostics
+// sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allowed := allowedLines(pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+			if allowed[key][a.Name] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Run loads the packages matching patterns and executes the full suite.
+func Run(patterns []string) ([]Diagnostic, error) {
+	pkgs, err := Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, RunPackage(pkg, Analyzers())...)
+	}
+	return diags, nil
+}
+
+// funcsOf yields every function body in the file: declarations and
+// literals, each paired with its parameter list (nil for literals whose
+// type is unresolved).
+func funcsOf(f *ast.File, fn func(ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Type, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Type, d.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "testing"
+
+func TestDirectClockFixture(t *testing.T) { RunFixture(t, DirectClock, "directclock") }
+
+func TestLockSendFixture(t *testing.T) { RunFixture(t, LockSend, "locksend") }
+
+func TestNilMetricsFixture(t *testing.T) { RunFixture(t, NilMetrics, "nilmetrics") }
+
+func TestPiggybackFixture(t *testing.T) { RunFixture(t, Piggyback, "piggyback") }
+
+// TestSuiteCleanOnTree is the enforcement test: the repository itself
+// must stay free of suite diagnostics (modulo //windar:allow lines),
+// so a regression in any package fails `go test` as well as CI's
+// explicit windar-lint step.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module via go list -export")
+	}
+	diags, err := Run([]string{"windar/..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzersHaveDocs keeps the -list output usable.
+func TestAnalyzersHaveDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const metricsPackage = "windar/internal/metrics"
+
+// NilMetrics reports method calls and field accesses through a
+// *metrics.Rank function parameter that is not nil-checked first.
+// Protocol constructors document the metrics rank as nilable (tests pass
+// nil); dereferencing it unguarded is a latent crash that only fires in
+// the untested configuration.
+var NilMetrics = &Analyzer{
+	Name: "nilmetrics",
+	Doc:  "require a nil check before using a *metrics.Rank parameter",
+	Run:  runNilMetrics,
+}
+
+func runNilMetrics(pass *Pass) {
+	if pass.Pkg.Path == metricsPackage {
+		// The package's own methods are invoked on receivers the caller
+		// already validated.
+		return
+	}
+	for _, f := range pass.Pkg.Syntax {
+		funcsOf(f, func(ftype *ast.FuncType, body *ast.BlockStmt) {
+			checkNilMetricsFunc(pass, ftype, body)
+		})
+	}
+}
+
+// isMetricsRankPtr reports whether t is *windar/internal/metrics.Rank.
+func isMetricsRankPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Rank" && obj.Pkg() != nil && obj.Pkg().Path() == metricsPackage
+}
+
+func checkNilMetricsFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.Pkg.TypesInfo
+	// Collect *metrics.Rank parameters.
+	params := map[types.Object]bool{}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isMetricsRankPtr(obj.Type()) {
+				params[obj] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	// Find the earliest nil comparison per parameter.
+	guardPos := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			id, ok := pair[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			other, ok := pair[1].(*ast.Ident)
+			if !ok || other.Name != "nil" {
+				continue
+			}
+			obj := info.Uses[id]
+			if params[obj] {
+				if cur, ok := guardPos[obj]; !ok || be.Pos() < cur {
+					guardPos[obj] = be.Pos()
+				}
+			}
+		}
+		return true
+	})
+	// Flag selector uses (m.Method(), m.Field) before any guard.
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if !params[obj] {
+			return true
+		}
+		guard, guarded := guardPos[obj]
+		if !guarded || sel.Pos() < guard {
+			pass.Reportf(sel.Pos(),
+				"%s is a nilable *metrics.Rank parameter used without a nil check; guard it (if %s == nil { %s = &metrics.Rank{} })",
+				id.Name, id.Name, id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const wirePackage = "windar/internal/wire"
+
+// Piggyback reports construction of application (KindApp) wire envelopes
+// that skips the protocol's piggyback hook. Every application message
+// must carry the depend_interval (or determinant) metadata returned by
+// proto.Protocol.PiggybackForSend — an envelope built without a
+// Piggyback field silently breaks delivery control on the receiver.
+var Piggyback = &Analyzer{
+	Name: "piggyback",
+	Doc:  "require KindApp wire.Envelope literals to set Piggyback from the protocol hook",
+	Run:  runPiggyback,
+}
+
+func runPiggyback(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isWireEnvelope(info.Types[cl].Type) {
+				return true
+			}
+			kindIsApp := false
+			hasPiggyback := false
+			keyed := true
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					keyed = false
+					break
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Kind":
+					kindIsApp = isKindApp(info, kv.Value)
+				case "Piggyback":
+					hasPiggyback = true
+				}
+			}
+			if !keyed {
+				pass.Reportf(cl.Pos(), "unkeyed wire.Envelope literal; use keyed fields so the piggyback invariant stays checkable")
+				return true
+			}
+			if kindIsApp && !hasPiggyback {
+				pass.Reportf(cl.Pos(), "KindApp envelope built without Piggyback; attach the metadata from proto.Protocol.PiggybackForSend (or the logged item)")
+			}
+			return true
+		})
+	}
+}
+
+// isWireEnvelope reports whether t is windar/internal/wire.Envelope
+// (possibly behind a pointer, as in &wire.Envelope{...}).
+func isWireEnvelope(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Envelope" && obj.Pkg() != nil && obj.Pkg().Path() == wirePackage
+}
+
+// isKindApp reports whether expr resolves to the wire.KindApp constant.
+func isKindApp(info *types.Info, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Name() == "KindApp" && c.Pkg() != nil && c.Pkg().Path() == wirePackage
+}

@@ -1,0 +1,34 @@
+// Package directclock is the analyzer fixture: every direct wall-clock
+// access must be flagged; time used through clock.Clock, pure duration
+// arithmetic, and //windar:allow'd lines must not.
+package directclock
+
+import (
+	"time"
+
+	"windar/internal/clock"
+)
+
+func bad() {
+	start := time.Now()           // want "direct time.Now bypasses the injectable clock.Clock"
+	time.Sleep(time.Millisecond)  // want "direct time.Sleep bypasses"
+	<-time.After(time.Second)     // want "direct time.After bypasses"
+	_ = time.Since(start)         // want "direct time.Since bypasses"
+	_ = time.Tick(time.Second)    // want "direct time.Tick bypasses"
+	_ = time.NewTimer(time.Hour)  // want "direct time.NewTimer bypasses"
+	_ = time.NewTicker(time.Hour) // want "direct time.NewTicker bypasses"
+}
+
+func good(clk clock.Clock) {
+	start := clk.Now()
+	clk.Sleep(time.Millisecond) // durations and constants are fine
+	<-clk.After(2 * time.Second)
+	_ = clk.Now().Sub(start)
+	_ = time.Duration(42) * time.Millisecond
+	_ = time.Millisecond.String()
+}
+
+func measured() time.Duration {
+	start := time.Now() //windar:allow directclock (true wall-clock measurement)
+	return time.Until(start.Add(time.Second)) // want "direct time.Until bypasses"
+}

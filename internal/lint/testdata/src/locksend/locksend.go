@@ -1,0 +1,65 @@
+// Package locksend is the analyzer fixture: blocking operations under a
+// held sync.Mutex/RWMutex must be flagged; sends after Unlock, sends in
+// select-with-default, and closure bodies starting lock-free must not.
+package locksend
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func badSend(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func badDeferred(s *state, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 2 // want "channel send while s.mu is held"
+}
+
+func badWait(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while mu is held"
+	mu.Unlock()
+}
+
+func badRLock(mu *sync.RWMutex, ch chan int) {
+	mu.RLock()
+	ch <- 3 // want "channel send while mu is held"
+	mu.RUnlock()
+}
+
+func goodAfterUnlock(s *state) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func goodSelectDefault(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // non-blocking: the default clause bounds it
+	default:
+	}
+}
+
+func goodClosure(s *state) {
+	s.mu.Lock()
+	go func() {
+		// Runs on its own goroutine without inheriting the lock.
+		s.ch <- 4
+	}()
+	s.mu.Unlock()
+}
+
+func allowed(s *state) {
+	s.mu.Lock()
+	s.ch <- 5 //windar:allow locksend (buffered beyond all senders)
+	s.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package piggyback is the analyzer fixture: application envelopes must
+// be built with keyed literals that attach the protocol piggyback.
+package piggyback
+
+import "windar/internal/wire"
+
+func bad(pig []byte) *wire.Envelope {
+	return &wire.Envelope{ // want "KindApp envelope built without Piggyback"
+		Kind:      wire.KindApp,
+		From:      0,
+		To:        1,
+		SendIndex: 1,
+	}
+}
+
+func badUnkeyed() wire.Envelope {
+	return wire.Envelope{wire.KindApp, 0, 1, 0, 0, 1, false, nil, nil} // want "unkeyed wire.Envelope literal"
+}
+
+func good(pig []byte) *wire.Envelope {
+	return &wire.Envelope{
+		Kind:      wire.KindApp,
+		From:      0,
+		To:        1,
+		SendIndex: 1,
+		Piggyback: pig,
+	}
+}
+
+func goodControl() *wire.Envelope {
+	// Control messages carry no application piggyback by design.
+	return &wire.Envelope{Kind: wire.KindRollback, From: 0, To: 1}
+}

@@ -92,3 +92,14 @@ type Protocol interface {
 	// before that point can never be replayed again and may be pruned.
 	OnPeerCheckpoint(peer int, deliveredCount int64)
 }
+
+// Demander is optionally implemented by protocols whose delivery
+// predicate is a simple count comparison (TDI's Algorithm 1 line 17).
+// DeliveryDemand extracts from env's piggyback the number of local
+// deliveries that must precede env's delivery; ok is false when the
+// piggyback carries no such requirement. The harness records the demand
+// with each trace deliver event so the offline invariant checker
+// (internal/trace) can re-verify the comparison after the run.
+type Demander interface {
+	DeliveryDemand(env *wire.Envelope) (demand int64, ok bool)
+}

@@ -11,7 +11,7 @@ import (
 // feedHistory drives p through events deliveries from a feeder rank.
 func feedHistory(b *testing.B, p *TAG, events int) {
 	b.Helper()
-	feeder := New(0, 8, nil)
+	feeder := New(0, 8, nil, nil)
 	for i := 1; i <= events; i++ {
 		pig, _ := feeder.PiggybackForSend(1, int64(i))
 		env := &wire.Envelope{Kind: wire.KindApp, From: 0, To: 1, SendIndex: int64(i), Piggyback: pig}
@@ -28,7 +28,7 @@ func feedHistory(b *testing.B, p *TAG, events int) {
 func BenchmarkPiggybackForSend(b *testing.B) {
 	for _, events := range []int{16, 128, 1024} {
 		b.Run(fmt.Sprintf("history%d", events), func(b *testing.B) {
-			p := New(1, 8, nil)
+			p := New(1, 8, nil, nil)
 			feedHistory(b, p, events)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -47,10 +47,10 @@ func BenchmarkPiggybackForSend(b *testing.B) {
 
 // BenchmarkOnDeliver measures the merge + node insertion on delivery.
 func BenchmarkOnDeliver(b *testing.B) {
-	feeder := New(0, 8, nil)
+	feeder := New(0, 8, nil, nil)
 	pig, _ := feeder.PiggybackForSend(1, 1)
 	b.ReportAllocs()
-	p := New(1, 8, nil)
+	p := New(1, 8, nil, nil)
 	for i := 0; i < b.N; i++ {
 		env := &wire.Envelope{Kind: wire.KindApp, From: 0, To: 1, SendIndex: int64(i + 1), Piggyback: pig}
 		if err := p.OnDeliver(env, int64(i+1)); err != nil {
@@ -61,7 +61,7 @@ func BenchmarkOnDeliver(b *testing.B) {
 
 // BenchmarkSnapshot measures checkpoint serialization of the graph.
 func BenchmarkSnapshot(b *testing.B) {
-	p := New(1, 8, nil)
+	p := New(1, 8, nil, nil)
 	feedHistory(b, p, 512)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

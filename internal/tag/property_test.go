@@ -25,11 +25,11 @@ func TestPropertyGraphRecordsEveryDelivery(t *testing.T) {
 	f := func(seed int64, deliveries int) bool {
 		rng := rand.New(rand.NewSource(seed))
 		const n = 5
-		p := New(1, n, nil)
+		p := New(1, n, nil, nil)
 		feeders := make([]*TAG, n)
 		counts := make([]int64, n)
 		for i := range feeders {
-			feeders[i] = New(i, n, nil)
+			feeders[i] = New(i, n, nil, nil)
 		}
 		for d := 1; d <= deliveries; d++ {
 			from := rng.Intn(n)
@@ -85,7 +85,7 @@ func TestPropertyReplayAdmitsOnlyRecordedOrder(t *testing.T) {
 			nodes = append(nodes, agraph.Node{Det: det})
 		}
 
-		inc := New(1, n, nil)
+		inc := New(1, n, nil, nil)
 		inc.BeginRecovery(1)
 		if err := inc.OnRecoveryData(0, agraph.AppendNodes(nil, nodes)); err != nil {
 			return false

@@ -21,9 +21,9 @@ package tag
 import (
 	"encoding/binary"
 	"fmt"
-	"time"
 
 	"windar/internal/agraph"
+	"windar/internal/clock"
 	"windar/internal/determinant"
 	"windar/internal/metrics"
 	"windar/internal/proto"
@@ -44,15 +44,21 @@ type TAG struct {
 	recorded         map[int64]determinant.D // deliverIndex -> determinant
 	recoveryBase     int64
 
-	m *metrics.Rank
+	m   *metrics.Rank
+	clk clock.Clock
 }
 
 var _ proto.Protocol = (*TAG)(nil)
 
-// New returns a TAG instance for rank in an n-process system.
-func New(rank, n int, m *metrics.Rank) *TAG {
+// New returns a TAG instance for rank in an n-process system. The
+// metrics rank may be nil; clk times the tracking overhead charged to it
+// and defaults to the wall clock.
+func New(rank, n int, m *metrics.Rank, clk clock.Clock) *TAG {
 	if m == nil {
 		m = &metrics.Rank{}
+	}
+	if clk == nil {
+		clk = clock.Real{}
 	}
 	t := &TAG{
 		rank:    rank,
@@ -60,6 +66,7 @@ func New(rank, n int, m *metrics.Rank) *TAG {
 		graph:   agraph.New(),
 		knownTo: make([]map[agraph.NodeID]struct{}, n),
 		m:       m,
+		clk:     clk,
 	}
 	for i := range t.knownTo {
 		t.knownTo[i] = make(map[agraph.NodeID]struct{})
@@ -79,7 +86,7 @@ func (t *TAG) GraphLen() int { return t.graph.Len() }
 // dest. The increment computation — the graph traversal Manetho pays on
 // every send — is charged to send-side tracking time.
 func (t *TAG) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
-	start := time.Now()
+	start := t.clk.Now()
 	diff := t.graph.DiffAgainst(t.knownTo[dest])
 	buf := binary.AppendVarint(make([]byte, 0, 16+24*len(diff)), t.ownDelivered)
 	buf = agraph.AppendNodes(buf, diff)
@@ -89,7 +96,7 @@ func (t *TAG) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
 	for _, nd := range diff {
 		t.knownTo[dest][nd.ID()] = struct{}{}
 	}
-	t.m.SendTracking(time.Since(start))
+	t.m.SendTracking(t.clk.Now().Sub(start))
 	return buf, determinant.IdentifierCount*len(diff) + 1
 }
 
@@ -118,7 +125,7 @@ func (t *TAG) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdic
 // record this delivery as a new graph node, and advance the known-set
 // estimate for the sender.
 func (t *TAG) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
-	start := time.Now()
+	start := t.clk.Now()
 	senderInterval, off := binary.Varint(env.Piggyback)
 	if off <= 0 {
 		return fmt.Errorf("tag: rank %d: bad piggyback header from %d", t.rank, env.From)
@@ -145,7 +152,7 @@ func (t *TAG) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	}
 	t.ownDelivered = deliverIndex
 	delete(t.recorded, deliverIndex)
-	t.m.DeliverTracking(time.Since(start))
+	t.m.DeliverTracking(t.clk.Now().Sub(start))
 	return nil
 }
 

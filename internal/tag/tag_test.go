@@ -31,7 +31,7 @@ func deliver(t *testing.T, p *TAG, env *wire.Envelope, idx int64) {
 }
 
 func TestFirstSendPiggybacksNothing(t *testing.T) {
-	p := New(0, 4, nil)
+	p := New(0, 4, nil, nil)
 	pig, ids := p.PiggybackForSend(1, 1)
 	if ids != 1 { // just the interval header
 		t.Fatalf("identifiers = %d, want 1", ids)
@@ -49,8 +49,8 @@ func TestFirstSendPiggybacksNothing(t *testing.T) {
 func TestPiggybackGrowsWithHistory(t *testing.T) {
 	// The PWD cost: after k deliveries, a send to a fresh destination
 	// carries k determinants.
-	sender := New(1, 4, nil)
-	feeder := New(0, 4, nil)
+	sender := New(1, 4, nil, nil)
+	feeder := New(0, 4, nil, nil)
 	for i := int64(1); i <= 10; i++ {
 		deliver(t, sender, sendTo(t, feeder, 0, 1, i), i)
 	}
@@ -63,8 +63,8 @@ func TestPiggybackGrowsWithHistory(t *testing.T) {
 func TestIncrementalPiggybackToSameDest(t *testing.T) {
 	// Manetho's increment: the second send to the same destination must
 	// not repeat what the first carried.
-	sender := New(1, 4, nil)
-	feeder := New(0, 4, nil)
+	sender := New(1, 4, nil, nil)
+	feeder := New(0, 4, nil, nil)
 	deliver(t, sender, sendTo(t, feeder, 0, 1, 1), 1)
 	_, ids1 := sender.PiggybackForSend(2, 1)
 	if ids1 != 4+1 {
@@ -84,9 +84,9 @@ func TestIncrementalPiggybackToSameDest(t *testing.T) {
 
 func TestDeliveryRecordsEventAndTransitivity(t *testing.T) {
 	// P0 -> P1 -> P2: P2 must transitively learn P1's delivery event.
-	p0 := New(0, 3, nil)
-	p1 := New(1, 3, nil)
-	p2 := New(2, 3, nil)
+	p0 := New(0, 3, nil, nil)
+	p1 := New(1, 3, nil, nil)
+	p2 := New(2, 3, nil, nil)
 
 	deliver(t, p1, sendTo(t, p0, 0, 1, 1), 1)
 	deliver(t, p2, sendTo(t, p1, 1, 2, 1), 1)
@@ -103,13 +103,13 @@ func TestDeliveryRecordsEventAndTransitivity(t *testing.T) {
 }
 
 func TestSnapshotRestore(t *testing.T) {
-	p1 := New(1, 3, nil)
-	p0 := New(0, 3, nil)
+	p1 := New(1, 3, nil, nil)
+	p0 := New(0, 3, nil, nil)
 	deliver(t, p1, sendTo(t, p0, 0, 1, 1), 1)
 	deliver(t, p1, sendTo(t, p0, 0, 1, 2), 2)
 
 	snap := p1.Snapshot()
-	restored := New(1, 3, nil)
+	restored := New(1, 3, nil, nil)
 	if err := restored.Restore(snap); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -129,7 +129,7 @@ func TestRecoveryReplayOrderEnforced(t *testing.T) {
 	// recorded both. The incarnation must deliver them in exactly that
 	// order even if (P2,#1) arrives first — the PWD constraint the paper
 	// relaxes in TDI.
-	survivor := New(0, 3, nil)
+	survivor := New(0, 3, nil, nil)
 	// Manually give the survivor the failed rank's delivery record.
 	for i, det := range []struct {
 		sender int
@@ -146,7 +146,7 @@ func TestRecoveryReplayOrderEnforced(t *testing.T) {
 	}
 	data := survivor.RecoveryData(1, 0)
 
-	inc := New(1, 3, nil) // incarnation restored from empty checkpoint
+	inc := New(1, 3, nil, nil) // incarnation restored from empty checkpoint
 	inc.BeginRecovery(2)
 
 	fromP2 := &wire.Envelope{Kind: wire.KindApp, From: 2, To: 1, SendIndex: 1,
@@ -194,8 +194,8 @@ func TestRecoveryReplayOrderEnforced(t *testing.T) {
 }
 
 func TestOnPeerCheckpointPrunes(t *testing.T) {
-	p1 := New(1, 3, nil)
-	p0 := New(0, 3, nil)
+	p1 := New(1, 3, nil, nil)
+	p0 := New(0, 3, nil, nil)
 	for i := int64(1); i <= 4; i++ {
 		deliver(t, p1, sendTo(t, p0, 0, 1, i), i)
 	}
@@ -212,7 +212,7 @@ func TestOnPeerCheckpointPrunes(t *testing.T) {
 }
 
 func TestOnDeliverRejectsGarbage(t *testing.T) {
-	p := New(0, 2, nil)
+	p := New(0, 2, nil, nil)
 	bad := &wire.Envelope{Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1, Piggyback: []byte{}}
 	if err := p.OnDeliver(bad, 1); err == nil {
 		t.Fatal("empty piggyback accepted")
@@ -225,7 +225,7 @@ func TestOnDeliverRejectsGarbage(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
-	if New(0, 1, nil).Name() != "tag" {
+	if New(0, 1, nil, nil).Name() != "tag" {
 		t.Fatal("name")
 	}
 }

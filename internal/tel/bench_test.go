@@ -18,8 +18,8 @@ func benchTEL(b *testing.B, unstable int) (*TEL, *sync.Mutex) {
 	lg := NewLogger(8, nil, time.Hour)
 	b.Cleanup(lg.Close)
 	var mu sync.Mutex
-	p := New(1, 8, lg, &mu, nil)
-	feeder := New(0, 8, nil, nil, nil)
+	p := New(1, 8, lg, &mu, nil, nil)
+	feeder := New(0, 8, nil, nil, nil, nil)
 	mu.Lock()
 	for i := 1; i <= unstable; i++ {
 		pig, _ := feeder.PiggybackForSend(1, int64(i))

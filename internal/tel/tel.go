@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
-	"time"
 
+	"windar/internal/clock"
 	"windar/internal/determinant"
 	"windar/internal/metrics"
 	"windar/internal/proto"
@@ -45,20 +45,25 @@ type TEL struct {
 	recorded         map[int64]determinant.D
 	recoveryBase     int64
 
-	m *metrics.Rank
+	m   *metrics.Rank
+	clk clock.Clock
 }
 
 var _ proto.Protocol = (*TEL)(nil)
 
 // New returns a TEL instance for rank in an n-process system. locker must
 // be the same lock under which the harness invokes the protocol; logger
-// acks are applied under it.
-func New(rank, n int, logger *Logger, locker sync.Locker, m *metrics.Rank) *TEL {
+// acks are applied under it. The metrics rank may be nil; clk times the
+// tracking overhead charged to it and defaults to the wall clock.
+func New(rank, n int, logger *Logger, locker sync.Locker, m *metrics.Rank, clk clock.Clock) *TEL {
 	if m == nil {
 		m = &metrics.Rank{}
 	}
 	if locker == nil {
 		locker = &sync.Mutex{}
+	}
+	if clk == nil {
+		clk = clock.Real{}
 	}
 	return &TEL{
 		rank:        rank,
@@ -68,6 +73,7 @@ func New(rank, n int, logger *Logger, locker sync.Locker, m *metrics.Rank) *TEL 
 		received:    determinant.NewSet(),
 		stableKnown: vclock.New(n),
 		m:           m,
+		clk:         clk,
 	}
 }
 
@@ -97,10 +103,10 @@ func (t *TEL) unstable() []determinant.D {
 // PiggybackForSend implements proto.Protocol: every determinant not yet
 // known stable rides along, 4 identifiers each.
 func (t *TEL) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
-	start := time.Now()
+	start := t.clk.Now()
 	ds := t.unstable()
 	pig := determinant.AppendSlice(make([]byte, 0, 8+16*len(ds)), ds)
-	t.m.SendTracking(time.Since(start))
+	t.m.SendTracking(t.clk.Now().Sub(start))
 	return pig, determinant.IdentifierCount * len(ds)
 }
 
@@ -125,7 +131,7 @@ func (t *TEL) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdic
 // determinants, create this delivery's determinant, and ship it to the
 // event logger asynchronously.
 func (t *TEL) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
-	start := time.Now()
+	start := t.clk.Now()
 	ds, _, err := determinant.ReadSlice(env.Piggyback)
 	if err != nil {
 		return fmt.Errorf("tel: rank %d: bad piggyback from %d: %w", t.rank, env.From, err)
@@ -147,7 +153,7 @@ func (t *TEL) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	t.ownDelivered = deliverIndex
 	delete(t.recorded, deliverIndex)
 	t.flushLocked([]determinant.D{own})
-	t.m.DeliverTracking(time.Since(start))
+	t.m.DeliverTracking(t.clk.Now().Sub(start))
 	return nil
 }
 

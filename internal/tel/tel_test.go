@@ -100,13 +100,13 @@ func TestLoggerCommitAndStableVec(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
-	if New(0, 1, nil, nil, nil).Name() != "tel" {
+	if New(0, 1, nil, nil, nil, nil).Name() != "tel" {
 		t.Fatal("name")
 	}
 }
 
 func TestPiggybackEmptyInitially(t *testing.T) {
-	p := New(0, 4, nil, nil, nil)
+	p := New(0, 4, nil, nil, nil, nil)
 	pig, ids := p.PiggybackForSend(1, 1)
 	if ids != 0 {
 		t.Fatalf("ids = %d, want 0", ids)
@@ -122,8 +122,8 @@ func TestUnstableDeterminantsPiggybacked(t *testing.T) {
 	// every delivery adds 4 identifiers to subsequent sends.
 	lg := newLoggerT(t, 4, time.Hour)
 	var mu sync.Mutex
-	p := New(1, 4, lg, &mu, nil)
-	feeder := New(0, 4, nil, nil, nil)
+	p := New(1, 4, lg, &mu, nil, nil)
+	feeder := New(0, 4, nil, nil, nil, nil)
 	mu.Lock()
 	deliverT(t, p, envFrom(feeder, 0, 1, 1), 1)
 	deliverT(t, p, envFrom(feeder, 0, 1, 2), 2)
@@ -139,8 +139,8 @@ func TestAckPrunesPiggyback(t *testing.T) {
 	// piggyback shrinks back to zero — TEL's advantage over TAG.
 	lg := newLoggerT(t, 4, time.Millisecond)
 	var mu sync.Mutex
-	p := New(1, 4, lg, &mu, nil)
-	feeder := New(0, 4, nil, nil, nil)
+	p := New(1, 4, lg, &mu, nil, nil)
+	feeder := New(0, 4, nil, nil, nil, nil)
 	mu.Lock()
 	deliverT(t, p, envFrom(feeder, 0, 1, 1), 1)
 	deliverT(t, p, envFrom(feeder, 0, 1, 2), 2)
@@ -159,9 +159,9 @@ func TestReceivedDeterminantsPropagate(t *testing.T) {
 	// unstable determinant onward (causal piggybacking).
 	lg := newLoggerT(t, 4, time.Hour)
 	var mu1, mu2 sync.Mutex
-	p1 := New(1, 4, lg, &mu1, nil)
-	p2 := New(2, 4, lg, &mu2, nil)
-	feeder := New(0, 4, nil, nil, nil)
+	p1 := New(1, 4, lg, &mu1, nil, nil)
+	p2 := New(2, 4, lg, &mu2, nil, nil)
+	feeder := New(0, 4, nil, nil, nil, nil)
 
 	mu1.Lock()
 	deliverT(t, p1, envFrom(feeder, 0, 1, 1), 1)
@@ -181,9 +181,9 @@ func TestReceivedDeterminantsPropagate(t *testing.T) {
 func TestRecoveryUsesLoggerAndResponses(t *testing.T) {
 	lg := newLoggerT(t, 3, 0)
 	var mu sync.Mutex
-	p := New(1, 3, lg, &mu, nil)
-	feeder0 := New(0, 3, nil, nil, nil)
-	feeder2 := New(2, 3, nil, nil, nil)
+	p := New(1, 3, lg, &mu, nil, nil)
+	feeder0 := New(0, 3, nil, nil, nil, nil)
+	feeder2 := New(2, 3, nil, nil, nil, nil)
 
 	mu.Lock()
 	deliverT(t, p, envFrom(feeder0, 0, 1, 1), 1)
@@ -199,11 +199,11 @@ func TestRecoveryUsesLoggerAndResponses(t *testing.T) {
 	}
 
 	// Fresh incarnation from an empty checkpoint.
-	inc := New(1, 3, lg, &sync.Mutex{}, nil)
+	inc := New(1, 3, lg, &sync.Mutex{}, nil, nil)
 	inc.BeginRecovery(2)
 
-	m0 := envFrom(New(0, 3, nil, nil, nil), 0, 1, 1)
-	m2 := envFrom(New(2, 3, nil, nil, nil), 2, 1, 1)
+	m0 := envFrom(New(0, 3, nil, nil, nil, nil), 0, 1, 1)
+	m2 := envFrom(New(2, 3, nil, nil, nil, nil), 2, 1, 1)
 
 	// Responses outstanding: hold.
 	if v := inc.Deliverable(m0, 0); v != proto.Hold {
@@ -234,15 +234,15 @@ func TestRecoveryUsesLoggerAndResponses(t *testing.T) {
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	lg := newLoggerT(t, 3, time.Hour)
 	var mu sync.Mutex
-	p := New(1, 3, lg, &mu, nil)
-	feeder := New(0, 3, nil, nil, nil)
+	p := New(1, 3, lg, &mu, nil, nil)
+	feeder := New(0, 3, nil, nil, nil, nil)
 	mu.Lock()
 	deliverT(t, p, envFrom(feeder, 0, 1, 1), 1)
 	snap := p.Snapshot()
 	unstable := p.UnstableCount()
 	mu.Unlock()
 
-	restored := New(1, 3, lg, &sync.Mutex{}, nil)
+	restored := New(1, 3, lg, &sync.Mutex{}, nil, nil)
 	if err := restored.Restore(snap); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -257,9 +257,9 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 func TestOnPeerCheckpointPrunes(t *testing.T) {
 	lg := newLoggerT(t, 4, time.Hour)
 	var mu sync.Mutex
-	p2 := New(2, 4, lg, &mu, nil)
-	p1 := New(1, 4, lg, &sync.Mutex{}, nil)
-	feeder := New(0, 4, nil, nil, nil)
+	p2 := New(2, 4, lg, &mu, nil, nil)
+	p1 := New(1, 4, lg, &sync.Mutex{}, nil, nil)
+	feeder := New(0, 4, nil, nil, nil, nil)
 
 	// P1 accumulates two unstable determinants and sends to P2.
 	deliverT(t, p1, envFrom(feeder, 0, 1, 1), 1)
@@ -313,7 +313,7 @@ func TestLoggerFetchForOrdering(t *testing.T) {
 }
 
 func TestOnDeliverRejectsGarbage(t *testing.T) {
-	p := New(0, 2, nil, nil, nil)
+	p := New(0, 2, nil, nil, nil, nil)
 	bad := &wire.Envelope{Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1, Piggyback: []byte{0xFF}}
 	if err := p.OnDeliver(bad, 1); err == nil {
 		t.Fatal("garbage piggyback accepted")

@@ -1,0 +1,117 @@
+package trace
+
+import "fmt"
+
+// CheckInvariants replays the recorded events through a per-rank state
+// machine and verifies the protocol-level invariants every windar run
+// must preserve, independently of the end-to-end properties Validate
+// establishes:
+//
+//   - fifo-order: on each link (sender, receiver), delivered send
+//     indexes are strictly increasing between rollbacks — the harness's
+//     per-channel FIFO promise, re-derived from the trace alone;
+//   - deliver-monotonic: each rank's deliver indexes advance by exactly
+//     one per delivery from the restored checkpoint count — no skipped
+//     or repeated local state interval;
+//   - deliver-demand: every delivery that recorded a protocol demand
+//     (TDI's piggybacked depend_interval element, Algorithm 1 line 17)
+//     happened only after the rank had delivered at least that many
+//     messages;
+//   - checkpoint-count: a checkpoint's recorded deliveredCount equals
+//     the delivery count replayed from the trace.
+//
+// Failure semantics mirror Validate: a killed rank's events are ignored
+// until its EvRecover (a dying incarnation can record a final straggler
+// event after the kill), and EvRecover restores the rank's state to its
+// last checkpoint, exactly as rollback does.
+func (r *Recorder) CheckInvariants() []Problem {
+	return CheckEvents(r.Events())
+}
+
+// rankCheck is one rank's replay state: its delivery count and, per
+// sending peer, the last delivered send index.
+type rankCheck struct {
+	delivered int64
+	lastFrom  map[int]int64
+}
+
+func (s *rankCheck) clone() *rankCheck {
+	c := &rankCheck{delivered: s.delivered, lastFrom: make(map[int]int64, len(s.lastFrom))}
+	for k, v := range s.lastFrom {
+		c.lastFrom[k] = v
+	}
+	return c
+}
+
+// CheckEvents runs the CheckInvariants rules over an explicit event
+// sequence (e.g. one re-imported from a JSONL trace file).
+func CheckEvents(events []Event) []Problem {
+	var problems []Problem
+	state := map[int]*rankCheck{}
+	ckpt := map[int]*rankCheck{} // last checkpoint snapshot per rank
+	dead := map[int]bool{}
+	get := func(rank int) *rankCheck {
+		s := state[rank]
+		if s == nil {
+			s = &rankCheck{lastFrom: map[int]int64{}}
+			state[rank] = s
+		}
+		return s
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvDeliver:
+			if dead[e.Rank] {
+				continue // straggler from the dying incarnation
+			}
+			s := get(e.Rank)
+			if last := s.lastFrom[e.Peer]; e.SendIndex <= last {
+				problems = append(problems, Problem{
+					Rule: "fifo-order",
+					Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after #%d (seq %d)",
+						e.Rank, e.Peer, e.Rank, e.SendIndex, last, e.Seq),
+				})
+			}
+			s.lastFrom[e.Peer] = e.SendIndex
+			if e.DeliverIndex != s.delivered+1 {
+				problems = append(problems, Problem{
+					Rule: "deliver-monotonic",
+					Detail: fmt.Sprintf("rank %d deliver index %d, want %d (seq %d)",
+						e.Rank, e.DeliverIndex, s.delivered+1, e.Seq),
+				})
+			}
+			if e.Demand >= 0 && s.delivered < e.Demand {
+				problems = append(problems, Problem{
+					Rule: "deliver-demand",
+					Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after %d deliveries, protocol demanded %d (seq %d)",
+						e.Rank, e.Peer, e.Rank, e.SendIndex, s.delivered, e.Demand, e.Seq),
+				})
+			}
+			s.delivered = e.DeliverIndex
+		case EvCheckpoint:
+			if dead[e.Rank] {
+				continue
+			}
+			s := get(e.Rank)
+			if e.Count != s.delivered {
+				problems = append(problems, Problem{
+					Rule: "checkpoint-count",
+					Detail: fmt.Sprintf("rank %d checkpoint at step %d records %d deliveries, trace replays %d (seq %d)",
+						e.Rank, e.Step, e.Count, s.delivered, e.Seq),
+				})
+			}
+			ckpt[e.Rank] = s.clone()
+		case EvKill:
+			dead[e.Rank] = true
+		case EvRecover:
+			dead[e.Rank] = false
+			if snap := ckpt[e.Rank]; snap != nil {
+				state[e.Rank] = snap.clone()
+			} else {
+				state[e.Rank] = &rankCheck{lastFrom: map[int]int64{}}
+			}
+		}
+	}
+	return problems
+}

@@ -17,6 +17,7 @@ type jsonEvent struct {
 	DeliverIndex int64  `json:"deliverIndex,omitempty"`
 	Step         int    `json:"step,omitempty"`
 	Count        int64  `json:"count,omitempty"`
+	Demand       *int64 `json:"demand,omitempty"` // nil on pre-demand traces
 	Resent       bool   `json:"resent,omitempty"`
 	Seq          int    `json:"seq"`
 }
@@ -56,6 +57,10 @@ func (r *Recorder) Export(w io.Writer) error {
 			SendIndex: e.SendIndex, DeliverIndex: e.DeliverIndex,
 			Step: e.Step, Count: e.Count, Resent: e.Resent, Seq: e.Seq,
 		}
+		if e.Kind == EvDeliver && e.Demand >= 0 {
+			d := e.Demand
+			je.Demand = &d
+		}
 		if err := enc.Encode(je); err != nil {
 			return fmt.Errorf("trace: export: %w", err)
 		}
@@ -79,10 +84,17 @@ func Import(rd io.Reader) (*Recorder, error) {
 		if !ok {
 			return nil, fmt.Errorf("trace: import: unknown kind %q", je.Kind)
 		}
+		var demand int64
+		if kind == EvDeliver {
+			demand = -1 // pre-demand traces carry no requirement
+		}
+		if je.Demand != nil {
+			demand = *je.Demand
+		}
 		rec.add(Event{
 			Kind: kind, Rank: je.Rank, Peer: je.Peer,
 			SendIndex: je.SendIndex, DeliverIndex: je.DeliverIndex,
-			Step: je.Step, Count: je.Count, Resent: je.Resent,
+			Step: je.Step, Count: je.Count, Demand: demand, Resent: je.Resent,
 		})
 	}
 	return rec, nil

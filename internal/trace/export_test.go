@@ -11,7 +11,7 @@ import (
 func sampleRecorder() *Recorder {
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
-	r.OnDeliver(1, 0, 1, 1)
+	r.OnDeliver(1, 0, 1, 1, -1)
 	r.OnCheckpoint(1, 5, 1)
 	r.OnKill(1)
 	r.OnRecover(1, 5)

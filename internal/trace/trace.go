@@ -48,6 +48,7 @@ type Event struct {
 	DeliverIndex int64 // deliver
 	Step         int   // checkpoint / recover
 	Count        int64 // checkpoint deliveredCount
+	Demand       int64 // deliver: protocol delivery demand, -1 if none
 	Resent       bool  // send
 	Seq          int   // global arrival order in the recorder
 }
@@ -71,9 +72,12 @@ func (r *Recorder) OnSend(rank, dest int, sendIndex int64, resent bool) {
 	r.add(Event{Kind: EvSend, Rank: rank, Peer: dest, SendIndex: sendIndex, Resent: resent})
 }
 
-// OnDeliver implements harness.Observer.
-func (r *Recorder) OnDeliver(rank, from int, sendIndex, deliverIndex int64) {
-	r.add(Event{Kind: EvDeliver, Rank: rank, Peer: from, SendIndex: sendIndex, DeliverIndex: deliverIndex})
+// OnDeliver implements harness.Observer. demand is the protocol's
+// delivery requirement for the message (TDI's piggybacked
+// depend_interval element for the receiving rank), or -1 when the
+// protocol exposes none; CheckInvariants re-verifies it offline.
+func (r *Recorder) OnDeliver(rank, from int, sendIndex, deliverIndex, demand int64) {
+	r.add(Event{Kind: EvDeliver, Rank: rank, Peer: from, SendIndex: sendIndex, DeliverIndex: deliverIndex, Demand: demand})
 }
 
 // OnCheckpoint implements harness.Observer.

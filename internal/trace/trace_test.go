@@ -10,7 +10,7 @@ import (
 func TestRecorderCollectsInOrder(t *testing.T) {
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
-	r.OnDeliver(1, 0, 1, 1)
+	r.OnDeliver(1, 0, 1, 1, -1)
 	r.OnCheckpoint(1, 5, 1)
 	r.OnKill(1)
 	r.OnRecover(1, 5)
@@ -50,7 +50,7 @@ func TestValidateCleanRun(t *testing.T) {
 	// 0 sends 3 messages to 1, all delivered in order.
 	for i := int64(1); i <= 3; i++ {
 		r.OnSend(0, 1, i, false)
-		r.OnDeliver(1, 0, i, i)
+		r.OnDeliver(1, 0, i, i, -1)
 	}
 	if problems := r.Validate(true); len(problems) != 0 {
 		t.Fatalf("clean run flagged: %v", problems)
@@ -60,8 +60,8 @@ func TestValidateCleanRun(t *testing.T) {
 func TestValidateDetectsDuplicate(t *testing.T) {
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
-	r.OnDeliver(1, 0, 1, 1)
-	r.OnDeliver(1, 0, 1, 2) // duplicate delivery
+	r.OnDeliver(1, 0, 1, 1, -1)
+	r.OnDeliver(1, 0, 1, 2, -1) // duplicate delivery
 	problems := r.Validate(false)
 	if !hasRule(problems, "no-duplicate") {
 		t.Fatalf("duplicate not detected: %v", problems)
@@ -72,8 +72,8 @@ func TestValidateDetectsFIFOViolation(t *testing.T) {
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
 	r.OnSend(0, 1, 2, false)
-	r.OnDeliver(1, 0, 2, 1)
-	r.OnDeliver(1, 0, 1, 2)
+	r.OnDeliver(1, 0, 2, 1, -1)
+	r.OnDeliver(1, 0, 1, 2, -1)
 	problems := r.Validate(false)
 	if !hasRule(problems, "fifo-delivery") {
 		t.Fatalf("FIFO violation not detected: %v", problems)
@@ -84,7 +84,7 @@ func TestValidateDetectsLoss(t *testing.T) {
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
 	r.OnSend(0, 1, 2, false)
-	r.OnDeliver(1, 0, 1, 1)
+	r.OnDeliver(1, 0, 1, 1, -1)
 	// Message 2 never delivered.
 	problems := r.Validate(true)
 	if !hasRule(problems, "no-loss") {
@@ -102,13 +102,13 @@ func TestValidateRollbackForgivesReplay(t *testing.T) {
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
 	r.OnSend(0, 1, 2, false)
-	r.OnDeliver(1, 0, 1, 1)
+	r.OnDeliver(1, 0, 1, 1, -1)
 	r.OnCheckpoint(1, 5, 1)
-	r.OnDeliver(1, 0, 2, 2)
+	r.OnDeliver(1, 0, 2, 2, -1)
 	r.OnKill(1)
 	r.OnRecover(1, 5)
 	r.OnSend(0, 1, 2, true) // retransmission from the log
-	r.OnDeliver(1, 0, 2, 2)
+	r.OnDeliver(1, 0, 2, 2, -1)
 	problems := r.Validate(true)
 	if len(problems) != 0 {
 		t.Fatalf("legitimate replay flagged: %v", problems)
@@ -120,7 +120,7 @@ func TestValidateRollbackForgivesResentSends(t *testing.T) {
 	// delivered; the receiver discards it, so only one delivery shows.
 	var r Recorder
 	r.OnSend(1, 0, 1, false)
-	r.OnDeliver(0, 1, 1, 1)
+	r.OnDeliver(0, 1, 1, 1, -1)
 	r.OnKill(1)
 	r.OnRecover(1, 0)
 	r.OnSend(1, 0, 1, false) // regenerated during rolling forward
@@ -135,11 +135,11 @@ func TestValidateDuplicateSurvivingRecoveryCaught(t *testing.T) {
 	// something covered by the checkpoint) must be flagged.
 	var r Recorder
 	r.OnSend(0, 1, 1, false)
-	r.OnDeliver(1, 0, 1, 1)
+	r.OnDeliver(1, 0, 1, 1, -1)
 	r.OnCheckpoint(1, 5, 1) // checkpoint covers delivery #1
 	r.OnKill(1)
 	r.OnRecover(1, 5)
-	r.OnDeliver(1, 0, 1, 2) // bug: re-delivered a checkpointed message
+	r.OnDeliver(1, 0, 1, 2, -1) // bug: re-delivered a checkpointed message
 	problems := r.Validate(false)
 	if !hasRule(problems, "no-duplicate") && !hasRule(problems, "fifo-delivery") {
 		t.Fatalf("post-recovery duplicate not detected: %v", problems)

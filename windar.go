@@ -28,6 +28,7 @@ import (
 	"time"
 
 	iapp "windar/internal/app"
+	"windar/internal/clock"
 	"windar/internal/experiments"
 	"windar/internal/fabric"
 	"windar/internal/harness"
@@ -98,6 +99,21 @@ type Stats = metrics.Snapshot
 // validation.
 type TraceRecorder = trace.Recorder
 
+// Clock abstracts time for the whole system. Production code uses
+// RealClock; tests can inject a FakeClock and drive it deterministically.
+// The windar-lint directclock analyzer keeps every other package off the
+// time package, so a Config.Clock override reaches all timing decisions.
+type Clock = clock.Clock
+
+// FakeClock is a manually advanced Clock for deterministic tests.
+type FakeClock = clock.Fake
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return clock.Real{} }
+
+// NewFakeClock returns a FakeClock reading start until advanced.
+func NewFakeClock(start time.Time) *FakeClock { return clock.NewFake(start) }
+
 // Config describes a cluster run.
 type Config struct {
 	// Procs is the number of ranks. Required.
@@ -127,6 +143,12 @@ type Config struct {
 	// Trace, if non-nil, records every send/deliver/checkpoint/failure
 	// event for validation.
 	Trace *TraceRecorder
+	// Clock overrides the time source for the harness and protocols
+	// (watchdogs, tracking timers, recovery timing); default wall clock.
+	// A FakeClock also gates the fabric's delivery latencies, so a run
+	// only progresses while something calls Advance — drive it from a
+	// goroutine or the cluster stalls on the first message.
+	Clock Clock
 }
 
 func (c Config) internal() harness.Config {
@@ -154,6 +176,7 @@ func (c Config) internal() harness.Config {
 	if c.Trace != nil {
 		cfg.Observer = c.Trace
 	}
+	cfg.Clock = c.Clock
 	return cfg
 }
 
