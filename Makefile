@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race lint verify vet clean
+.PHONY: all build test race lint verify verify-tcp fuzz vet clean
 
 all: build vet lint test
 
@@ -27,6 +28,18 @@ lint:
 # invariant audit on every round.
 verify:
 	$(GO) run ./cmd/windar-verify -rounds 3 -procs 4
+
+# The same soak over real loopback TCP: kills sever sockets and drop
+# in-flight bytes instead of in-process queues.
+verify-tcp:
+	$(GO) run ./cmd/windar-verify -rounds 3 -procs 4 -transport tcp
+
+# Wire-format fuzzers. `go test -fuzz` accepts exactly one target per
+# invocation, so each runs separately; FUZZTIME bounds each target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzReadVec$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ func main() {
 		procs     = flag.Int("procs", 4, "number of processes")
 		protocol  = flag.String("protocol", "tdi", "logging protocol: tdi, tag, tel")
 		mode      = flag.String("mode", "nonblocking", "communication mode: nonblocking, blocking")
+		tport     = flag.String("transport", "mem", "communication substrate: mem (simulated fabric), tcp (loopback sockets)")
 		n         = flag.Int("n", 8, "NPB grid edge")
 		steps     = flag.Int("steps", 8, "iterations / steps")
 		ckptEvery = flag.Int("ckpt-every", 3, "checkpoint interval in steps (0 = never)")
@@ -48,6 +49,7 @@ func main() {
 		Procs:           *procs,
 		Protocol:        windar.Protocol(*protocol),
 		CheckpointEvery: *ckptEvery,
+		Transport:       *tport,
 		JitterFraction:  0.5,
 		Seed:            *seed,
 		StallTimeout:    2 * time.Minute,
@@ -86,8 +88,8 @@ func main() {
 	elapsed := clk.Now().Sub(start)
 
 	s := c.Stats()
-	fmt.Printf("app=%s procs=%d protocol=%s mode=%s elapsed=%v\n",
-		*appName, *procs, *protocol, *mode, elapsed.Round(time.Millisecond))
+	fmt.Printf("app=%s procs=%d protocol=%s mode=%s transport=%s elapsed=%v\n",
+		*appName, *procs, *protocol, *mode, *tport, elapsed.Round(time.Millisecond))
 	fmt.Printf("  messages sent/delivered:    %d / %d\n", s.MsgsSent, s.MsgsDelivered)
 	fmt.Printf("  piggyback per message:      %.2f identifiers, %.1f bytes\n",
 		s.AvgPiggybackIDs(), s.AvgPiggybackBytes())
@@ -120,7 +122,7 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Println("  trace validation:           OK (fifo, no-duplicate, no-loss)")
+		fmt.Printf("  trace validation:           OK (fifo, no-duplicate, no-loss) [transport %s]\n", rec.Transport())
 		fmt.Println("\nper-rank activity:")
 		fmt.Print(trace.FormatSummaries(rec.Summarize()))
 	}

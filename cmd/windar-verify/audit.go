@@ -28,6 +28,9 @@ func auditTrace(rec *windar.TraceRecorder, finished bool) ([]string, error) {
 	if imported.Len() != rec.Len() {
 		return nil, fmt.Errorf("trace round trip: %d events in, %d out", rec.Len(), imported.Len())
 	}
+	if got, want := imported.Transport(), rec.Transport(); got != want {
+		return nil, fmt.Errorf("trace round trip: transport header %q, want %q", got, want)
+	}
 	var out []string
 	for _, p := range imported.Validate(finished) {
 		out = append(out, p.String())

@@ -23,6 +23,9 @@ import (
 // time package itself confined to internal/clock.
 var clk = windar.RealClock()
 
+// transportKind is the substrate every round runs over (-transport).
+var transportKind windar.TransportKind = windar.TransportMem
+
 func main() {
 	var (
 		rounds   = flag.Int("rounds", 3, "fault-injection rounds per (app, protocol)")
@@ -31,10 +34,12 @@ func main() {
 		maxKills = flag.Int("max-kills", 2, "maximum concurrent failures per round")
 		seed     = flag.Int64("seed", clk.Now().UnixNano(), "randomization seed")
 		apps     = flag.String("apps", "ring,masterworker,lu", "comma-separated workloads")
+		tport    = flag.String("transport", "mem", "communication substrate: mem (simulated fabric), tcp (loopback sockets)")
 	)
 	flag.Parse()
+	transportKind = *tport
 	rng := rand.New(rand.NewSource(*seed))
-	fmt.Printf("windar-verify: seed=%d\n", *seed)
+	fmt.Printf("windar-verify: seed=%d transport=%s\n", *seed, *tport)
 
 	failures := 0
 	for _, appName := range splitList(*apps) {
@@ -119,6 +124,7 @@ func run(factory windar.Factory, proto windar.Protocol, procs int,
 		Procs:              procs,
 		Protocol:           proto,
 		CheckpointEvery:    4,
+		Transport:          transportKind,
 		JitterFraction:     1,
 		EventLoggerLatency: 100 * time.Microsecond,
 		StallTimeout:       2 * time.Minute,

@@ -4,15 +4,15 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"windar/internal/fabric"
+	"windar/internal/transport"
 	"windar/internal/proto"
 	"windar/internal/vclock"
 	"windar/internal/wire"
 )
 
-// fabricSendOpts builds the send options used by harness transmissions.
-func fabricSendOpts(rendezvous bool, abort <-chan struct{}) fabric.SendOpts {
-	return fabric.SendOpts{Rendezvous: rendezvous, Abort: abort}
+// transportSendOpts builds the send options used by harness transmissions.
+func transportSendOpts(rendezvous bool, abort <-chan struct{}) transport.SendOpts {
+	return transport.SendOpts{Rendezvous: rendezvous, Abort: abort}
 }
 
 // encodeRollback packs a ROLLBACK payload: the failed rank's checkpointed
@@ -79,11 +79,11 @@ func decodeCkptAdvance(b []byte) (int64, int64, error) {
 	return count, total, nil
 }
 
-// receiverLoop drains the rank's fabric inbox until the rank dies or the
-// fabric closes. The inbox handle is pinned to this incarnation: after a
+// receiverLoop drains the rank's transport inbox until the rank dies or the
+// transport closes. The inbox handle is pinned to this incarnation: after a
 // kill the handle closes, so a lingering receiver can never steal the
 // successor incarnation's messages.
-func (r *rankRuntime) receiverLoop(in fabric.Inbox) {
+func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 	for {
 		env, ok := in.Recv()
 		if !ok {
@@ -132,7 +132,7 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 		Incarnation: r.incarnation,
 		Payload:     encodeResponse(deliveredFromFailed, recData),
 	}
-	if err := r.c.fab.Send(resp, fabricSendOpts(false, r.killed)); err != nil {
+	if err := r.c.tr.Send(resp, transportSendOpts(false, r.killed)); err != nil {
 		return
 	}
 	m.ControlMsg()
@@ -144,7 +144,7 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 			SendIndex: it.SendIndex, Resent: true,
 			Piggyback: it.Piggyback, Payload: it.Payload,
 		}
-		if err := r.c.fab.Send(renv, fabricSendOpts(false, r.killed)); err != nil {
+		if err := r.c.tr.Send(renv, transportSendOpts(false, r.killed)); err != nil {
 			return
 		}
 		m.Resent()
@@ -196,7 +196,7 @@ func (r *rankRuntime) broadcastRollback(payload []byte) {
 			Kind: wire.KindRollback, From: r.id, To: dest,
 			Incarnation: r.incarnation, Payload: payload,
 		}
-		if err := r.c.fab.Send(env, fabricSendOpts(false, r.killed)); err != nil {
+		if err := r.c.tr.Send(env, transportSendOpts(false, r.killed)); err != nil {
 			return
 		}
 		m.ControlMsg()

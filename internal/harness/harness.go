@@ -1,7 +1,8 @@
 // Package harness is the rollback-recovery layer of the paper's Fig. 4:
 // it sits between the application (internal/app) and the communication
-// substrate (internal/fabric), embedding one of the causal message
-// logging protocols (internal/core, internal/tag, internal/tel).
+// substrate (internal/transport — the simulated fabric or real TCP
+// loopback), embedding one of the causal message logging protocols
+// (internal/core, internal/tag, internal/tel).
 //
 // Per rank it owns:
 //
@@ -18,7 +19,7 @@
 //     ROLLBACK broadcast, RESPONSE, log resend, repetitive-send
 //     suppression (lines 40-53).
 //
-// The Cluster orchestrates n ranks over one fabric and injects failures:
+// The Cluster orchestrates n ranks over one transport and injects failures:
 // Kill drops a rank's volatile state mid-run and Recover starts an
 // incarnation from its last checkpoint.
 package harness
@@ -37,6 +38,9 @@ import (
 	"windar/internal/stable"
 	"windar/internal/tag"
 	"windar/internal/tel"
+	"windar/internal/transport"
+	"windar/internal/transport/mem"
+	"windar/internal/transport/tcp"
 )
 
 // ProtocolKind selects the logging protocol.
@@ -101,7 +105,14 @@ type Config struct {
 	// step (k > 0). 0 disables periodic checkpoints (recovery then
 	// restarts from the initial state).
 	CheckpointEvery int
-	// Fabric configures the interconnect; N and Clock are filled in.
+	// Transport selects the communication substrate: transport.Mem (the
+	// default, the in-process simulated fabric) or transport.TCP (real
+	// loopback connections with the framed wire format).
+	Transport transport.Kind
+	// Fabric configures the interconnect; N and Clock are filled in. The
+	// latency/bandwidth model applies to the mem transport; for tcp only
+	// LinkBufferBytes carries over (real sockets impose their own
+	// timing).
 	Fabric fabric.Config
 	// EventLoggerLatency is the TEL stable event-logger round trip.
 	EventLoggerLatency time.Duration
@@ -117,12 +128,12 @@ type Config struct {
 	StallTimeout time.Duration
 }
 
-// Cluster is one n-rank run: fabric, stable storage, protocol instances,
+// Cluster is one n-rank run: transport, stable storage, protocol instances,
 // rank runtimes and the failure controller.
 type Cluster struct {
 	cfg     Config
 	clk     clock.Clock
-	fab     *fabric.Fabric
+	tr      transport.Transport
 	store   *stable.Store
 	ckpts   *ckpt.Manager
 	coll    *metrics.Collector
@@ -160,13 +171,14 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	fcfg := cfg.Fabric
-	fcfg.N = cfg.N
-	fcfg.Clock = cfg.Clock
+	tr, err := newTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		clk:     cfg.Clock,
-		fab:     fabric.New(fcfg),
+		tr:      tr,
 		store:   stable.NewStore(stable.Options{Clock: cfg.Clock, WriteLatency: cfg.StableWriteLatency}),
 		coll:    metrics.NewCollector(cfg.N),
 		factory: factory,
@@ -184,8 +196,36 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 	if cfg.Protocol == TEL {
 		c.telLog = tel.NewLogger(cfg.N, cfg.Clock, cfg.EventLoggerLatency)
 	}
+	// Observers that record run metadata (trace.Recorder) learn which
+	// transport carried the run without the harness importing them.
+	if s, ok := cfg.Observer.(interface{ SetTransport(kind string) }); ok {
+		s.SetTransport(tr.Kind())
+	}
 	return c, nil
 }
+
+// newTransport builds the configured communication substrate.
+func newTransport(cfg Config) (transport.Transport, error) {
+	switch cfg.Transport {
+	case "", transport.Mem:
+		fcfg := cfg.Fabric
+		fcfg.N = cfg.N
+		fcfg.Clock = cfg.Clock
+		return mem.New(fcfg), nil
+	case transport.TCP:
+		return tcp.New(tcp.Config{
+			N:               cfg.N,
+			LinkBufferBytes: cfg.Fabric.LinkBufferBytes,
+			Clock:           cfg.Clock,
+		})
+	default:
+		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
+	}
+}
+
+// Transport exposes the cluster's communication substrate (tests,
+// diagnostics, trace headers).
+func (c *Cluster) Transport() transport.Transport { return c.tr }
 
 // newProtocol builds a protocol instance bound to runtime r.
 func (c *Cluster) newProtocol(r *rankRuntime) (proto.Protocol, error) {
@@ -338,7 +378,7 @@ func (c *Cluster) Close() {
 	if c.telLog != nil {
 		c.telLog.Close()
 	}
-	c.fab.Close()
+	c.tr.Close()
 }
 
 // observer returns the configured observer or a no-op.

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"windar/internal/app"
 	"windar/internal/fabric"
+	"windar/internal/transport"
 )
 
 // --- test applications ---
@@ -104,11 +106,21 @@ func sumFactory(steps int) app.Factory {
 
 // --- helpers ---
 
+// testTransport lets CI run the whole harness matrix over a different
+// substrate: WINDAR_TRANSPORT=tcp go test ./internal/harness/.
+func testTransport() transport.Kind {
+	if k := os.Getenv("WINDAR_TRANSPORT"); k != "" {
+		return k
+	}
+	return transport.Mem
+}
+
 func testConfig(n int, p ProtocolKind) Config {
 	return Config{
 		N:               n,
 		Protocol:        p,
 		CheckpointEvery: 5,
+		Transport:       testTransport(),
 		Fabric: fabric.Config{
 			BaseLatency:    20 * time.Microsecond,
 			JitterFraction: 1.0,

@@ -48,7 +48,7 @@ type rankRuntime struct {
 	recoveryTarget int64
 
 	// Queue A (non-blocking mode). sendBusy marks a message popped from
-	// the queue but not yet handed to the fabric.
+	// the queue but not yet handed to the transport.
 	sendMu   sync.Mutex
 	sendCond *sync.Cond
 	sendQ    []*wire.Envelope
@@ -98,7 +98,7 @@ func (r *rankRuntime) start(fromStep int, rollback []byte) {
 	r.startStep = fromStep
 	// Pin the inbox handle synchronously so this incarnation's receiver
 	// can never attach to a successor's queue.
-	go r.receiverLoop(r.c.fab.Inbox(r.id))
+	go r.receiverLoop(r.c.tr.Inbox(r.id))
 	if r.c.cfg.Mode == NonBlocking {
 		go r.senderLoop()
 	}
@@ -207,11 +207,11 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	r.transmit(env)
 }
 
-// transmit hands env to the fabric according to the configured mode.
+// transmit hands env to the transport according to the configured mode.
 func (r *rankRuntime) transmit(env *wire.Envelope) {
 	if r.c.cfg.Mode == Blocking {
 		start := r.c.clk.Now()
-		err := r.c.fab.Send(env, fabricSendOpts(true, r.killed))
+		err := r.c.tr.Send(env, transportSendOpts(true, r.killed))
 		r.c.coll.Rank(r.id).BlockedSend(r.c.clk.Now().Sub(start))
 		if err != nil {
 			panic(killedPanic{})
@@ -242,7 +242,7 @@ func (r *rankRuntime) senderLoop() {
 		r.sendBusy = true
 		r.sendMu.Unlock()
 
-		err := r.c.fab.Send(env, fabricSendOpts(false, r.killed))
+		err := r.c.tr.Send(env, transportSendOpts(false, r.killed))
 
 		r.sendMu.Lock()
 		r.sendBusy = false
@@ -255,7 +255,7 @@ func (r *rankRuntime) senderLoop() {
 }
 
 // drainSends blocks until queue A is empty and no message is mid-hand-off
-// to the fabric. A checkpoint must not record log items for messages that
+// to the transport. A checkpoint must not record log items for messages that
 // were never physically transmitted: if the rank then died, replay would
 // resume past the send and nothing would ever retransmit it. Draining
 // before the snapshot guarantees every checkpointed log item was on the
@@ -424,7 +424,7 @@ func (r *rankRuntime) doCheckpoint(step int) {
 			Incarnation: r.incarnation,
 			Payload:     encodeCkptAdvance(a.count, total),
 		}
-		if err := r.c.fab.Send(env, fabricSendOpts(false, r.killed)); err != nil {
+		if err := r.c.tr.Send(env, transportSendOpts(false, r.killed)); err != nil {
 			panic(killedPanic{})
 		}
 		m.ControlMsg()

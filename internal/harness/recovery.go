@@ -8,7 +8,7 @@ import (
 // Kill injects a failure: rank's volatile state (receiving queue, sender
 // log, protocol state, unsent queue-A messages, application memory) is
 // lost; its goroutines unwind; messages already in its inbox are dropped;
-// in-flight messages park at the fabric until an incarnation revives the
+// in-flight messages park at the transport until an incarnation revives the
 // rank.
 func (c *Cluster) Kill(rank int) error {
 	c.ranksMu.Lock()
@@ -24,7 +24,7 @@ func (c *Cluster) Kill(rank int) error {
 	pre := r.deliveredCount
 	r.mu.Unlock()
 
-	c.fab.Kill(rank) // stop deliveries first: the inbox content is lost
+	c.tr.Kill(rank) // stop deliveries first: the inbox content is lost
 	r.kill()
 
 	c.ranksMu.Lock()
@@ -95,7 +95,7 @@ func (c *Cluster) Recover(rank int) error {
 	c.ranks[rank] = r
 	c.ranksMu.Unlock()
 
-	c.fab.Revive(rank)
+	c.tr.Revive(rank)
 	r.start(fromStep, encodeRollback(r.deliveredCount, r.lastDeliverIndex.Clone()))
 	c.observer().OnRecover(rank, fromStep)
 	return nil

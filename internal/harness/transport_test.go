@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"windar/internal/transport"
+)
+
+// These tests pin the harness to the TCP transport explicitly (the rest
+// of the file's matrix covers it via WINDAR_TRANSPORT=tcp in CI): the
+// full protocol × mode grid must survive a mid-stream kill when frames
+// live in real socket buffers, where a kill severs connections and
+// drops in-flight bytes rather than in-process queues.
+
+func tcpConfig(n int, p ProtocolKind) Config {
+	cfg := testConfig(n, p)
+	cfg.Transport = transport.TCP
+	return cfg
+}
+
+// TestTCPTransparent: the application result over TCP equals the result
+// over the simulated fabric — the transport is observationally
+// equivalent in failure-free runs.
+func TestTCPTransparent(t *testing.T) {
+	memStates := run(t, testConfig(4, TDI), ringFactory(30), nil)
+	tcpStates := run(t, tcpConfig(4, TDI), ringFactory(30), nil)
+	assertSameStates(t, memStates, tcpStates, "tcp-vs-mem")
+}
+
+// TestTCPRecoveryMatrix: every protocol recovers over TCP, in both
+// communication modes, from a kill injected while the ring stream is in
+// flight. The kill closes the victim's sockets mid-transfer: frames in
+// kernel buffers are lost, the logging protocol must regenerate them.
+func TestTCPRecoveryMatrix(t *testing.T) {
+	for _, p := range allProtocols {
+		for _, mode := range []Mode{NonBlocking, Blocking} {
+			p, mode := p, mode
+			t.Run(string(p)+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := tcpConfig(4, p)
+				cfg.Mode = mode
+				clean := run(t, cfg, ringFactory(60), nil)
+				faulty := run(t, cfg, ringFactory(60), func(c *Cluster) {
+					time.Sleep(3 * time.Millisecond)
+					if err := c.KillAndRecover(2, time.Millisecond); err != nil {
+						t.Errorf("KillAndRecover: %v", err)
+					}
+				})
+				assertSameStates(t, clean, faulty, "tcp-recovery")
+			})
+		}
+	}
+}
+
+// TestTCPKillSenderMidStream kills the rank whose sender is mid-stream:
+// its outbound frames already accepted by the transport keep flowing
+// (links belong to the network), its inbound bytes are dropped, and the
+// incarnation replays to the identical state.
+func TestTCPKillSenderMidStream(t *testing.T) {
+	clean := run(t, tcpConfig(5, TDI), sumFactory(40), nil)
+	faulty := run(t, tcpConfig(5, TDI), sumFactory(40), func(c *Cluster) {
+		time.Sleep(3 * time.Millisecond)
+		// Rank 3 is a worker constantly sending to the master.
+		if err := c.KillAndRecover(3, time.Millisecond); err != nil {
+			t.Errorf("KillAndRecover: %v", err)
+		}
+	})
+	assertSameStates(t, clean, faulty, "tcp-sender-kill")
+}
+
+// TestTCPDoubleFailure: simultaneous failures over TCP — both victims'
+// sockets sever at once and each incarnation regenerates the other's
+// lost messages while rolling forward.
+func TestTCPDoubleFailure(t *testing.T) {
+	clean := run(t, tcpConfig(4, TDI), ringFactory(60), nil)
+	faulty := run(t, tcpConfig(4, TDI), ringFactory(60), func(c *Cluster) {
+		time.Sleep(3 * time.Millisecond)
+		if err := c.Kill(1); err != nil {
+			t.Errorf("Kill(1): %v", err)
+		}
+		if err := c.Kill(2); err != nil {
+			t.Errorf("Kill(2): %v", err)
+		}
+		time.Sleep(time.Millisecond)
+		if err := c.Recover(1); err != nil {
+			t.Errorf("Recover(1): %v", err)
+		}
+		if err := c.Recover(2); err != nil {
+			t.Errorf("Recover(2): %v", err)
+		}
+	})
+	assertSameStates(t, clean, faulty, "tcp-double-failure")
+}

@@ -8,12 +8,13 @@ import (
 
 // LockSend reports blocking operations performed while a sync.Mutex or
 // sync.RWMutex is held: channel sends, sync.WaitGroup.Wait, blocking
-// fabric calls (Fabric.Send, Inbox.Recv) and clock sleeps. Holding a
-// rank or link mutex across any of these is the classic harness/fabric
-// deadlock shape: the peer needs the same mutex to drain the channel.
+// fabric and transport calls (Fabric.Send, Transport.Send, Inbox.Recv)
+// and clock sleeps. Holding a rank or link mutex across any of these is
+// the classic harness/fabric deadlock shape: the peer needs the same
+// mutex to drain the channel.
 var LockSend = &Analyzer{
 	Name: "locksend",
-	Doc:  "forbid channel sends and blocking fabric/waitgroup calls while a sync.Mutex is held",
+	Doc:  "forbid channel sends and blocking fabric/transport/waitgroup calls while a sync.Mutex is held",
 	Run:  runLockSend,
 }
 
@@ -78,6 +79,13 @@ func blockingCall(pass *Pass, call *ast.CallExpr) string {
 	case "windar/internal/fabric":
 		if fn.Name() == "Send" || fn.Name() == "Recv" {
 			return "fabric." + typeName(recv.Type()) + "." + fn.Name()
+		}
+	case "windar/internal/transport":
+		// The transport interface has the same blocking shape as the
+		// fabric: Send may rendezvous or backpressure, Recv parks until
+		// a message or a kill.
+		if fn.Name() == "Send" || fn.Name() == "Recv" {
+			return "transport." + typeName(recv.Type()) + "." + fn.Name()
 		}
 	case "windar/internal/clock":
 		if fn.Name() == "Sleep" {

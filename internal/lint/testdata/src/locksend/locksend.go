@@ -3,7 +3,12 @@
 // select-with-default, and closure bodies starting lock-free must not.
 package locksend
 
-import "sync"
+import (
+	"sync"
+
+	"windar/internal/transport"
+	"windar/internal/wire"
+)
 
 type state struct {
 	mu sync.Mutex
@@ -32,6 +37,24 @@ func badRLock(mu *sync.RWMutex, ch chan int) {
 	mu.RLock()
 	ch <- 3 // want "channel send while mu is held"
 	mu.RUnlock()
+}
+
+func badTransportSend(mu *sync.Mutex, tr transport.Transport, env *wire.Envelope) {
+	mu.Lock()
+	_ = tr.Send(env, transport.SendOpts{}) // want "transport.Transport.Send while mu is held"
+	mu.Unlock()
+}
+
+func badInboxRecv(mu *sync.Mutex, in transport.Inbox) {
+	mu.Lock()
+	_, _ = in.Recv() // want "transport.Inbox.Recv while mu is held"
+	mu.Unlock()
+}
+
+func goodTransportAfterUnlock(mu *sync.Mutex, tr transport.Transport, env *wire.Envelope) {
+	mu.Lock()
+	mu.Unlock()
+	_ = tr.Send(env, transport.SendOpts{})
 }
 
 func goodAfterUnlock(s *state) {

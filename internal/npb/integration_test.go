@@ -2,6 +2,7 @@ package npb_test
 
 import (
 	"bytes"
+	"os"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ func clusterConfig(n int, p harness.ProtocolKind) harness.Config {
 		N:               n,
 		Protocol:        p,
 		CheckpointEvery: 3,
+		Transport:       os.Getenv("WINDAR_TRANSPORT"),
 		Fabric: fabric.Config{
 			BaseLatency:    10 * time.Microsecond,
 			JitterFraction: 1.0,

@@ -22,6 +22,19 @@ type jsonEvent struct {
 	Seq          int    `json:"seq"`
 }
 
+// jsonHeader is the optional first line of a trace file carrying run
+// metadata. It is distinguishable from jsonEvent because events always
+// carry a non-empty "kind" and never a "header" field. Traces written
+// before the header existed start directly with an event line and still
+// import.
+type jsonHeader struct {
+	Header    int    `json:"header"` // format version of the header line
+	Transport string `json:"transport,omitempty"`
+}
+
+// headerVersion is the current header-line format version.
+const headerVersion = 1
+
 var kindNames = map[EventKind]string{
 	EvSend:             "send",
 	EvDeliver:          "deliver",
@@ -48,9 +61,16 @@ func (k EventKind) String() string {
 }
 
 // Export writes the recorded events to w as JSON Lines, one event per
-// line, suitable for offline analysis or re-import.
+// line, suitable for offline analysis or re-import. When a transport
+// kind was stamped (SetTransport), a metadata header line precedes the
+// events.
 func (r *Recorder) Export(w io.Writer) error {
 	enc := json.NewEncoder(w)
+	if tk := r.Transport(); tk != "" {
+		if err := enc.Encode(jsonHeader{Header: headerVersion, Transport: tk}); err != nil {
+			return fmt.Errorf("trace: export header: %w", err)
+		}
+	}
 	for _, e := range r.Events() {
 		je := jsonEvent{
 			Kind: e.Kind.String(), Rank: e.Rank, Peer: e.Peer,
@@ -69,17 +89,36 @@ func (r *Recorder) Export(w io.Writer) error {
 }
 
 // Import reads a JSON Lines trace written by Export into a fresh
-// Recorder.
+// Recorder. A leading metadata header line, when present, restores the
+// recorded transport kind; headerless traces (written before transport
+// metadata existed) import unchanged.
 func Import(rd io.Reader) (*Recorder, error) {
 	dec := json.NewDecoder(rd)
 	rec := &Recorder{}
+	first := true
 	for {
-		var je jsonEvent
-		if err := dec.Decode(&je); err == io.EOF {
+		var line struct {
+			jsonHeader
+			jsonEvent
+		}
+		if err := dec.Decode(&line); err == io.EOF {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("trace: import: %w", err)
 		}
+		if line.Header > 0 {
+			if !first {
+				return nil, fmt.Errorf("trace: import: header line not first")
+			}
+			if line.Header > headerVersion {
+				return nil, fmt.Errorf("trace: import: header version %d unsupported", line.Header)
+			}
+			rec.transport = line.Transport
+			first = false
+			continue
+		}
+		first = false
+		je := line.jsonEvent
 		kind, ok := kindValues[je.Kind]
 		if !ok {
 			return nil, fmt.Errorf("trace: import: unknown kind %q", je.Kind)

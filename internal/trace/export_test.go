@@ -36,6 +36,62 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTransportHeaderRoundTrip(t *testing.T) {
+	r := sampleRecorder()
+	r.SetTransport("tcp")
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"header":1,"transport":"tcp"}`) {
+		t.Fatalf("missing header line:\n%s", buf.String())
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Transport() != "tcp" {
+		t.Fatalf("Transport = %q after round trip", got.Transport())
+	}
+	if !reflect.DeepEqual(r.Events(), got.Events()) {
+		t.Fatal("events diverged under header")
+	}
+}
+
+func TestImportHeaderlessTrace(t *testing.T) {
+	// Traces written before transport metadata existed start directly
+	// with an event line and must keep importing.
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"header"`) {
+		t.Fatalf("unstamped recorder wrote a header:\n%s", buf.String())
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Transport() != "" {
+		t.Fatalf("Transport = %q on headerless trace", got.Transport())
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), r.Len())
+	}
+}
+
+func TestImportRejectsBadHeaders(t *testing.T) {
+	if _, err := Import(strings.NewReader(`{"header":99,"transport":"mem"}`)); err == nil {
+		t.Fatal("future header version accepted")
+	}
+	late := `{"kind":"send","rank":0,"peer":1,"sendIndex":1,"seq":0}` + "\n" +
+		`{"header":1,"transport":"mem"}`
+	if _, err := Import(strings.NewReader(late)); err == nil {
+		t.Fatal("mid-stream header accepted")
+	}
+}
+
 func TestImportRejectsGarbage(t *testing.T) {
 	if _, err := Import(strings.NewReader("not json")); err == nil {
 		t.Fatal("garbage accepted")

@@ -56,8 +56,27 @@ type Event struct {
 // Recorder collects events from a running cluster. Safe for concurrent
 // use. The zero value is ready.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	mu        sync.Mutex
+	events    []Event
+	transport string
+}
+
+// SetTransport records which transport kind carried the run the trace
+// describes ("mem", "tcp"). The harness stamps it when the recorder is
+// installed as the cluster observer; Export persists it as a header
+// line and Import restores it.
+func (r *Recorder) SetTransport(kind string) {
+	r.mu.Lock()
+	r.transport = kind
+	r.mu.Unlock()
+}
+
+// Transport returns the transport kind stamped by SetTransport, or ""
+// for traces that predate transport metadata.
+func (r *Recorder) Transport() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.transport
 }
 
 func (r *Recorder) add(e Event) {

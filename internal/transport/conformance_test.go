@@ -1,0 +1,379 @@
+// Conformance suite: every test runs against both Transport
+// implementations, pinning the shared failure contract documented on
+// the package — per-pair FIFO, inbox-drop on Kill, parked delivery
+// across a dead window, rendezvous and abort semantics.
+package transport_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"windar/internal/fabric"
+	"windar/internal/transport"
+	"windar/internal/transport/mem"
+	"windar/internal/transport/tcp"
+	"windar/internal/wire"
+)
+
+// each runs fn once per implementation on a fresh n-rank transport.
+func each(t *testing.T, n int, fn func(t *testing.T, tr transport.Transport)) {
+	t.Run("mem", func(t *testing.T) {
+		tr := mem.New(fabric.Config{N: n, BaseLatency: 50 * time.Microsecond, Seed: 7})
+		defer tr.Close()
+		fn(t, tr)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		tr, err := tcp.New(tcp.Config{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		fn(t, tr)
+	})
+}
+
+func appEnv(from, to, index int) *wire.Envelope {
+	return &wire.Envelope{
+		Kind: wire.KindApp, From: from, To: to, SendIndex: int64(index),
+		Payload: []byte(fmt.Sprintf("m%d", index)),
+	}
+}
+
+func mustSend(t *testing.T, tr transport.Transport, env *wire.Envelope, opts transport.SendOpts) {
+	t.Helper()
+	if err := tr.Send(env, opts); err != nil {
+		t.Fatalf("send %d->%d index %d: %v", env.From, env.To, env.SendIndex, err)
+	}
+}
+
+// waitDrained polls until no accepted message is outside an inbox.
+func waitDrained(t *testing.T, tr transport.Transport) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight never drained: %d", tr.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestKindAndN(t *testing.T) {
+	each(t, 3, func(t *testing.T, tr transport.Transport) {
+		if tr.N() != 3 {
+			t.Fatalf("N=%d, want 3", tr.N())
+		}
+		if k := tr.Kind(); k != transport.Mem && k != transport.TCP {
+			t.Fatalf("unexpected kind %q", k)
+		}
+		for r := 0; r < 3; r++ {
+			if !tr.Alive(r) {
+				t.Fatalf("rank %d not alive at start", r)
+			}
+		}
+	})
+}
+
+// TestFIFOPerPair: messages on one ordered pair arrive in send order.
+func TestFIFOPerPair(t *testing.T) {
+	const count = 500
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		in := tr.Inbox(1)
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; i < count; i++ {
+				env, ok := in.Recv()
+				if !ok {
+					done <- fmt.Errorf("inbox closed at %d", i)
+					return
+				}
+				if env.SendIndex != int64(i) {
+					done <- fmt.Errorf("got index %d, want %d", env.SendIndex, i)
+					return
+				}
+			}
+			done <- nil
+		}()
+		for i := 0; i < count; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestKillUnblocksReceiver: a Recv blocked on the killed incarnation's
+// inbox returns ok=false, and the stale handle stays dead after Revive.
+func TestKillUnblocksReceiver(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		in := tr.Inbox(1)
+		unblocked := make(chan bool, 1)
+		go func() {
+			_, ok := in.Recv()
+			unblocked <- ok
+		}()
+		time.Sleep(10 * time.Millisecond)
+		tr.Kill(1)
+		select {
+		case ok := <-unblocked:
+			if ok {
+				t.Fatal("Recv returned ok=true from a killed inbox")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Recv did not unblock on Kill")
+		}
+		tr.Revive(1)
+		if _, ok := in.Recv(); ok {
+			t.Fatal("stale inbox handle delivered after Revive")
+		}
+	})
+}
+
+// TestKillDropsInboxedMessages: messages already accepted by the inbox
+// are lost with the incarnation; the revived rank sees only later
+// traffic.
+func TestKillDropsInboxedMessages(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		for i := 0; i < 5; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		waitDrained(t, tr) // all five are in the inbox, none consumed
+		tr.Kill(1)
+		tr.Revive(1)
+		mustSend(t, tr, appEnv(0, 1, 100), transport.SendOpts{})
+		env, ok := tr.Inbox(1).Recv()
+		if !ok {
+			t.Fatal("revived inbox closed")
+		}
+		if env.SendIndex != 100 {
+			t.Fatalf("revived rank received pre-kill message %d", env.SendIndex)
+		}
+	})
+}
+
+// TestParkedDeliveryAcrossDeadWindow: buffered sends accepted while the
+// destination is dead park and reach the next incarnation, in order.
+func TestParkedDeliveryAcrossDeadWindow(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		tr.Kill(1)
+		for i := 0; i < 3; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		time.Sleep(20 * time.Millisecond) // the dead window
+		tr.Revive(1)
+		in := tr.Inbox(1)
+		for i := 0; i < 3; i++ {
+			env, ok := in.Recv()
+			if !ok {
+				t.Fatalf("inbox closed at %d", i)
+			}
+			if env.SendIndex != int64(i) {
+				t.Fatalf("parked delivery out of order: got %d, want %d", env.SendIndex, i)
+			}
+		}
+	})
+}
+
+// TestRendezvousBlocksUntilAccepted: a rendezvous send to a dead rank
+// completes only after Revive.
+func TestRendezvousBlocksUntilAccepted(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		tr.Kill(1)
+		done := make(chan error, 1)
+		go func() {
+			done <- tr.Send(appEnv(0, 1, 0), transport.SendOpts{Rendezvous: true})
+		}()
+		select {
+		case err := <-done:
+			t.Fatalf("rendezvous send to dead rank returned early: %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		tr.Revive(1)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("rendezvous send after revive: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("rendezvous send never completed after Revive")
+		}
+		if env, ok := tr.Inbox(1).Recv(); !ok || env.SendIndex != 0 {
+			t.Fatalf("revived rank did not receive the rendezvous message (ok=%v)", ok)
+		}
+	})
+}
+
+// TestAbortUnblocksRendezvous: the abort channel (the sender's own
+// kill) releases a blocked rendezvous send with ErrAborted.
+func TestAbortUnblocksRendezvous(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		tr.Kill(1)
+		abort := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- tr.Send(appEnv(0, 1, 0), transport.SendOpts{Rendezvous: true, Abort: abort})
+		}()
+		time.Sleep(20 * time.Millisecond)
+		close(abort)
+		select {
+		case err := <-done:
+			if !errors.Is(err, transport.ErrAborted) {
+				t.Fatalf("aborted rendezvous returned %v, want ErrAborted", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("abort did not unblock the rendezvous send")
+		}
+	})
+}
+
+// TestCrossPairConcurrency: concurrent senders to one destination each
+// keep their own FIFO; nothing is lost without failures.
+func TestCrossPairConcurrency(t *testing.T) {
+	const senders, count = 3, 200
+	each(t, senders+1, func(t *testing.T, tr transport.Transport) {
+		dest := senders
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := 0; i < count; i++ {
+					if err := tr.Send(appEnv(s, dest, i), transport.SendOpts{}); err != nil {
+						t.Errorf("send from %d: %v", s, err)
+						return
+					}
+				}
+			}(s)
+		}
+		in := tr.Inbox(dest)
+		next := make([]int64, senders)
+		for got := 0; got < senders*count; got++ {
+			env, ok := in.Recv()
+			if !ok {
+				t.Fatalf("inbox closed after %d messages", got)
+			}
+			if env.SendIndex != next[env.From] {
+				t.Fatalf("per-pair FIFO broken from %d: got %d, want %d",
+					env.From, env.SendIndex, next[env.From])
+			}
+			next[env.From]++
+		}
+		wg.Wait()
+	})
+}
+
+// TestLossWindowIsContiguous kills the destination mid-stream: the old
+// incarnation reads a prefix, the kill loses a contiguous window, and
+// the new incarnation receives a contiguous ordered suffix — the loss
+// observable the recovery protocols are built against.
+func TestLossWindowIsContiguous(t *testing.T) {
+	const count = 1000
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		oldIn := tr.Inbox(1)
+		oldMax := int64(-1)
+		oldDone := make(chan struct{})
+		go func() {
+			defer close(oldDone)
+			prev := int64(-1)
+			for {
+				env, ok := oldIn.Recv()
+				if !ok {
+					return
+				}
+				if env.SendIndex != prev+1 {
+					t.Errorf("old incarnation gap: got %d after %d", env.SendIndex, prev)
+					return
+				}
+				prev = env.SendIndex
+				oldMax = prev
+			}
+		}()
+
+		go func() {
+			for i := 0; i < count; i++ {
+				// Sends may legitimately block while the destination is
+				// dead and the link buffer fills; no failure expected.
+				if err := tr.Send(appEnv(0, 1, i), transport.SendOpts{}); err != nil {
+					t.Errorf("send %d: %v", i, err)
+					return
+				}
+				if i%20 == 0 {
+					// Pace the stream so the kill lands mid-flight.
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+
+		time.Sleep(2 * time.Millisecond)
+		tr.Kill(1)
+		<-oldDone
+		if oldMax == count-1 {
+			t.Log("kill landed after the full stream drained; loss window empty")
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+		tr.Revive(1)
+
+		newIn := tr.Inbox(1)
+		first, prev := int64(-1), int64(-1)
+		for {
+			env, ok := newIn.Recv()
+			if !ok {
+				t.Fatal("new incarnation inbox closed")
+			}
+			if first == -1 {
+				first = env.SendIndex
+				if first <= oldMax {
+					t.Fatalf("new incarnation saw index %d already read by old (max %d)", first, oldMax)
+				}
+			} else if env.SendIndex != prev+1 {
+				t.Fatalf("new incarnation gap: got %d after %d", env.SendIndex, prev)
+			}
+			prev = env.SendIndex
+			if prev == count-1 {
+				break
+			}
+		}
+		t.Logf("old read [0..%d], lost (%d..%d), new received [%d..%d]",
+			oldMax, oldMax, first, first, count-1)
+	})
+}
+
+// TestCloseUnblocksEverything: Close releases blocked receivers and
+// blocked rendezvous senders.
+func TestCloseUnblocksEverything(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		recvDone := make(chan bool, 1)
+		go func() {
+			_, ok := tr.Inbox(1).Recv()
+			recvDone <- ok
+		}()
+		tr.Kill(0) // only to make the send below park
+		sendDone := make(chan error, 1)
+		go func() {
+			sendDone <- tr.Send(appEnv(1, 0, 0), transport.SendOpts{Rendezvous: true})
+		}()
+		time.Sleep(20 * time.Millisecond)
+		tr.Close()
+		select {
+		case ok := <-recvDone:
+			if ok {
+				t.Fatal("Recv returned ok=true after Close")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not unblock Recv")
+		}
+		select {
+		case err := <-sendDone:
+			if err == nil {
+				t.Fatal("blocked rendezvous send returned nil after Close")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not unblock the rendezvous send")
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"windar/internal/transport"
+	"windar/internal/wire"
+)
+
+func newT(t *testing.T, cfg Config) *Transport {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+// TestBoundedBufferBackpressure: once a link holds LinkBufferBytes of
+// unacknowledged data toward a dead rank, further buffered sends block
+// until the destination revives and drains — the limited
+// communication-subsystem memory behaviour from the paper's Fig. 4(b).
+func TestBoundedBufferBackpressure(t *testing.T) {
+	tr := newT(t, Config{N: 2, LinkBufferBytes: 4096})
+	tr.Kill(1)
+
+	big := func(i int) *wire.Envelope {
+		return &wire.Envelope{Kind: wire.KindApp, From: 0, To: 1,
+			SendIndex: int64(i), Payload: make([]byte, 3000)}
+	}
+	// First send is admitted regardless of size (an empty link never
+	// rejects), second overflows the 4096-byte bound and must block.
+	if err := tr.Send(big(0), transport.SendOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tr.Send(big(1), transport.SendOpts{}) }()
+	select {
+	case err := <-done:
+		t.Fatalf("overflowing send returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	tr.Revive(1)
+	in := tr.Inbox(1)
+	for i := 0; i < 2; i++ {
+		env, ok := in.Recv()
+		if !ok || env.SendIndex != int64(i) {
+			t.Fatalf("delivery %d: ok=%v env=%+v", i, ok, env)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked send failed after revive: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked send never unblocked after revive")
+	}
+}
+
+// TestAbortUnblocksBufferedSend: a send blocked on the bounded buffer
+// observes its abort channel. As in the fabric, the abort channel is
+// the sending rank's own kill: it is polled at wakeups, and Kill
+// provides the wakeup broadcast.
+func TestAbortUnblocksBufferedSend(t *testing.T) {
+	tr := newT(t, Config{N: 2, LinkBufferBytes: 1024})
+	tr.Kill(1)
+	if err := tr.Send(&wire.Envelope{Kind: wire.KindApp, From: 0, To: 1,
+		Payload: make([]byte, 900)}, transport.SendOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	abort := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- tr.Send(&wire.Envelope{Kind: wire.KindApp, From: 0, To: 1, SendIndex: 1,
+			Payload: make([]byte, 900)}, transport.SendOpts{Abort: abort})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(abort)
+	tr.Kill(0) // the abort's source event; its broadcast wakes the waiter
+	select {
+	case err := <-done:
+		if err != transport.ErrAborted {
+			t.Fatalf("got %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not unblock the buffered send")
+	}
+}
+
+// TestRepeatedKillReviveCycles hammers reconnects while a stream is in
+// flight. Three invariants survive any interleaving: each incarnation
+// sees strictly increasing indices, no index is inboxed twice across
+// all incarnations (the in-process ack makes the loss window exact),
+// and after the last revive the link converges — a final rendezvous
+// marker is delivered.
+func TestRepeatedKillReviveCycles(t *testing.T) {
+	tr := newT(t, Config{N: 2})
+	const total = 600
+	const marker = int64(1 << 20)
+
+	var rmu sync.Mutex
+	received := map[int64]int{}
+	markerSeen := make(chan struct{})
+	readIncarnation := func(in transport.Inbox) {
+		prev := int64(-1)
+		for {
+			env, ok := in.Recv()
+			if !ok {
+				return
+			}
+			if env.SendIndex <= prev {
+				t.Errorf("incarnation saw %d after %d", env.SendIndex, prev)
+				return
+			}
+			prev = env.SendIndex
+			rmu.Lock()
+			received[env.SendIndex]++
+			rmu.Unlock()
+			if env.SendIndex == marker {
+				close(markerSeen)
+				return
+			}
+		}
+	}
+	go readIncarnation(tr.Inbox(1))
+
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		for i := 0; i < total; i++ {
+			if err := tr.Send(&wire.Envelope{Kind: wire.KindApp, From: 0, To: 1,
+				SendIndex: int64(i), Payload: []byte("x")}, transport.SendOpts{}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	for cycle := 0; cycle < 5; cycle++ {
+		time.Sleep(3 * time.Millisecond)
+		tr.Kill(1)
+		time.Sleep(2 * time.Millisecond)
+		tr.Revive(1)
+		go readIncarnation(tr.Inbox(1))
+	}
+	<-sendDone
+
+	if err := tr.Send(&wire.Envelope{Kind: wire.KindApp, From: 0, To: 1,
+		SendIndex: marker}, transport.SendOpts{Rendezvous: true}); err != nil {
+		t.Fatalf("marker send: %v", err)
+	}
+	select {
+	case <-markerSeen:
+	case <-time.After(20 * time.Second):
+		t.Fatal("marker never delivered after reconnect cycles")
+	}
+
+	rmu.Lock()
+	defer rmu.Unlock()
+	delivered := 0
+	for idx, n := range received {
+		if n > 1 {
+			t.Errorf("index %d inboxed %d times; loss window not exact", idx, n)
+		}
+		if idx != marker {
+			delivered++
+		}
+	}
+	t.Logf("delivered %d/%d across 6 incarnations (rest lost to kills)", delivered, total)
+}
+
+// TestSelfSend: a rank's loopback link to itself works like any other.
+func TestSelfSend(t *testing.T) {
+	tr := newT(t, Config{N: 1})
+	if err := tr.Send(&wire.Envelope{Kind: wire.KindApp, From: 0, To: 0,
+		Payload: []byte("self")}, transport.SendOpts{Rendezvous: true}); err != nil {
+		t.Fatal(err)
+	}
+	env, ok := tr.Inbox(0).Recv()
+	if !ok || string(env.Payload) != "self" {
+		t.Fatalf("self send lost: ok=%v env=%+v", ok, env)
+	}
+}
+
+// TestBadEndpointsRejected: out-of-range ranks error instead of
+// corrupting link state.
+func TestBadEndpointsRejected(t *testing.T) {
+	tr := newT(t, Config{N: 2})
+	for _, env := range []*wire.Envelope{
+		{Kind: wire.KindApp, From: -1, To: 0},
+		{Kind: wire.KindApp, From: 0, To: 2},
+	} {
+		if err := tr.Send(env, transport.SendOpts{}); err == nil {
+			t.Fatalf("send %d->%d accepted", env.From, env.To)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"windar/internal/vclock"
@@ -53,6 +55,101 @@ func BenchmarkDecode(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFrameWrite measures the pooled framed-encode hot path used by
+// the tcp transport: one reused buffer, one Write call per envelope.
+func BenchmarkFrameWrite(b *testing.B) {
+	for _, c := range []struct {
+		name         string
+		payload, pig int
+	}{
+		{"small", 64, 32},
+		{"btFace", 28800, 32},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			env := benchEnvelope(c.payload, c.pig)
+			fw := NewFrameWriter(io.Discard)
+			b.ReportAllocs()
+			b.SetBytes(int64(FrameSize(env)))
+			for i := 0; i < b.N; i++ {
+				if err := fw.Write(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeAllocRegression pins the allocation counts of the envelope
+// encode paths: the seed baseline (Encode) allocates one buffer per
+// message; the pooled framed path (FrameWriter with a reused buffer)
+// must allocate strictly less — zero in steady state.
+func TestEncodeAllocRegression(t *testing.T) {
+	env := benchEnvelope(480, 32)
+
+	baseline := testing.AllocsPerRun(200, func() {
+		_ = Encode(env)
+	})
+	if baseline < 1 {
+		t.Fatalf("seed baseline Encode allocates %.1f/op; expected at least 1 (the buffer)", baseline)
+	}
+
+	fw := NewFrameWriter(io.Discard)
+	fw.Write(env) // warm the reused buffer
+	pooled := testing.AllocsPerRun(200, func() {
+		if err := fw.Write(env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pooled != 0 {
+		t.Errorf("pooled FrameWriter.Write allocates %.1f/op, want 0", pooled)
+	}
+	if pooled >= baseline {
+		t.Errorf("pooled encode path allocates %.1f/op, baseline Encode %.1f/op; pooling regressed", pooled, baseline)
+	}
+
+	appendPath := testing.AllocsPerRun(200, func() {
+		fw.buf = AppendEncode(fw.buf[:0], env)
+	})
+	if appendPath != 0 {
+		t.Errorf("AppendEncode into a warm buffer allocates %.1f/op, want 0", appendPath)
+	}
+}
+
+// TestDecodeAllocRegression pins the framed decode path: FrameReader
+// reuses its body buffer, so reading a framed envelope from a stream
+// must not allocate more than the bare Decode baseline (which must copy
+// out the envelope, piggyback and payload).
+func TestDecodeAllocRegression(t *testing.T) {
+	env := benchEnvelope(480, 32)
+	encoded := Encode(env)
+
+	baseline := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(encoded); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	framed := AppendFrame(nil, env)
+	var stream bytes.Reader
+	fr := NewFrameReader(&stream)
+	stream.Reset(framed)
+	if _, err := fr.Read(); err != nil { // warm the body buffer
+		t.Fatal(err)
+	}
+	pooled := testing.AllocsPerRun(200, func() {
+		stream.Reset(framed)
+		if _, err := fr.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The framed path adds stream handling on top of Decode; buffer reuse
+	// must make that addition free.
+	if pooled > baseline {
+		t.Errorf("framed decode allocates %.1f/op, bare Decode %.1f/op; frame buffer pooling regressed",
+			pooled, baseline)
 	}
 }
 

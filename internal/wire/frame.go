@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Framing wraps the in-process envelope encoding into a self-describing
+// byte-stream format so envelopes survive a real transport (TCP) where
+// message boundaries do not exist. Each frame is:
+//
+//	byte 0: magic (FrameMagic) — guards against stream misalignment
+//	byte 1: format version (FrameVersion)
+//	uvarint: body length
+//	body: AppendEncode output
+//
+// The header is per-frame rather than per-stream so a reader can resync
+// diagnostics on corruption and a stream can in principle mix versions
+// during a rolling upgrade.
+const (
+	// FrameMagic is the first byte of every frame.
+	FrameMagic = 0xD7
+	// FrameVersion is the current frame format version.
+	FrameVersion = 1
+	// MaxFrameBody bounds a frame body so a corrupt or hostile length
+	// prefix cannot drive an arbitrary allocation.
+	MaxFrameBody = 64 << 20
+)
+
+// Framing errors. ErrTruncated (shared with Decode) reports a frame cut
+// short.
+var (
+	ErrFrameMagic    = errors.New("wire: bad frame magic")
+	ErrFrameVersion  = errors.New("wire: unsupported frame version")
+	ErrFrameTooLarge = errors.New("wire: frame body exceeds limit")
+)
+
+// AppendFrame appends the framed encoding of e to buf and returns the
+// extended slice. Like AppendEncode it allocates nothing once buf has
+// steady-state capacity.
+func AppendFrame(buf []byte, e *Envelope) []byte {
+	buf = append(buf, FrameMagic, FrameVersion)
+	buf = binary.AppendUvarint(buf, uint64(EncodedSize(e)))
+	return AppendEncode(buf, e)
+}
+
+// FrameSize returns the number of bytes AppendFrame would append for e.
+func FrameSize(e *Envelope) int {
+	n := EncodedSize(e)
+	return 2 + uvarintLen(uint64(n)) + n
+}
+
+// DecodeFrame parses one frame from the front of b, returning the
+// envelope and the number of bytes consumed. It is the slice-based dual
+// of FrameReader.Read, used by tests and fuzzing.
+func DecodeFrame(b []byte) (*Envelope, int, error) {
+	if len(b) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	if b[0] != FrameMagic {
+		return nil, 0, ErrFrameMagic
+	}
+	if b[1] != FrameVersion {
+		return nil, 0, fmt.Errorf("%w: %d", ErrFrameVersion, b[1])
+	}
+	l, n := binary.Uvarint(b[2:])
+	if n <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	if l > MaxFrameBody {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, l)
+	}
+	body := b[2+n:]
+	if uint64(len(body)) < l {
+		return nil, 0, ErrTruncated
+	}
+	env, err := Decode(body[:l])
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, 2 + n + int(l), nil
+}
+
+// FrameWriter writes framed envelopes to an underlying stream, reusing
+// one internal buffer so the steady-state encode path allocates nothing.
+// Not safe for concurrent use.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter on w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w}
+}
+
+// Write frames e onto the stream in a single underlying Write call, so
+// a frame is never interleaved even if the caller alternates writers on
+// one connection.
+func (fw *FrameWriter) Write(e *Envelope) error {
+	fw.buf = AppendFrame(fw.buf[:0], e)
+	_, err := fw.w.Write(fw.buf)
+	return err
+}
+
+// FrameReader reads framed envelopes from a byte stream, reusing one
+// internal body buffer across frames. Not safe for concurrent use.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader on r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// Read parses the next frame. io.EOF is returned verbatim at a clean
+// frame boundary; a frame cut short mid-way surfaces as
+// io.ErrUnexpectedEOF.
+func (fr *FrameReader) Read() (*Envelope, error) {
+	magic, err := fr.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if magic != FrameMagic {
+		return nil, ErrFrameMagic
+	}
+	version, err := fr.r.ReadByte()
+	if err != nil {
+		return nil, eofIsUnexpected(err)
+	}
+	if version != FrameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrFrameVersion, version)
+	}
+	l, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, eofIsUnexpected(err)
+	}
+	if l > MaxFrameBody {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, l)
+	}
+	if uint64(cap(fr.buf)) < l {
+		fr.buf = make([]byte, l)
+	}
+	body := fr.buf[:l]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return nil, eofIsUnexpected(err)
+	}
+	return Decode(body)
+}
+
+// eofIsUnexpected maps a bare EOF inside a frame to io.ErrUnexpectedEOF.
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

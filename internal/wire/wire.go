@@ -87,7 +87,15 @@ type Envelope struct {
 
 // Encode serializes e into a fresh byte slice.
 func Encode(e *Envelope) []byte {
-	buf := make([]byte, 0, 32+len(e.Piggyback)+len(e.Payload))
+	return AppendEncode(make([]byte, 0, 32+len(e.Piggyback)+len(e.Payload)), e)
+}
+
+// AppendEncode appends e's encoding to buf and returns the extended
+// slice. It is the allocation-free core of Encode: callers that reuse a
+// buffer (the framed stream writers, the transport retransmission pool)
+// pay no per-message allocation once the buffer has grown to a steady
+// size.
+func AppendEncode(buf []byte, e *Envelope) []byte {
 	buf = append(buf, byte(e.Kind))
 	var flags byte
 	if e.Resent {

@@ -2,6 +2,7 @@ package workload_test
 
 import (
 	"bytes"
+	"os"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ func cfg(n int) harness.Config {
 		N:               n,
 		Protocol:        harness.TDI,
 		CheckpointEvery: 4,
+		Transport:       os.Getenv("WINDAR_TRANSPORT"),
 		Fabric: fabric.Config{
 			BaseLatency:    10 * time.Microsecond,
 			JitterFraction: 1.0,

@@ -62,6 +62,21 @@ const (
 	Blocking
 )
 
+// TransportKind selects the communication substrate a cluster runs
+// over.
+type TransportKind = string
+
+const (
+	// TransportMem is the in-process simulated fabric with the paper's
+	// latency/bandwidth/jitter model (the default, and the substrate for
+	// the figure experiments).
+	TransportMem TransportKind = "mem"
+	// TransportTCP runs every rank pair over a real loopback TCP
+	// connection with the framed wire format; the latency knobs below do
+	// not apply.
+	TransportTCP TransportKind = "tcp"
+)
+
 // AnySource matches any sender in Recv — MPI_ANY_SOURCE.
 const AnySource = iapp.AnySource
 
@@ -125,6 +140,10 @@ type Config struct {
 	// CheckpointEvery takes a checkpoint before every k-th step; 0
 	// disables periodic checkpoints.
 	CheckpointEvery int
+	// Transport selects the communication substrate: TransportMem
+	// (default) or TransportTCP. BaseLatency, Bandwidth, JitterFraction
+	// and Seed shape the mem fabric only; TCP runs at loopback speed.
+	Transport TransportKind
 	// BaseLatency is the per-message network latency (default 20µs).
 	BaseLatency time.Duration
 	// Bandwidth in bytes/second; 0 means infinite.
@@ -160,6 +179,7 @@ func (c Config) internal() harness.Config {
 		N:               c.Procs,
 		Protocol:        harness.ProtocolKind(c.Protocol),
 		CheckpointEvery: c.CheckpointEvery,
+		Transport:       c.Transport,
 		Fabric: fabric.Config{
 			BaseLatency:    base,
 			BytesPerSecond: c.Bandwidth,
