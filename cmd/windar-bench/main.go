@@ -3,6 +3,7 @@
 //	windar-bench -fig 6          # piggyback amount per message
 //	windar-bench -fig 7          # dependency-tracking time
 //	windar-bench -fig 8          # blocking vs non-blocking accomplishment time
+//	windar-bench -fig obs        # per-protocol histogram quantiles -> BENCH_obs.json
 //	windar-bench -fig all        # everything
 //
 // The sweep dimensions (benchmarks, process counts, problem size) mirror
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"windar"
+	"windar/internal/obs"
 )
 
 func main() {
@@ -29,7 +32,8 @@ func main() {
 		n          = flag.Int("n", 8, "global grid edge (N^3 domain)")
 		iters      = flag.Int("iters", 6, "iterations for LU/BT (SP runs double)")
 		seed       = flag.Int64("seed", 1, "network jitter seed")
-		faultAfter = flag.Duration("fault-after", 10*time.Millisecond, "fig 8: failure injection delay")
+		faultAfter = flag.Duration("fault-after", 10*time.Millisecond, "fig 8 / obs: failure injection delay")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs sweep: output path for the quantile report")
 	)
 	flag.Parse()
 
@@ -48,12 +52,12 @@ func main() {
 
 	want := map[string]bool{}
 	if *fig == "all" {
-		want["6"], want["7"], want["8"], want["ckpt"] = true, true, true, true
+		want["6"], want["7"], want["8"], want["ckpt"], want["obs"] = true, true, true, true, true
 	} else {
 		want[*fig] = true
 	}
-	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] {
-		fatal("unknown -fig %q (want 6, 7, 8, ckpt or all)", *fig)
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] {
+		fatal("unknown -fig %q (want 6, 7, 8, ckpt, obs or all)", *fig)
 	}
 
 	if want["6"] || want["7"] {
@@ -82,6 +86,86 @@ func main() {
 		}
 		fmt.Println(windar.CkptText(rows))
 	}
+	if want["obs"] {
+		if err := runObsSweep(opts, *iters, *faultAfter, *obsOut); err != nil {
+			fatal("obs sweep: %v", err)
+		}
+	}
+}
+
+// obsRun is one protocol's latency-distribution measurement.
+type obsRun struct {
+	ElapsedNS int64                   `json:"elapsed_ns"`
+	Hists     map[string]obs.HistStat `json:"hists"`
+}
+
+// obsReport is the BENCH_obs.json payload: per-protocol histogram
+// quantiles from one failure-injected run, so the bench trajectory has
+// machine-readable distribution data points, not just means.
+type obsReport struct {
+	App        string            `json:"app"`
+	Procs      int               `json:"procs"`
+	N          int               `json:"n"`
+	Iterations int               `json:"iterations"`
+	Protocols  map[string]obsRun `json:"protocols"`
+}
+
+// runObsSweep runs the first configured benchmark at the first process
+// count under each protocol with an obs registry attached and a single
+// injected failure, then writes the per-protocol quantile report.
+func runObsSweep(opts windar.ExperimentOptions, iters int, faultAfter time.Duration, path string) error {
+	appName := opts.Benchmarks[0]
+	procs := opts.ProcCounts[0]
+	report := obsReport{
+		App: appName, Procs: procs, N: opts.N, Iterations: iters,
+		Protocols: map[string]obsRun{},
+	}
+	clk := windar.RealClock()
+	for _, p := range []windar.Protocol{windar.TDI, windar.TAG, windar.TEL} {
+		factory, err := windar.NPBFactory(appName, opts.N, iters)
+		if err != nil {
+			factory, err = windar.WorkloadFactory(appName, iters)
+		}
+		if err != nil {
+			return fmt.Errorf("unknown app %q", appName)
+		}
+		reg := windar.NewObsRegistry(procs)
+		cfg := windar.Config{
+			Procs: procs, Protocol: p, CheckpointEvery: 3,
+			Seed: opts.Seed, Obs: reg, StallTimeout: 2 * time.Minute,
+		}
+		c, err := windar.NewCluster(cfg, factory)
+		if err != nil {
+			return err
+		}
+		start := clk.Now()
+		if err := c.Start(); err != nil {
+			c.Close()
+			return err
+		}
+		clk.Sleep(faultAfter)
+		if err := c.KillAndRecover(procs/2, time.Millisecond); err != nil {
+			c.Close()
+			return err
+		}
+		c.Wait()
+		elapsed := clk.Now().Sub(start)
+		hists := map[string]obs.HistStat{}
+		for _, f := range reg.Snapshot() {
+			hists[f.Name] = obs.StatOf(f.Total)
+		}
+		c.Close()
+		report.Protocols[string(p)] = obsRun{ElapsedNS: int64(elapsed), Hists: hists}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("obs quantiles written: %s (app=%s procs=%d, protocols tdi/tag/tel)\n", path, appName, procs)
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -33,6 +33,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "network jitter seed")
 		validate  = flag.Bool("validate", true, "validate the execution trace")
 		traceOut  = flag.String("trace-out", "", "write the execution trace as JSON lines to this file")
+		traceCap  = flag.Int("trace-cap", 0, "retain at most this many raw trace events (0 = unbounded); validation stays exact")
+		serve     = flag.String("serve", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /debug/pprof)")
+		linger    = flag.Duration("serve-linger", 0, "keep the telemetry server up this long after the run completes")
 	)
 	flag.Parse()
 
@@ -45,6 +48,9 @@ func main() {
 	}
 
 	rec := &windar.TraceRecorder{}
+	if *traceCap > 0 {
+		rec = windar.NewBoundedTrace(*traceCap)
+	}
 	cfg := windar.Config{
 		Procs:           *procs,
 		Protocol:        windar.Protocol(*protocol),
@@ -56,6 +62,9 @@ func main() {
 	}
 	if *validate {
 		cfg.Trace = rec
+	}
+	if *serve != "" {
+		cfg.Obs = windar.NewObsRegistry(*procs)
 	}
 	switch *mode {
 	case "blocking":
@@ -76,6 +85,17 @@ func main() {
 	start := clk.Now()
 	if err := c.Start(); err != nil {
 		fatal("start: %v", err)
+	}
+	if *serve != "" {
+		dbg, err := c.ServeDebug(*serve)
+		if err != nil {
+			fatal("serve: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("telemetry: http://%s/debug/vars (also /metrics, /healthz, /debug/pprof)\n", dbg.Addr())
+		if *linger > 0 {
+			defer clk.Sleep(*linger)
+		}
 	}
 	if *kill >= 0 {
 		clk.Sleep(*killAfter)
@@ -113,7 +133,11 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal("trace-out: %v", err)
 		}
-		fmt.Printf("  trace written:              %s (%d events)\n", *traceOut, rec.Len())
+		fmt.Printf("  trace written:              %s (%d events", *traceOut, rec.Len())
+		if rec.Dropped() > 0 {
+			fmt.Printf(", %d older events dropped by -trace-cap", rec.Dropped())
+		}
+		fmt.Println(")")
 	}
 	if *validate {
 		if problems := rec.Validate(true); len(problems) > 0 {
@@ -125,6 +149,10 @@ func main() {
 		fmt.Printf("  trace validation:           OK (fifo, no-duplicate, no-loss) [transport %s]\n", rec.Transport())
 		fmt.Println("\nper-rank activity:")
 		fmt.Print(trace.FormatSummaries(rec.Summarize()))
+		if phases := rec.SummarizePhases(); len(phases) > 0 {
+			fmt.Println("\nrecovery phases:")
+			fmt.Print(trace.FormatPhaseSummaries(phases))
+		}
 	}
 }
 

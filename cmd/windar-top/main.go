@@ -1,0 +1,166 @@
+// Command windar-top polls a windar-run -serve telemetry endpoint and
+// renders a live per-rank table: liveness/incarnation, message and log
+// counters, aggregate message rate, and histogram quantiles.
+//
+//	windar-run -app lu -procs 8 -serve 127.0.0.1:8077 &
+//	windar-top -addr 127.0.0.1:8077
+//	windar-top -addr 127.0.0.1:8077 -once   # one snapshot, no screen control
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"windar/internal/clock"
+	"windar/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8077", "telemetry endpoint address (windar-run -serve)")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		once     = flag.Bool("once", false, "print a single snapshot and exit")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/debug/vars"
+	client := &http.Client{Timeout: 5 * time.Second}
+	clk := clock.Real{}
+	seen := false
+	for {
+		v, err := fetch(client, url)
+		if err != nil {
+			if seen {
+				fmt.Println("windar-top: endpoint gone (run finished?)")
+				return
+			}
+			fatal("%v", err)
+		}
+		seen = true
+		out := render(v)
+		if *once {
+			fmt.Print(out)
+			return
+		}
+		// Clear the screen and repaint in place.
+		fmt.Print("\x1b[2J\x1b[H" + out)
+		if v.Health != nil && v.Health.Finished {
+			fmt.Println("\nrun finished")
+			return
+		}
+		clk.Sleep(*interval)
+	}
+}
+
+func fetch(client *http.Client, url string) (*obs.VarsSnapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("windar-top: %s: %s", url, resp.Status)
+	}
+	var v obs.VarsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("windar-top: decode %s: %w", url, err)
+	}
+	return &v, nil
+}
+
+func render(v *obs.VarsSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "windar-top  %s  uptime=%v",
+		metaLine(v.Meta), time.Duration(v.UptimeNS).Round(time.Millisecond))
+	if rate, ok := msgRate(v.Samples); ok {
+		fmt.Fprintf(&b, "  msgs/s=%.0f", rate)
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "%-5s %-6s %-4s %-5s %10s %10s %8s %9s %11s\n",
+		"rank", "alive", "inc", "done", "sent", "delivered", "resent", "log-live", "recoveries")
+	for i, rc := range v.Ranks {
+		alive, inc, done := "?", 0, "?"
+		if v.Health != nil && i < len(v.Health.Ranks) {
+			h := v.Health.Ranks[i]
+			alive, inc, done = yesNo(h.Alive), h.Incarnation, yesNo(h.Finished)
+		}
+		fmt.Fprintf(&b, "%-5d %-6s %-4d %-5s %10d %10d %8d %9d %11d\n",
+			rc.Rank, alive, inc, done,
+			cval(rc.Counters, "msgs_sent"), cval(rc.Counters, "msgs_delivered"),
+			cval(rc.Counters, "resent_msgs"),
+			cval(rc.Counters, "log_items_appended")-cval(rc.Counters, "log_items_released"),
+			cval(rc.Counters, "recoveries"))
+	}
+
+	if len(v.Hists) > 0 {
+		fmt.Fprintf(&b, "\n%-32s %8s %10s %10s %10s %10s\n",
+			"histogram", "count", "p50", "p95", "p99", "max")
+		for _, h := range v.Hists {
+			fmt.Fprintf(&b, "%-32s %8d %10s %10s %10s %10s\n",
+				h.Name, h.Total.Count,
+				fmtVal(h.Total.P50, h.Unit), fmtVal(h.Total.P95, h.Unit),
+				fmtVal(h.Total.P99, h.Unit), fmtVal(h.Total.Max, h.Unit))
+		}
+	}
+	return b.String()
+}
+
+func metaLine(meta map[string]string) string {
+	// Stable, readable order for the fields ServeDebug stamps.
+	parts := make([]string, 0, len(meta))
+	for _, k := range []string{"procs", "protocol", "transport"} {
+		if val, ok := meta[k]; ok {
+			parts = append(parts, k+"="+val)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// msgRate derives the aggregate message rate from the sampler's two
+// most recent readings.
+func msgRate(samples []obs.Sample) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	a, z := samples[len(samples)-2], samples[len(samples)-1]
+	dt := z.AtNS - a.AtNS
+	if dt <= 0 {
+		return 0, false
+	}
+	dm := cval(z.Values, "msgs_sent") - cval(a.Values, "msgs_sent")
+	return float64(dm) / (float64(dt) / 1e9), true
+}
+
+func cval(cs []obs.Counter, name string) int64 {
+	for _, c := range cs {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func fmtVal(v int64, unit string) string {
+	if unit == "ns" {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprint(v)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "windar-top: "+format+"\n", args...)
+	os.Exit(1)
+}

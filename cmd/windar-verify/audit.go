@@ -31,6 +31,9 @@ func auditTrace(rec *windar.TraceRecorder, finished bool) ([]string, error) {
 	if got, want := imported.Transport(), rec.Transport(); got != want {
 		return nil, fmt.Errorf("trace round trip: transport header %q, want %q", got, want)
 	}
+	if got, want := imported.Dropped(), rec.Dropped(); got != want {
+		return nil, fmt.Errorf("trace round trip: dropped count %d, want %d", got, want)
+	}
 	var out []string
 	for _, p := range imported.Validate(finished) {
 		out = append(out, p.String())

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"windar"
+	"windar/internal/trace"
 )
 
 // clk is the command's wall clock; the directclock analyzer keeps the
@@ -64,6 +66,7 @@ func main() {
 				}
 				failures++
 			}
+			var phaseEvents []trace.Event
 			for round := 0; round < *rounds; round++ {
 				rec := &windar.TraceRecorder{}
 				kills := 1 + rng.Intn(*maxKills)
@@ -108,6 +111,15 @@ func main() {
 					fmt.Printf("ok   %s/%s round %d (killed %v after %v)\n",
 						appName, proto, round, victims, delay)
 				}
+				for _, e := range rec.Events() {
+					if e.Kind == trace.EvRecoveryPhase {
+						phaseEvents = append(phaseEvents, e)
+					}
+				}
+			}
+			if sums := trace.SummarizePhaseEvents(phaseEvents); len(sums) > 0 {
+				fmt.Printf("     %s/%s recovery phases across %d faulty rounds:\n", appName, proto, *rounds)
+				fmt.Print(indent(trace.FormatPhaseSummaries(sums), "     "))
 			}
 		}
 	}
@@ -151,6 +163,15 @@ func run(factory windar.Factory, proto windar.Protocol, procs int,
 		states[i] = c.AppSnapshot(i)
 	}
 	return states, nil
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func splitList(s string) []string {

@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"windar/internal/transport"
 	"windar/internal/proto"
+	"windar/internal/transport"
 	"windar/internal/vclock"
 	"windar/internal/wire"
 )
@@ -166,6 +166,12 @@ func (r *rankRuntime) handleResponse(env *wire.Envelope) {
 	if err := r.prot.OnRecoveryData(env.From, recData); err != nil {
 		r.mu.Unlock()
 		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+	}
+	if r.respExpect > 0 {
+		r.respExpect--
+		if r.respExpect == 0 {
+			r.c.emitPhase(r.id, PhaseCollectDemands, r.c.clk.Now().Sub(r.collectStart))
+		}
 	}
 	r.cond.Broadcast() // replay constraints may have been relaxed
 	r.mu.Unlock()

@@ -26,6 +26,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"windar/internal/app"
@@ -34,6 +35,7 @@ import (
 	"windar/internal/core"
 	"windar/internal/fabric"
 	"windar/internal/metrics"
+	"windar/internal/obs"
 	"windar/internal/proto"
 	"windar/internal/stable"
 	"windar/internal/tag"
@@ -77,6 +79,35 @@ func (m Mode) String() string {
 	return "non-blocking"
 }
 
+// Recovery phase names, in the order they begin during one recovery.
+// They label the spans emitted through Observer.OnRecoveryPhase and the
+// obs histogram families (recovery_phase_<snake>_ns).
+const (
+	// PhaseCollectDemands spans the ROLLBACK broadcast until the last of
+	// the n-1 peer RESPONSEs arrives (Algorithm 1 lines 46-53's demand
+	// collection).
+	PhaseCollectDemands = "collect-demands"
+	// PhaseReplayLogged spans the first resent logged message delivered
+	// while rolling forward until recovery completes.
+	PhaseReplayLogged = "replay-logged"
+	// PhaseRollForward spans the whole roll: checkpoint restore until
+	// the delivered count reaches the pre-failure target.
+	PhaseRollForward = "roll-forward"
+	// PhaseLogRelease spans recovery completion until the rank's next
+	// checkpoint advertises CHECKPOINT_ADVANCE, letting peers release
+	// the logs the replay consumed.
+	PhaseLogRelease = "log-release"
+)
+
+// RecoveryPhases lists every phase name, in span-start order.
+var RecoveryPhases = []string{PhaseCollectDemands, PhaseReplayLogged, PhaseRollForward, PhaseLogRelease}
+
+// PhaseFamilyName maps a recovery phase name to its obs histogram
+// family ("collect-demands" -> "recovery_phase_collect_demands_ns").
+func PhaseFamilyName(phase string) string {
+	return "recovery_phase_" + strings.ReplaceAll(phase, "-", "_") + "_ns"
+}
+
 // Observer receives harness events. All callbacks may be invoked
 // concurrently from different rank goroutines; implementations
 // synchronize internally. Any method may be a no-op.
@@ -90,6 +121,9 @@ type Observer interface {
 	OnCheckpoint(rank, step int, deliveredCount int64)
 	OnKill(rank int)
 	OnRecover(rank, fromStep int)
+	// OnRecoveryPhase reports one completed recovery phase span (a
+	// Phase* constant) of duration d.
+	OnRecoveryPhase(rank int, phase string, d time.Duration)
 	OnRecoveryComplete(rank int, d time.Duration)
 }
 
@@ -122,6 +156,10 @@ type Config struct {
 	Clock clock.Clock
 	// Observer, if non-nil, receives harness events.
 	Observer Observer
+	// Obs, if non-nil, receives latency/size histograms from the hot
+	// paths (deliver latency, piggyback sizes, tracking time, TCP
+	// backoff) and recovery-phase spans. Size it with the run's N.
+	Obs *obs.Registry
 	// StallTimeout, if positive, panics with a state dump when a rank's
 	// delivery wait exceeds it — a debugging aid for misbehaving
 	// applications; production runs leave it zero.
@@ -139,6 +177,11 @@ type Cluster struct {
 	coll    *metrics.Collector
 	telLog  *tel.Logger
 	factory app.Factory
+
+	// Observability families (nil handles when cfg.Obs is nil; records
+	// through them no-op).
+	deliverLat *obs.Family
+	phaseFam   map[string]*obs.Family
 
 	ranksMu  chanMutex
 	ranks    []*rankRuntime
@@ -186,6 +229,14 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 		ranks:   make([]*rankRuntime, cfg.N),
 		closed:  make(chan struct{}),
 	}
+	c.coll.AttachObs(cfg.Obs)
+	c.deliverLat = cfg.Obs.Family("deliver_latency_ns",
+		"Time from the application entering Recv to the message being delivered.", "ns")
+	c.phaseFam = make(map[string]*obs.Family, len(RecoveryPhases))
+	for _, phase := range RecoveryPhases {
+		c.phaseFam[phase] = cfg.Obs.Family(PhaseFamilyName(phase),
+			"Duration of the "+phase+" recovery phase.", "ns")
+	}
 	c.ckpts = ckpt.NewManager(c.store)
 	c.finished = make([]bool, cfg.N)
 	c.failedAt = make([]int64, cfg.N)
@@ -217,6 +268,8 @@ func newTransport(cfg Config) (transport.Transport, error) {
 			N:               cfg.N,
 			LinkBufferBytes: cfg.Fabric.LinkBufferBytes,
 			Clock:           cfg.Clock,
+			Backoff: cfg.Obs.Family("tcp_reconnect_backoff_ns",
+				"Backoff delay slept before each TCP reconnect attempt.", "ns"),
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
@@ -389,11 +442,45 @@ func (c *Cluster) observer() Observer {
 	return nopObserver{}
 }
 
+// emitPhase records one completed recovery-phase span into its obs
+// family and forwards it to the observer.
+func (c *Cluster) emitPhase(rank int, phase string, d time.Duration) {
+	if f := c.phaseFam[phase]; f != nil {
+		f.Rank(rank).RecordDuration(d)
+	}
+	c.observer().OnRecoveryPhase(rank, phase, d)
+}
+
+// Health reports per-rank liveness, incarnation and completion — the
+// /healthz payload of the debug server.
+func (c *Cluster) Health() obs.Health {
+	c.ranksMu.Lock()
+	defer c.ranksMu.Unlock()
+	h := obs.Health{Finished: true, Ranks: make([]obs.RankHealth, len(c.ranks))}
+	for i, r := range c.ranks {
+		rh := obs.RankHealth{Rank: i, Finished: c.finished[i]}
+		if r != nil {
+			rh.Alive = !r.isKilled()
+			rh.Incarnation = int(r.incarnation)
+		}
+		if !rh.Finished {
+			h.Finished = false
+		}
+		h.Ranks[i] = rh
+	}
+	return h
+}
+
+// Clock exposes the cluster's time source (the debug server's sampler
+// and uptime run on it).
+func (c *Cluster) Clock() clock.Clock { return c.clk }
+
 type nopObserver struct{}
 
-func (nopObserver) OnSend(int, int, int64, bool)            {}
-func (nopObserver) OnDeliver(int, int, int64, int64, int64) {}
-func (nopObserver) OnCheckpoint(int, int, int64)            {}
-func (nopObserver) OnKill(int)                              {}
-func (nopObserver) OnRecover(int, int)                      {}
-func (nopObserver) OnRecoveryComplete(int, time.Duration)   {}
+func (nopObserver) OnSend(int, int, int64, bool)               {}
+func (nopObserver) OnDeliver(int, int, int64, int64, int64)    {}
+func (nopObserver) OnCheckpoint(int, int, int64)               {}
+func (nopObserver) OnKill(int)                                 {}
+func (nopObserver) OnRecover(int, int)                         {}
+func (nopObserver) OnRecoveryPhase(int, string, time.Duration) {}
+func (nopObserver) OnRecoveryComplete(int, time.Duration)      {}

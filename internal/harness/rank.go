@@ -9,6 +9,7 @@ import (
 
 	"windar/internal/app"
 	"windar/internal/ckpt"
+	"windar/internal/obs"
 	"windar/internal/proto"
 	"windar/internal/vclock"
 	"windar/internal/wire"
@@ -47,6 +48,18 @@ type rankRuntime struct {
 	recoveryStart  time.Time
 	recoveryTarget int64
 
+	// Recovery-phase span bookkeeping (guarded by mu like the flags
+	// above; respExpect/collectStart are written before start() launches
+	// the goroutines).
+	respExpect    int       // RESPONSEs outstanding for collect-demands
+	collectStart  time.Time // ROLLBACK broadcast time
+	firstResentAt time.Time // first replayed delivery while recovering
+	recoveredAt   time.Time // roll-forward completion; zeroed at next checkpoint
+
+	// deliverLat is this rank's deliver-latency histogram (nil when
+	// observability is off; checked before taking the extra clock read).
+	deliverLat *obs.Hist
+
 	// Queue A (non-blocking mode). sendBusy marks a message popped from
 	// the queue but not yet handed to the transport.
 	sendMu   sync.Mutex
@@ -77,6 +90,7 @@ func (c *Cluster) newRuntime(rank int, incarnation int32) (*rankRuntime, error) 
 		rollbackLastSendIndex: vclock.New(c.cfg.N),
 		recvQ:                 make([][]*wire.Envelope, c.cfg.N),
 		killed:                make(chan struct{}),
+		deliverLat:            c.deliverLat.Rank(rank),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.sendCond = sync.NewCond(&r.sendMu)
@@ -285,7 +299,11 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 	defer r.mu.Unlock()
 	for {
 		if env := r.findDeliverableLocked(source, tag); env != nil {
-			return r.deliverLocked(env), env.From
+			payload := r.deliverLocked(env)
+			if r.deliverLat != nil {
+				r.deliverLat.RecordDuration(r.c.clk.Now().Sub(start))
+			}
+			return payload, env.From
 		}
 		if r.isKilled() {
 			panic(killedPanic{})
@@ -350,11 +368,22 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 		}
 	}
 	r.c.observer().OnDeliver(r.id, src, env.SendIndex, r.deliveredCount, demand)
-	if r.recovering && r.deliveredCount >= r.recoveryTarget {
-		r.recovering = false
-		d := r.c.clk.Now().Sub(r.recoveryStart)
-		m.RecoveryDone(d)
-		r.c.observer().OnRecoveryComplete(r.id, d)
+	if r.recovering {
+		if env.Resent && r.firstResentAt.IsZero() {
+			r.firstResentAt = r.c.clk.Now()
+		}
+		if r.deliveredCount >= r.recoveryTarget {
+			r.recovering = false
+			now := r.c.clk.Now()
+			d := now.Sub(r.recoveryStart)
+			m.RecoveryDone(d)
+			r.recoveredAt = now
+			r.c.observer().OnRecoveryComplete(r.id, d)
+			r.c.emitPhase(r.id, PhaseRollForward, d)
+			if !r.firstResentAt.IsZero() {
+				r.c.emitPhase(r.id, PhaseReplayLogged, now.Sub(r.firstResentAt))
+			}
+		}
 	}
 	return env.Payload
 }
@@ -412,6 +441,8 @@ func (r *rankRuntime) doCheckpoint(step int) {
 	}
 	total := r.deliveredCount
 	r.prot.OnPeerCheckpoint(r.id, total) // prune own replay-dead history
+	recoveredAt := r.recoveredAt
+	r.recoveredAt = time.Time{}
 	r.mu.Unlock()
 
 	if err := r.c.ckpts.Save(cp); err != nil {
@@ -428,6 +459,11 @@ func (r *rankRuntime) doCheckpoint(step int) {
 			panic(killedPanic{})
 		}
 		m.ControlMsg()
+	}
+	if !recoveredAt.IsZero() {
+		// First checkpoint after a recovery: its CHECKPOINT_ADVANCE lets
+		// peers release the logs the replay consumed.
+		r.c.emitPhase(r.id, PhaseLogRelease, r.c.clk.Now().Sub(recoveredAt))
 	}
 	r.c.observer().OnCheckpoint(r.id, step, total)
 }

@@ -78,6 +78,10 @@ func (c *Cluster) Recover(rank int) error {
 	}
 
 	r.recoveryStart = c.clk.Now()
+	// collect-demands spans the ROLLBACK broadcast (which start fires
+	// before the application resumes) to the last peer RESPONSE.
+	r.collectStart = r.recoveryStart
+	r.respExpect = c.cfg.N - 1
 	c.ranksMu.Lock()
 	target := c.failedAt[rank]
 	c.ranksMu.Unlock()
@@ -88,6 +92,7 @@ func (c *Cluster) Recover(rank int) error {
 		// checkpoint): rolling forward is trivially complete.
 		c.coll.Rank(rank).RecoveryDone(0)
 		c.observer().OnRecoveryComplete(rank, 0)
+		c.emitPhase(rank, PhaseRollForward, 0)
 	}
 	r.prot.BeginRecovery(c.cfg.N - 1)
 

@@ -8,6 +8,8 @@ func TestLockSendFixture(t *testing.T) { RunFixture(t, LockSend, "locksend") }
 
 func TestNilMetricsFixture(t *testing.T) { RunFixture(t, NilMetrics, "nilmetrics") }
 
+func TestNilObsFixture(t *testing.T) { RunFixture(t, NilMetrics, "nilobs") }
+
 func TestPiggybackFixture(t *testing.T) { RunFixture(t, Piggyback, "piggyback") }
 
 // TestSuiteCleanOnTree is the enforcement test: the repository itself

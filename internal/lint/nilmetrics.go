@@ -1,30 +1,55 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 )
 
-const metricsPackage = "windar/internal/metrics"
+const (
+	metricsPackage = "windar/internal/metrics"
+	obsPackage     = "windar/internal/obs"
+)
 
-// NilMetrics reports method calls and field accesses through a
-// *metrics.Rank function parameter that is not nil-checked first.
-// Protocol constructors document the metrics rank as nilable (tests pass
-// nil); dereferencing it unguarded is a latent crash that only fires in
-// the untested configuration.
+// nilableTarget is one pointer type whose parameters are documented
+// nilable and therefore must be nil-checked before use.
+type nilableTarget struct {
+	pkg   string // defining package path
+	name  string // type name
+	label string // how the type reads in diagnostics
+	hint  string // suggested guard, with %s for the parameter name
+}
+
+// nilableTargets lists the handle types the analyzer tracks.
+//
+// *metrics.Rank: protocol constructors document the rank as nilable
+// (tests pass nil); dereferencing it unguarded is a latent crash that
+// only fires in the untested configuration.
+//
+// The obs handles (*obs.Registry, *obs.Family, *obs.Hist) are the dual
+// hazard: their methods are nil-receiver no-ops, so an unguarded
+// nilable parameter never crashes — it silently records nothing. A
+// function that accepts one must make the no-op case explicit (early
+// return, or substitute a live sink) so "telemetry was off" is a
+// decision, not an accident.
+var nilableTargets = []nilableTarget{
+	{pkg: metricsPackage, name: "Rank", label: "*metrics.Rank", hint: "if %s == nil { %s = &metrics.Rank{} }"},
+	{pkg: obsPackage, name: "Registry", label: "*obs.Registry", hint: "if %s == nil { return }"},
+	{pkg: obsPackage, name: "Family", label: "*obs.Family", hint: "if %s == nil { return }"},
+	{pkg: obsPackage, name: "Hist", label: "*obs.Hist", hint: "if %s == nil { %s = &obs.Hist{} }"},
+}
+
+// NilMetrics reports method calls and field accesses through a nilable
+// handle parameter (*metrics.Rank, *obs.Registry, *obs.Family,
+// *obs.Hist) that is not nil-checked first.
 var NilMetrics = &Analyzer{
 	Name: "nilmetrics",
-	Doc:  "require a nil check before using a *metrics.Rank parameter",
+	Doc:  "require a nil check before using a *metrics.Rank or obs handle parameter",
 	Run:  runNilMetrics,
 }
 
 func runNilMetrics(pass *Pass) {
-	if pass.Pkg.Path == metricsPackage {
-		// The package's own methods are invoked on receivers the caller
-		// already validated.
-		return
-	}
 	for _, f := range pass.Pkg.Syntax {
 		funcsOf(f, func(ftype *ast.FuncType, body *ast.BlockStmt) {
 			checkNilMetricsFunc(pass, ftype, body)
@@ -32,29 +57,43 @@ func runNilMetrics(pass *Pass) {
 	}
 }
 
-// isMetricsRankPtr reports whether t is *windar/internal/metrics.Rank.
-func isMetricsRankPtr(t types.Type) bool {
+// targetOf resolves t against nilableTargets, skipping types defined by
+// the package under analysis: a package's own methods are invoked on
+// receivers the caller already validated (and implement the nil-receiver
+// contract itself).
+func targetOf(pass *Pass, t types.Type) (nilableTarget, bool) {
 	p, ok := t.(*types.Pointer)
 	if !ok {
-		return false
+		return nilableTarget{}, false
 	}
 	n, ok := p.Elem().(*types.Named)
 	if !ok {
-		return false
+		return nilableTarget{}, false
 	}
 	obj := n.Obj()
-	return obj.Name() == "Rank" && obj.Pkg() != nil && obj.Pkg().Path() == metricsPackage
+	if obj.Pkg() == nil || obj.Pkg().Path() == pass.Pkg.Path {
+		return nilableTarget{}, false
+	}
+	for _, tgt := range nilableTargets {
+		if obj.Name() == tgt.name && obj.Pkg().Path() == tgt.pkg {
+			return tgt, true
+		}
+	}
+	return nilableTarget{}, false
 }
 
 func checkNilMetricsFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 	info := pass.Pkg.TypesInfo
-	// Collect *metrics.Rank parameters.
-	params := map[types.Object]bool{}
+	// Collect nilable handle parameters.
+	params := map[types.Object]nilableTarget{}
 	for _, field := range ftype.Params.List {
 		for _, name := range field.Names {
 			obj := info.Defs[name]
-			if obj != nil && isMetricsRankPtr(obj.Type()) {
-				params[obj] = true
+			if obj == nil {
+				continue
+			}
+			if tgt, ok := targetOf(pass, obj.Type()); ok {
+				params[obj] = tgt
 			}
 		}
 	}
@@ -78,7 +117,7 @@ func checkNilMetricsFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 				continue
 			}
 			obj := info.Uses[id]
-			if params[obj] {
+			if _, tracked := params[obj]; tracked {
 				if cur, ok := guardPos[obj]; !ok || be.Pos() < cur {
 					guardPos[obj] = be.Pos()
 				}
@@ -97,14 +136,15 @@ func checkNilMetricsFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 			return true
 		}
 		obj := info.Uses[id]
-		if !params[obj] {
+		tgt, tracked := params[obj]
+		if !tracked {
 			return true
 		}
 		guard, guarded := guardPos[obj]
 		if !guarded || sel.Pos() < guard {
 			pass.Reportf(sel.Pos(),
-				"%s is a nilable *metrics.Rank parameter used without a nil check; guard it (if %s == nil { %s = &metrics.Rank{} })",
-				id.Name, id.Name, id.Name)
+				"%s is a nilable %s parameter used without a nil check; guard it (%s)",
+				id.Name, tgt.label, fmt.Sprintf(tgt.hint, id.Name, id.Name))
 		}
 		return true
 	})

@@ -1,0 +1,54 @@
+// Package nilobs is the analyzer fixture for the obs handle types:
+// their methods are nil-receiver no-ops, so an unguarded nilable
+// parameter silently records nothing instead of crashing — the
+// analyzer makes that no-op case explicit.
+package nilobs
+
+import "windar/internal/obs"
+
+func badRegistry(r *obs.Registry) {
+	r.Family("deliver_latency_ns", "help", "ns") // want "r is a nilable .obs.Registry parameter used without a nil check"
+}
+
+func badFamily(f *obs.Family) {
+	f.Rank(0).Record(1) // want "f is a nilable .obs.Family parameter used without a nil check"
+}
+
+func badHist(h *obs.Hist) {
+	h.Record(42) // want "h is a nilable .obs.Hist parameter used without a nil check"
+}
+
+func badBeforeGuard(h *obs.Hist) {
+	h.Record(1) // want "h is a nilable .obs.Hist parameter"
+	if h == nil {
+		h = &obs.Hist{}
+	}
+	h.Record(2)
+}
+
+func goodGuardedHist(h *obs.Hist) {
+	if h == nil {
+		h = &obs.Hist{}
+	}
+	h.Record(42)
+}
+
+func goodEarlyReturn(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Family("piggyback_bytes", "help", "bytes")
+}
+
+func goodReversedGuard(f *obs.Family) {
+	if nil != f {
+		f.Rank(1).Record(7)
+	}
+}
+
+func goodLocal() {
+	// Locals are the caller's responsibility; only parameters carry the
+	// documented nilability contract.
+	h := &obs.Hist{}
+	h.Record(1)
+}

@@ -8,12 +8,19 @@ package metrics
 import (
 	"sync/atomic"
 	"time"
+
+	"windar/internal/obs"
 )
 
 // Rank accumulates counters for one process. All methods are safe for
 // concurrent use; the hot-path costs are single atomic adds. The zero
 // value is ready to use.
 type Rank struct {
+	// hists, when set, mirrors size/duration counters into histogram
+	// sinks so distributions come for free from the measurements the
+	// counters already take (no extra clock reads on the hot path).
+	hists atomic.Pointer[Hists]
+
 	msgsSent            atomic.Int64
 	msgsDelivered       atomic.Int64
 	piggybackIDs        atomic.Int64
@@ -31,6 +38,20 @@ type Rank struct {
 	blockedSendNanos    atomic.Int64
 }
 
+// Hists bundles the optional per-rank histogram sinks a Rank mirrors its
+// hot-path measurements into. Any field may be nil (obs histograms
+// ignore records through nil handles).
+type Hists struct {
+	PiggybackIDs    *obs.Hist
+	PiggybackBytes  *obs.Hist
+	SendTracking    *obs.Hist
+	DeliverTracking *obs.Hist
+}
+
+// SetHists installs histogram sinks. Safe to call while the rank is
+// recording (the pointer swap is atomic); pass nil to detach.
+func (r *Rank) SetHists(h *Hists) { r.hists.Store(h) }
+
 // MsgSent records one application message leaving this rank with the given
 // piggyback size (in identifiers and encoded bytes) and payload size.
 func (r *Rank) MsgSent(piggybackIDs int, piggybackBytes, payloadBytes int) {
@@ -38,6 +59,10 @@ func (r *Rank) MsgSent(piggybackIDs int, piggybackBytes, payloadBytes int) {
 	r.piggybackIDs.Add(int64(piggybackIDs))
 	r.piggybackBytes.Add(int64(piggybackBytes))
 	r.payloadBytes.Add(int64(payloadBytes))
+	if h := r.hists.Load(); h != nil {
+		h.PiggybackIDs.Record(int64(piggybackIDs))
+		h.PiggybackBytes.Record(int64(piggybackBytes))
+	}
 }
 
 // MsgDelivered records one application message delivered to the app.
@@ -45,10 +70,20 @@ func (r *Rank) MsgDelivered() { r.msgsDelivered.Add(1) }
 
 // SendTracking charges d to send-side dependency tracking (piggyback
 // construction, graph increment computation).
-func (r *Rank) SendTracking(d time.Duration) { r.sendTrackNanos.Add(int64(d)) }
+func (r *Rank) SendTracking(d time.Duration) {
+	r.sendTrackNanos.Add(int64(d))
+	if h := r.hists.Load(); h != nil {
+		h.SendTracking.RecordDuration(d)
+	}
+}
 
 // DeliverTracking charges d to deliver-side dependency tracking (merge).
-func (r *Rank) DeliverTracking(d time.Duration) { r.deliverTrackNanos.Add(int64(d)) }
+func (r *Rank) DeliverTracking(d time.Duration) {
+	r.deliverTrackNanos.Add(int64(d))
+	if h := r.hists.Load(); h != nil {
+		h.DeliverTracking.RecordDuration(d)
+	}
+}
 
 // ControlMsg records one protocol control message (ROLLBACK, RESPONSE,
 // CHECKPOINT_ADVANCE, determinant traffic).
@@ -198,4 +233,53 @@ func (c *Collector) PerRank() []Snapshot {
 		out[i] = r.Snapshot()
 	}
 	return out
+}
+
+// AttachObs registers the counter-mirroring histogram families on reg
+// and installs per-rank sinks. A nil registry detaches nothing and does
+// nothing: the counters keep working alone.
+func (c *Collector) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ids := reg.Family("piggyback_ids", "Identifiers piggybacked per application message.", "ids")
+	bytes := reg.Family("piggyback_bytes", "Encoded piggyback bytes per application message.", "bytes")
+	st := reg.Family("send_tracking_ns", "Send-side dependency-tracking time per message.", "ns")
+	dt := reg.Family("deliver_tracking_ns", "Deliver-side dependency-tracking time per message.", "ns")
+	for i, r := range c.ranks {
+		r.SetHists(&Hists{
+			PiggybackIDs:    ids.Rank(i),
+			PiggybackBytes:  bytes.Rank(i),
+			SendTracking:    st.Rank(i),
+			DeliverTracking: dt.Rank(i),
+		})
+	}
+}
+
+// Var is one named counter value in Vars' fixed order.
+type Var struct {
+	Name  string
+	Value int64
+}
+
+// Vars flattens the snapshot into an ordered name/value list — the
+// counter schema the debug endpoints and Prometheus exposition share.
+func (s Snapshot) Vars() []Var {
+	return []Var{
+		{"msgs_sent", s.MsgsSent},
+		{"msgs_delivered", s.MsgsDelivered},
+		{"piggyback_ids", s.PiggybackIDs},
+		{"piggyback_bytes", s.PiggybackBytes},
+		{"payload_bytes", s.PayloadBytes},
+		{"send_tracking_ns", s.SendTrackNanos},
+		{"deliver_tracking_ns", s.DeliverTrackNanos},
+		{"control_msgs", s.ControlMsgs},
+		{"repetitive_discarded", s.RepetitiveDiscarded},
+		{"resent_msgs", s.ResentMsgs},
+		{"log_items_appended", s.LogItemsAppended},
+		{"log_items_released", s.LogItemsReleased},
+		{"recoveries", s.Recoveries},
+		{"recovery_ns", s.RecoveryNanos},
+		{"blocked_send_ns", s.BlockedSendNanos},
+	}
 }

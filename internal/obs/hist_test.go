@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 3},
+		{4, 4}, {5, 5}, {6, 6}, {7, 7}, {8, 8}, {9, 8}, {10, 9},
+		{math.MaxInt64, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.v); got != c.want {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := BucketUpper(numBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("last bucket upper = %d, want MaxInt64", got)
+	}
+}
+
+// TestBucketContainment checks, across the whole range, that every value
+// lands in a bucket whose bounds contain it, that bucket uppers are
+// strictly increasing, and that the relative quantile error bound
+// (1/subCount) holds.
+func TestBucketContainment(t *testing.T) {
+	for idx := 1; idx < numBuckets; idx++ {
+		lo, hi := BucketUpper(idx-1), BucketUpper(idx)
+		if hi <= lo {
+			t.Fatalf("bucket %d: upper %d not above previous %d", idx, hi, lo)
+		}
+	}
+	vals := []int64{1, 2, 3, 4, 7, 15, 16, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64 - 1, math.MaxInt64}
+	for p := 0; p < 62; p++ {
+		vals = append(vals, int64(1)<<p, int64(1)<<p+1, int64(1)<<(p+1)-1)
+	}
+	for _, v := range vals {
+		idx := bucketIdx(v)
+		lo, hi := int64(0), BucketUpper(idx)
+		if idx > 0 {
+			lo = BucketUpper(idx - 1)
+		}
+		if v <= lo || v > hi {
+			t.Errorf("value %d: bucket %d bounds (%d, %d] do not contain it", v, idx, lo, hi)
+		}
+		if relErr := float64(hi-v) / float64(v); v >= subCount && relErr > 1.0/subCount {
+			t.Errorf("value %d: upper %d overshoots by %.3f (> %.3f)", v, hi, relErr, 1.0/subCount)
+		}
+	}
+}
+
+func TestHistRecordSnapshot(t *testing.T) {
+	h := &Hist{}
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", s.Sum)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %d, want 100", s.Max)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("bucket counts sum to %d, want 100", total)
+	}
+	p50, p95, p99 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)
+	if p50 < 50 || float64(p50) > 50*1.25 {
+		t.Errorf("p50 = %d, want within 25%% above 50", p50)
+	}
+	if p50 > p95 || p95 > p99 || p99 > s.Max {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d max=%d", p50, p95, p99, s.Max)
+	}
+}
+
+func TestHistNilAndNegative(t *testing.T) {
+	var h *Hist
+	h.Record(5) // must not panic
+	h.RecordDuration(5)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil hist snapshot count = %d", s.Count)
+	}
+	h2 := &Hist{}
+	h2.Record(-42)
+	s := h2.Snapshot()
+	if s.Count != 1 || s.Sum != 0 {
+		t.Fatalf("negative record: count=%d sum=%d, want 1/0", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a, b := &Hist{}, &Hist{}
+	for _, v := range []int64{1, 5, 5, 100} {
+		a.Record(v)
+	}
+	for _, v := range []int64{5, 200} {
+		b.Record(v)
+	}
+	m := a.Snapshot().Add(b.Snapshot())
+	if m.Count != 6 || m.Sum != 316 || m.Max != 200 {
+		t.Fatalf("merged count=%d sum=%d max=%d", m.Count, m.Sum, m.Max)
+	}
+	var total int64
+	prev := int64(-1)
+	for _, bk := range m.Buckets {
+		if bk.Upper <= prev {
+			t.Fatalf("merged buckets not sorted: %v", m.Buckets)
+		}
+		prev = bk.Upper
+		total += bk.Count
+	}
+	if total != 6 {
+		t.Fatalf("merged bucket total = %d, want 6", total)
+	}
+}
+
+// TestHistConcurrent hammers Record from several goroutines while a
+// reader snapshots continuously; run with -race. Totals must be exact
+// once the writers finish.
+func TestHistConcurrent(t *testing.T) {
+	h := &Hist{}
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var total int64
+				for _, b := range s.Buckets {
+					total += b.Count
+				}
+				// Record increments the bucket before the total and Snapshot
+				// reads the total before the buckets, so under sequentially
+				// consistent atomics the bucket sum can only run ahead of
+				// the count, never behind it.
+				if total < s.Count {
+					t.Errorf("snapshot skew: buckets %d < count %d", total, s.Count)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != writers*perWriter {
+		t.Fatalf("bucket total = %d, want %d", total, writers*perWriter)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry(4)
+	fam := reg.Family("deliver_latency_ns", "test", "ns")
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fam.Rank(r).Record(int64(i))
+				// Idempotent registration must return the same family.
+				if reg.Family("deliver_latency_ns", "test", "ns") != fam {
+					t.Errorf("Family not idempotent")
+					return
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := fam.Snapshot()
+	if s.Total.Count != 4000 {
+		t.Fatalf("total count = %d, want 4000", s.Total.Count)
+	}
+	for i, rh := range s.Ranks {
+		if rh.Count != 1000 {
+			t.Fatalf("rank %d count = %d, want 1000", i, rh.Count)
+		}
+	}
+}
+
+// TestRecordAllocs is the acceptance criterion: recording into a
+// histogram performs zero allocations.
+func TestRecordAllocs(t *testing.T) {
+	h := &Hist{}
+	if n := testing.AllocsPerRun(1000, func() { h.Record(12345) }); n != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	h := &Hist{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkHistRecordParallel(b *testing.B) {
+	h := &Hist{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = v*2147483647 + 7
+		}
+	})
+}

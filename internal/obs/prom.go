@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Counter is one named cumulative counter value (a metrics.Snapshot
+// field, flattened so obs needs no metrics import).
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// RankCounters is one rank's ordered counter list.
+type RankCounters struct {
+	Rank     int       `json:"rank"`
+	Counters []Counter `json:"counters"`
+}
+
+// WritePromText renders the families and counters in the Prometheus text
+// exposition format (version 0.0.4): each family becomes one
+// `<prefix>_<name>` histogram with a rank label and cumulative le
+// buckets, each counter a `<prefix>_<name>_total` counter series.
+func WritePromText(w io.Writer, prefix string, fams []FamilySnapshot, counters []RankCounters) error {
+	for _, f := range fams {
+		metric := prefix + "_" + f.Name
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", metric, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+			return err
+		}
+		for rank, h := range f.Ranks {
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{rank=%q,le=%q} %d\n",
+					metric, strconv.Itoa(rank), strconv.FormatInt(b.Upper, 10), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{rank=%q,le=\"+Inf\"} %d\n", metric, strconv.Itoa(rank), h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{rank=%q} %d\n", metric, strconv.Itoa(rank), h.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count{rank=%q} %d\n", metric, strconv.Itoa(rank), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	// Counters: group by name across ranks so each metric family is
+	// contiguous, as the format requires.
+	if len(counters) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(counters[0].Counters))
+	for _, c := range counters[0].Counters {
+		names = append(names, c.Name)
+	}
+	for ni, name := range names {
+		metric := prefix + "_" + name + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", metric); err != nil {
+			return err
+		}
+		for _, rc := range counters {
+			v := int64(0)
+			if ni < len(rc.Counters) && rc.Counters[ni].Name == name {
+				v = rc.Counters[ni].Value
+			}
+			if _, err := fmt.Fprintf(w, "%s{rank=%q} %d\n", metric, strconv.Itoa(rc.Rank), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

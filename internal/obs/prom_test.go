@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromGolden locks the Prometheus text exposition byte-for-byte:
+// cumulative sparse buckets, the +Inf bucket, _sum/_count lines, and
+// counter families grouped by name.
+func TestPromGolden(t *testing.T) {
+	reg := NewRegistry(2)
+	fam := reg.Family("deliver_latency_ns", "Recv wait per delivered message.", "ns")
+	for _, v := range []int64{1, 5, 100} {
+		fam.Rank(0).Record(v)
+	}
+	counters := []RankCounters{
+		{Rank: 0, Counters: []Counter{{Name: "msgs_sent", Value: 7}, {Name: "control_msgs", Value: 2}}},
+		{Rank: 1, Counters: []Counter{{Name: "msgs_sent", Value: 9}, {Name: "control_msgs", Value: 0}}},
+	}
+	var b strings.Builder
+	if err := WritePromText(&b, "windar", reg.Snapshot(), counters); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP windar_deliver_latency_ns Recv wait per delivered message.
+# TYPE windar_deliver_latency_ns histogram
+windar_deliver_latency_ns_bucket{rank="0",le="1"} 1
+windar_deliver_latency_ns_bucket{rank="0",le="5"} 2
+windar_deliver_latency_ns_bucket{rank="0",le="111"} 3
+windar_deliver_latency_ns_bucket{rank="0",le="+Inf"} 3
+windar_deliver_latency_ns_sum{rank="0"} 106
+windar_deliver_latency_ns_count{rank="0"} 3
+windar_deliver_latency_ns_bucket{rank="1",le="+Inf"} 0
+windar_deliver_latency_ns_sum{rank="1"} 0
+windar_deliver_latency_ns_count{rank="1"} 0
+# TYPE windar_msgs_sent_total counter
+windar_msgs_sent_total{rank="0"} 7
+windar_msgs_sent_total{rank="1"} 9
+# TYPE windar_control_msgs_total counter
+windar_control_msgs_total{rank="0"} 2
+windar_control_msgs_total{rank="1"} 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePromText(&b, "windar", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty exposition produced %q", b.String())
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import "sync"
+
+// Registry owns the histogram families of one run, one *Hist per rank
+// per family. A nil *Registry hands out nil families whose nil hists
+// ignore records, so callers wire it unconditionally.
+type Registry struct {
+	n int
+
+	mu       sync.Mutex
+	families []*Family // in registration order
+	index    map[string]*Family
+}
+
+// NewRegistry returns a registry for an n-rank run.
+func NewRegistry(n int) *Registry {
+	return &Registry{n: n, index: map[string]*Family{}}
+}
+
+// N returns the rank count, 0 for a nil registry.
+func (r *Registry) N() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Family returns the named histogram family, creating it on first use.
+// Names follow snake_case with a unit suffix (deliver_latency_ns,
+// piggyback_bytes); help and unit are exposition metadata and are fixed
+// by the first registration.
+func (r *Registry) Family(name, help, unit string) *Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.index[name]; f != nil {
+		return f
+	}
+	f := &Family{name: name, help: help, unit: unit, hists: make([]*Hist, r.n)}
+	for i := range f.hists {
+		f.hists[i] = &Hist{}
+	}
+	r.families = append(r.families, f)
+	r.index[name] = f
+	return f
+}
+
+// Snapshot copies every family, per rank plus the cross-rank total, in
+// registration order.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*Family(nil), r.families...)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.Snapshot())
+	}
+	return out
+}
+
+// Family is one histogram series with a per-rank instance.
+type Family struct {
+	name, help, unit string
+	hists            []*Hist
+}
+
+// Name returns the family name, "" for nil.
+func (f *Family) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Rank returns rank i's histogram; nil for a nil family or an
+// out-of-range rank (incarnations never index past the run's N, but the
+// guard keeps misuse from panicking a hot path).
+func (f *Family) Rank(i int) *Hist {
+	if f == nil || i < 0 || i >= len(f.hists) {
+		return nil
+	}
+	return f.hists[i]
+}
+
+// Snapshot copies the family's per-rank histograms and their sum.
+func (f *Family) Snapshot() FamilySnapshot {
+	if f == nil {
+		return FamilySnapshot{}
+	}
+	s := FamilySnapshot{Name: f.name, Help: f.help, Unit: f.unit, Ranks: make([]HistSnapshot, len(f.hists))}
+	for i, h := range f.hists {
+		s.Ranks[i] = h.Snapshot()
+		s.Total = s.Total.Add(s.Ranks[i])
+	}
+	return s
+}
+
+// FamilySnapshot is a point-in-time copy of one family.
+type FamilySnapshot struct {
+	Name  string         `json:"name"`
+	Help  string         `json:"help,omitempty"`
+	Unit  string         `json:"unit,omitempty"`
+	Ranks []HistSnapshot `json:"ranks"`
+	Total HistSnapshot   `json:"total"`
+}

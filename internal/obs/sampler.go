@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"windar/internal/clock"
+)
+
+// Sample is one timestamped reading of the run's aggregate counters.
+// AtNS is time since the sampler started (clock-relative, so fake-clock
+// runs produce meaningful offsets).
+type Sample struct {
+	AtNS   int64     `json:"at_ns"`
+	Values []Counter `json:"values"`
+}
+
+// Sampler periodically reads an aggregate counter source into a bounded
+// ring, giving /debug/vars (and windar-top) a short history to compute
+// rates from. It runs on the injectable clock so fake-clock tests can
+// drive it deterministically.
+type Sampler struct {
+	clk    clock.Clock
+	period time.Duration
+	source func() []Counter
+	start  time.Time
+
+	mu   sync.Mutex
+	ring []Sample // capacity-bounded; index head is the oldest entry
+	head int
+	n    int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewSampler builds a sampler reading source every period, retaining the
+// keep most recent samples. Call Start to begin and Stop to halt.
+func NewSampler(clk clock.Clock, period time.Duration, keep int, source func() []Counter) *Sampler {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	return &Sampler{
+		clk:    clk,
+		period: period,
+		source: source,
+		start:  clk.Now(),
+		ring:   make([]Sample, keep),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-s.clk.After(s.period):
+			}
+			s.sample()
+		}
+	}()
+}
+
+// Stop halts sampling and waits for the goroutine to exit.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Sampler) sample() {
+	sm := Sample{AtNS: int64(s.clk.Now().Sub(s.start)), Values: s.source()}
+	s.mu.Lock()
+	if s.n < len(s.ring) {
+		s.ring[(s.head+s.n)%len(s.ring)] = sm
+		s.n++
+	} else {
+		s.ring[s.head] = sm
+		s.head = (s.head + 1) % len(s.ring)
+	}
+	s.mu.Unlock()
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(s.head+i)%len(s.ring)])
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"windar/internal/clock"
+)
+
+// waitFor spins (cooperatively) until cond holds. The sampler goroutine
+// needs a few scheduler passes between a fake-clock tick and the ring
+// update.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatal("condition never held")
+}
+
+func TestSamplerRing(t *testing.T) {
+	fake := clock.NewFake(time.Unix(100, 0))
+	var reading atomic.Int64
+	s := NewSampler(fake, 10*time.Millisecond, 3, func() []Counter {
+		return []Counter{{Name: "msgs_sent", Value: reading.Load()}}
+	})
+	s.Start()
+	defer s.Stop()
+
+	for tick := 1; tick <= 5; tick++ {
+		reading.Store(int64(tick * 10))
+		waitFor(t, func() bool { return fake.Pending() > 0 })
+		fake.Advance(10 * time.Millisecond)
+		want := tick
+		if want > 3 {
+			want = 3
+		}
+		wantNewest := reading.Load()
+		waitFor(t, func() bool {
+			got := s.Samples()
+			return len(got) == want && got[len(got)-1].Values[0].Value == wantNewest
+		})
+	}
+
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("retained %d samples, want 3", len(got))
+	}
+	// Ring keeps the newest three readings (30, 40, 50) oldest-first,
+	// stamped at clock-relative offsets.
+	for i, wantVal := range []int64{30, 40, 50} {
+		if got[i].Values[0].Value != wantVal {
+			t.Errorf("sample %d value = %d, want %d", i, got[i].Values[0].Value, wantVal)
+		}
+		wantAt := int64((i + 3) * 10 * int(time.Millisecond))
+		if got[i].AtNS != wantAt {
+			t.Errorf("sample %d at = %d, want %d", i, got[i].AtNS, wantAt)
+		}
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	s := NewSampler(fake, time.Millisecond, 2, func() []Counter { return nil })
+	s.Start()
+	waitFor(t, func() bool { return fake.Pending() > 0 })
+	s.Stop()
+	s.Stop() // idempotent
+	if n := len(s.Samples()); n != 0 {
+		t.Fatalf("samples after immediate stop: %d", n)
+	}
+	var nilSampler *Sampler
+	if nilSampler.Samples() != nil {
+		t.Fatal("nil sampler must report no samples")
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// replayScript drives the same observer-call sequence into any
+// recorder. The script exercises every validation rule: clean FIFO
+// traffic, checkpoint/kill/recover rollback with replay, a duplicate
+// surviving recovery, a FIFO inversion, a lost message, a delivery gap
+// (right count, wrong set), a checkpoint-count mismatch, a
+// deliver-monotonic skip, and an unmet delivery demand.
+func replayScript(r *Recorder) {
+	// Rank 0 -> 1: clean contiguous traffic across a checkpoint.
+	for i := int64(1); i <= 6; i++ {
+		r.OnSend(0, 1, i, false)
+		r.OnDeliver(1, 0, i, i, -1)
+		if i == 3 {
+			r.OnCheckpoint(1, 1, 3)
+		}
+	}
+	// Rank 1 dies after delivering past its checkpoint; the
+	// incarnation re-delivers 4..6 (legitimate replay, not dups).
+	r.OnKill(1)
+	r.OnRecover(1, 1)
+	for i := int64(4); i <= 6; i++ {
+		r.OnSend(0, 1, i, true)
+		r.OnDeliver(1, 0, i, int64(3)+i-3, -1)
+	}
+	// Bug: rank 1 re-delivers checkpointed message 2 (duplicate that
+	// survives recovery, FIFO inversion, monotonic skip in one).
+	r.OnDeliver(1, 0, 2, 9, -1)
+	// Rank 2 -> 3: a send that is never delivered (loss).
+	r.OnSend(2, 3, 1, false)
+	// Rank 3 -> 2: right delivery count but a gap in the set.
+	r.OnSend(3, 2, 1, false)
+	r.OnSend(3, 2, 2, false)
+	r.OnDeliver(2, 3, 2, 1, -1)
+	r.OnDeliver(2, 3, 2, 2, -1)
+	// Rank 4: checkpoint count disagrees with replayed deliveries.
+	r.OnCheckpoint(4, 1, 7)
+	// Rank 5: delivery demanding more prior deliveries than happened.
+	r.OnSend(0, 5, 1, false)
+	r.OnDeliver(5, 0, 1, 1, 3)
+}
+
+func problemSet(ps []Problem) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestBoundedValidationMatchesUnbounded(t *testing.T) {
+	var full Recorder
+	replayScript(&full)
+	total := full.Len()
+	for _, capacity := range []int{1, 2, 3, 7, 16, total, total + 10} {
+		bounded := NewBounded(capacity)
+		replayScript(bounded)
+		if bounded.Len() > capacity {
+			t.Fatalf("cap %d: retained %d events", capacity, bounded.Len())
+		}
+		if got, want := bounded.Len()+bounded.Dropped(), total; got != want {
+			t.Fatalf("cap %d: retained+dropped = %d, want %d", capacity, got, want)
+		}
+		for _, finished := range []bool{false, true} {
+			want := problemSet(full.Validate(finished))
+			got := problemSet(bounded.Validate(finished))
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("cap %d Validate(%v):\n got %v\nwant %v", capacity, finished, got, want)
+			}
+		}
+		want := problemSet(full.CheckInvariants())
+		got := problemSet(bounded.CheckInvariants())
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("cap %d CheckInvariants:\n got %v\nwant %v", capacity, got, want)
+		}
+	}
+	// The script must actually trip every rule, or the equivalence
+	// above proves nothing.
+	all := full.Validate(true)
+	all = append(all, full.CheckInvariants()...)
+	for _, rule := range []string{
+		"no-duplicate", "fifo-delivery", "no-loss",
+		"fifo-order", "deliver-monotonic", "deliver-demand", "checkpoint-count",
+	} {
+		if !hasRule(all, rule) {
+			t.Fatalf("script never trips %s: %v", rule, all)
+		}
+	}
+}
+
+func TestBoundedValidateIdempotent(t *testing.T) {
+	r := NewBounded(4)
+	replayScript(r)
+	first := problemSet(r.Validate(true))
+	second := problemSet(r.Validate(true))
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("Validate mutated bounded state:\n%v\n%v", first, second)
+	}
+	if fmt.Sprint(problemSet(r.CheckInvariants())) != fmt.Sprint(problemSet(r.CheckInvariants())) {
+		t.Fatal("CheckInvariants mutated bounded state")
+	}
+}
+
+func TestBoundedRingRetainsNewestWithSeq(t *testing.T) {
+	r := NewBounded(3)
+	for i := int64(1); i <= 10; i++ {
+		r.OnSend(0, 1, i, false)
+	}
+	if r.Len() != 3 || r.Dropped() != 7 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.SendIndex != int64(8+i) || e.Seq != 7+i {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestBoundedExportImportKeepsDropped(t *testing.T) {
+	r := NewBounded(2)
+	r.SetTransport("mem")
+	for i := int64(1); i <= 5; i++ {
+		r.OnSend(0, 1, i, false)
+	}
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dropped":3`) {
+		t.Fatalf("header missing dropped count:\n%s", buf.String())
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dropped() != 3 {
+		t.Fatalf("Dropped = %d after import", got.Dropped())
+	}
+	if evs := got.Events(); len(evs) != 2 || evs[0].Seq != 3 || evs[1].Seq != 4 {
+		t.Fatalf("imported events: %+v", evs)
+	}
+}
+
+func TestBoundedExportHeaderWithoutTransport(t *testing.T) {
+	// Eviction alone forces a header so the dropped count survives.
+	r := NewBounded(1)
+	r.OnSend(0, 1, 1, false)
+	r.OnSend(0, 1, 2, false)
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"header":2,"dropped":1}`) {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestNewBoundedRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBounded(0) did not panic")
+		}
+	}()
+	NewBounded(0)
+}

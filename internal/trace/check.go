@@ -25,7 +25,15 @@ import "fmt"
 // event after the kill), and EvRecover restores the rank's state to its
 // last checkpoint, exactly as rollback does.
 func (r *Recorder) CheckInvariants() []Problem {
-	return CheckEvents(r.Events())
+	events, d := r.snapshot()
+	c := newChecker()
+	if d != nil {
+		c = d.chk
+	}
+	for _, e := range events {
+		c.feed(e)
+	}
+	return c.problems
 }
 
 // rankCheck is one rank's replay state: its delivery count and, per
@@ -46,72 +54,107 @@ func (s *rankCheck) clone() *rankCheck {
 // CheckEvents runs the CheckInvariants rules over an explicit event
 // sequence (e.g. one re-imported from a JSONL trace file).
 func CheckEvents(events []Event) []Problem {
-	var problems []Problem
-	state := map[int]*rankCheck{}
-	ckpt := map[int]*rankCheck{} // last checkpoint snapshot per rank
-	dead := map[int]bool{}
-	get := func(rank int) *rankCheck {
-		s := state[rank]
-		if s == nil {
-			s = &rankCheck{lastFrom: map[int]int64{}}
-			state[rank] = s
-		}
-		return s
-	}
-
+	c := newChecker()
 	for _, e := range events {
-		switch e.Kind {
-		case EvDeliver:
-			if dead[e.Rank] {
-				continue // straggler from the dying incarnation
-			}
-			s := get(e.Rank)
-			if last := s.lastFrom[e.Peer]; e.SendIndex <= last {
-				problems = append(problems, Problem{
-					Rule: "fifo-order",
-					Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after #%d (seq %d)",
-						e.Rank, e.Peer, e.Rank, e.SendIndex, last, e.Seq),
-				})
-			}
-			s.lastFrom[e.Peer] = e.SendIndex
-			if e.DeliverIndex != s.delivered+1 {
-				problems = append(problems, Problem{
-					Rule: "deliver-monotonic",
-					Detail: fmt.Sprintf("rank %d deliver index %d, want %d (seq %d)",
-						e.Rank, e.DeliverIndex, s.delivered+1, e.Seq),
-				})
-			}
-			if e.Demand >= 0 && s.delivered < e.Demand {
-				problems = append(problems, Problem{
-					Rule: "deliver-demand",
-					Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after %d deliveries, protocol demanded %d (seq %d)",
-						e.Rank, e.Peer, e.Rank, e.SendIndex, s.delivered, e.Demand, e.Seq),
-				})
-			}
-			s.delivered = e.DeliverIndex
-		case EvCheckpoint:
-			if dead[e.Rank] {
-				continue
-			}
-			s := get(e.Rank)
-			if e.Count != s.delivered {
-				problems = append(problems, Problem{
-					Rule: "checkpoint-count",
-					Detail: fmt.Sprintf("rank %d checkpoint at step %d records %d deliveries, trace replays %d (seq %d)",
-						e.Rank, e.Step, e.Count, s.delivered, e.Seq),
-				})
-			}
-			ckpt[e.Rank] = s.clone()
-		case EvKill:
-			dead[e.Rank] = true
-		case EvRecover:
-			dead[e.Rank] = false
-			if snap := ckpt[e.Rank]; snap != nil {
-				state[e.Rank] = snap.clone()
-			} else {
-				state[e.Rank] = &rankCheck{lastFrom: map[int]int64{}}
-			}
+		c.feed(e)
+	}
+	return c.problems
+}
+
+// checker is the streaming form of CheckEvents: a pure forward state
+// machine, so a bounded recorder can fold evicted events into one and
+// keep CheckInvariants exact.
+type checker struct {
+	problems []Problem
+	state    map[int]*rankCheck
+	ckpt     map[int]*rankCheck // last checkpoint snapshot per rank
+	dead     map[int]bool
+}
+
+func newChecker() *checker {
+	return &checker{state: map[int]*rankCheck{}, ckpt: map[int]*rankCheck{}, dead: map[int]bool{}}
+}
+
+func (c *checker) get(rank int) *rankCheck {
+	s := c.state[rank]
+	if s == nil {
+		s = &rankCheck{lastFrom: map[int]int64{}}
+		c.state[rank] = s
+	}
+	return s
+}
+
+// feed advances the checker by one event.
+func (c *checker) feed(e Event) {
+	switch e.Kind {
+	case EvDeliver:
+		if c.dead[e.Rank] {
+			return // straggler from the dying incarnation
+		}
+		s := c.get(e.Rank)
+		if last := s.lastFrom[e.Peer]; e.SendIndex <= last {
+			c.problems = append(c.problems, Problem{
+				Rule: "fifo-order",
+				Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after #%d (seq %d)",
+					e.Rank, e.Peer, e.Rank, e.SendIndex, last, e.Seq),
+			})
+		}
+		s.lastFrom[e.Peer] = e.SendIndex
+		if e.DeliverIndex != s.delivered+1 {
+			c.problems = append(c.problems, Problem{
+				Rule: "deliver-monotonic",
+				Detail: fmt.Sprintf("rank %d deliver index %d, want %d (seq %d)",
+					e.Rank, e.DeliverIndex, s.delivered+1, e.Seq),
+			})
+		}
+		if e.Demand >= 0 && s.delivered < e.Demand {
+			c.problems = append(c.problems, Problem{
+				Rule: "deliver-demand",
+				Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after %d deliveries, protocol demanded %d (seq %d)",
+					e.Rank, e.Peer, e.Rank, e.SendIndex, s.delivered, e.Demand, e.Seq),
+			})
+		}
+		s.delivered = e.DeliverIndex
+	case EvCheckpoint:
+		if c.dead[e.Rank] {
+			return
+		}
+		s := c.get(e.Rank)
+		if e.Count != s.delivered {
+			c.problems = append(c.problems, Problem{
+				Rule: "checkpoint-count",
+				Detail: fmt.Sprintf("rank %d checkpoint at step %d records %d deliveries, trace replays %d (seq %d)",
+					e.Rank, e.Step, e.Count, s.delivered, e.Seq),
+			})
+		}
+		c.ckpt[e.Rank] = s.clone()
+	case EvKill:
+		c.dead[e.Rank] = true
+	case EvRecover:
+		c.dead[e.Rank] = false
+		if snap := c.ckpt[e.Rank]; snap != nil {
+			c.state[e.Rank] = snap.clone()
+		} else {
+			c.state[e.Rank] = &rankCheck{lastFrom: map[int]int64{}}
 		}
 	}
-	return problems
+}
+
+func (c *checker) clone() *checker {
+	n := &checker{
+		problems: append([]Problem(nil), c.problems...),
+		state:    make(map[int]*rankCheck, len(c.state)),
+		ckpt:     make(map[int]*rankCheck, len(c.ckpt)),
+		dead:     make(map[int]bool, len(c.dead)),
+	}
+	for k, s := range c.state {
+		n.state[k] = s.clone()
+	}
+	for k, s := range c.ckpt {
+		n.ckpt[k] = s.clone()
+	}
+	for k, d := range c.dead {
+		n.dead[k] = d
+	}
+	return n
 }

@@ -19,6 +19,8 @@ type jsonEvent struct {
 	Count        int64  `json:"count,omitempty"`
 	Demand       *int64 `json:"demand,omitempty"` // nil on pre-demand traces
 	Resent       bool   `json:"resent,omitempty"`
+	Phase        string `json:"phase,omitempty"` // recovery-phase spans (header v2)
+	Dur          int64  `json:"dur,omitempty"`   // span nanoseconds (header v2)
 	Seq          int    `json:"seq"`
 }
 
@@ -30,10 +32,15 @@ type jsonEvent struct {
 type jsonHeader struct {
 	Header    int    `json:"header"` // format version of the header line
 	Transport string `json:"transport,omitempty"`
+	Dropped   int    `json:"dropped,omitempty"` // events evicted by a bounded recorder
 }
 
-// headerVersion is the current header-line format version.
-const headerVersion = 1
+// headerVersion is the current header-line format version. Version 2
+// added recovery-phase span events (kind "recovery-phase" with phase
+// and dur fields) and the header's dropped count for traces written by
+// bounded recorders; files with version 1 headers, or none, still
+// import.
+const headerVersion = 2
 
 var kindNames = map[EventKind]string{
 	EvSend:             "send",
@@ -42,6 +49,7 @@ var kindNames = map[EventKind]string{
 	EvKill:             "kill",
 	EvRecover:          "recover",
 	EvRecoveryComplete: "recovery-complete",
+	EvRecoveryPhase:    "recovery-phase",
 }
 
 var kindValues = func() map[string]EventKind {
@@ -62,12 +70,12 @@ func (k EventKind) String() string {
 
 // Export writes the recorded events to w as JSON Lines, one event per
 // line, suitable for offline analysis or re-import. When a transport
-// kind was stamped (SetTransport), a metadata header line precedes the
-// events.
+// kind was stamped (SetTransport) or a bounded recorder evicted
+// events, a metadata header line precedes the events.
 func (r *Recorder) Export(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	if tk := r.Transport(); tk != "" {
-		if err := enc.Encode(jsonHeader{Header: headerVersion, Transport: tk}); err != nil {
+	if tk, dropped := r.Transport(), r.Dropped(); tk != "" || dropped > 0 {
+		if err := enc.Encode(jsonHeader{Header: headerVersion, Transport: tk, Dropped: dropped}); err != nil {
 			return fmt.Errorf("trace: export header: %w", err)
 		}
 	}
@@ -75,7 +83,8 @@ func (r *Recorder) Export(w io.Writer) error {
 		je := jsonEvent{
 			Kind: e.Kind.String(), Rank: e.Rank, Peer: e.Peer,
 			SendIndex: e.SendIndex, DeliverIndex: e.DeliverIndex,
-			Step: e.Step, Count: e.Count, Resent: e.Resent, Seq: e.Seq,
+			Step: e.Step, Count: e.Count, Resent: e.Resent,
+			Phase: e.Phase, Dur: e.Dur, Seq: e.Seq,
 		}
 		if e.Kind == EvDeliver && e.Demand >= 0 {
 			d := e.Demand
@@ -114,6 +123,10 @@ func Import(rd io.Reader) (*Recorder, error) {
 				return nil, fmt.Errorf("trace: import: header version %d unsupported", line.Header)
 			}
 			rec.transport = line.Transport
+			// A dropped count marks a bounded-recorder export: the
+			// retained events continue the original Seq numbering.
+			rec.dropped = line.Dropped
+			rec.seq = line.Dropped
 			first = false
 			continue
 		}
@@ -134,6 +147,7 @@ func Import(rd io.Reader) (*Recorder, error) {
 			Kind: kind, Rank: je.Rank, Peer: je.Peer,
 			SendIndex: je.SendIndex, DeliverIndex: je.DeliverIndex,
 			Step: je.Step, Count: je.Count, Demand: demand, Resent: je.Resent,
+			Phase: je.Phase, Dur: je.Dur,
 		})
 	}
 	return rec, nil

@@ -16,6 +16,8 @@ func sampleRecorder() *Recorder {
 	r.OnKill(1)
 	r.OnRecover(1, 5)
 	r.OnSend(0, 1, 1, true)
+	r.OnRecoveryPhase(1, "collect-demands", 250*time.Microsecond)
+	r.OnRecoveryPhase(1, "roll-forward", time.Millisecond)
 	r.OnRecoveryComplete(1, time.Millisecond)
 	return &r
 }
@@ -43,7 +45,7 @@ func TestTransportHeaderRoundTrip(t *testing.T) {
 	if err := r.Export(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), `{"header":1,"transport":"tcp"}`) {
+	if !strings.HasPrefix(buf.String(), `{"header":2,"transport":"tcp"}`) {
 		t.Fatalf("missing header line:\n%s", buf.String())
 	}
 	got, err := Import(&buf)

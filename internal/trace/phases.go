@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseSummary aggregates one recovery phase's spans across a trace.
+type PhaseSummary struct {
+	Phase string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Avg returns the mean span length, 0 when no spans were recorded.
+func (p PhaseSummary) Avg() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// SummarizePhases aggregates the trace's recovery-phase span events,
+// ordered by first appearance in the trace (which matches the order the
+// phases begin during a recovery).
+func (r *Recorder) SummarizePhases() []PhaseSummary {
+	return SummarizePhaseEvents(r.Events())
+}
+
+// SummarizePhaseEvents is SummarizePhases over an explicit event list.
+func SummarizePhaseEvents(events []Event) []PhaseSummary {
+	byPhase := map[string]*PhaseSummary{}
+	firstSeen := map[string]int{}
+	for _, e := range events {
+		if e.Kind != EvRecoveryPhase {
+			continue
+		}
+		s := byPhase[e.Phase]
+		if s == nil {
+			s = &PhaseSummary{Phase: e.Phase}
+			byPhase[e.Phase] = s
+			firstSeen[e.Phase] = e.Seq
+		}
+		d := time.Duration(e.Dur)
+		s.Count++
+		s.Total += d
+		if s.Count == 1 || d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	out := make([]PhaseSummary, 0, len(byPhase))
+	for _, s := range byPhase {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return firstSeen[out[i].Phase] < firstSeen[out[j].Phase] })
+	return out
+}
+
+// FormatPhaseSummaries renders SummarizePhases output as an aligned
+// table; empty input renders to "".
+func FormatPhaseSummaries(sums []PhaseSummary) string {
+	if len(sums) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %6s %12s %12s %12s %12s\n", "phase", "spans", "total", "avg", "min", "max")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-16s %6d %12v %12v %12v %12v\n",
+			s.Phase, s.Count,
+			s.Total.Round(time.Microsecond), s.Avg().Round(time.Microsecond),
+			s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecoveryPhaseRoundTrip(t *testing.T) {
+	// The recovery-phase kind (header v2) must survive export/import
+	// with its phase name and duration intact.
+	var r Recorder
+	r.SetTransport("mem")
+	r.OnRecoveryPhase(3, "replay-logged", 42*time.Microsecond)
+	r.OnRecoveryPhase(3, "log-release", 7*time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `"kind":"recovery-phase"`) ||
+		!strings.Contains(text, `"phase":"replay-logged"`) {
+		t.Fatalf("exported trace missing span fields:\n%s", text)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Events(), got.Events()) {
+		t.Fatalf("span events diverged:\n%v\n%v", r.Events(), got.Events())
+	}
+}
+
+func TestSummarizePhases(t *testing.T) {
+	var r Recorder
+	r.OnRecoveryPhase(1, "collect-demands", 2*time.Millisecond)
+	r.OnRecoveryPhase(2, "roll-forward", 5*time.Millisecond)
+	r.OnRecoveryPhase(2, "collect-demands", 4*time.Millisecond)
+	sums := r.SummarizePhases()
+	if len(sums) != 2 {
+		t.Fatalf("summaries: %+v", sums)
+	}
+	// Ordered by first appearance in the trace.
+	if sums[0].Phase != "collect-demands" || sums[1].Phase != "roll-forward" {
+		t.Fatalf("phase order: %+v", sums)
+	}
+	cd := sums[0]
+	if cd.Count != 2 || cd.Total != 6*time.Millisecond ||
+		cd.Min != 2*time.Millisecond || cd.Max != 4*time.Millisecond ||
+		cd.Avg() != 3*time.Millisecond {
+		t.Fatalf("collect-demands summary: %+v", cd)
+	}
+	out := FormatPhaseSummaries(sums)
+	if !strings.Contains(out, "roll-forward") || !strings.Contains(out, "phase") {
+		t.Fatalf("formatted:\n%s", out)
+	}
+	if FormatPhaseSummaries(nil) != "" {
+		t.Fatal("empty summaries should format to empty string")
+	}
+}
+
+func TestPhaseSummaryAvgEmpty(t *testing.T) {
+	if (PhaseSummary{}).Avg() != 0 {
+		t.Fatal("zero-count Avg")
+	}
+}

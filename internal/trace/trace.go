@@ -14,8 +14,6 @@
 package trace
 
 import (
-	"fmt"
-	"sort"
 	"sync"
 	"time"
 )
@@ -36,6 +34,10 @@ const (
 	EvRecover
 	// EvRecoveryComplete marks the end of rolling forward.
 	EvRecoveryComplete
+	// EvRecoveryPhase is one completed recovery phase span: Phase names
+	// it (harness.Phase* constants) and Dur is its length in
+	// nanoseconds. Introduced with trace header version 2.
+	EvRecoveryPhase
 )
 
 // Event is one recorded harness event. Fields are used as relevant for
@@ -43,21 +45,30 @@ const (
 type Event struct {
 	Kind         EventKind
 	Rank         int
-	Peer         int   // dest (send) or source (deliver)
-	SendIndex    int64 // send / deliver
-	DeliverIndex int64 // deliver
-	Step         int   // checkpoint / recover
-	Count        int64 // checkpoint deliveredCount
-	Demand       int64 // deliver: protocol delivery demand, -1 if none
-	Resent       bool  // send
-	Seq          int   // global arrival order in the recorder
+	Peer         int    // dest (send) or source (deliver)
+	SendIndex    int64  // send / deliver
+	DeliverIndex int64  // deliver
+	Step         int    // checkpoint / recover
+	Count        int64  // checkpoint deliveredCount
+	Demand       int64  // deliver: protocol delivery demand, -1 if none
+	Resent       bool   // send
+	Phase        string // recovery-phase span name
+	Dur          int64  // recovery-phase span length, nanoseconds
+	Seq          int    // global arrival order in the recorder
 }
 
 // Recorder collects events from a running cluster. Safe for concurrent
-// use. The zero value is ready.
+// use. The zero value is ready and retains every event; NewBounded
+// builds one that caps retained raw events while keeping validation
+// exact.
 type Recorder struct {
 	mu        sync.Mutex
 	events    []Event
+	head      int // ring start, nonzero only once a bounded recorder wraps
+	seq       int // next Seq to assign; grows past len(events) when bounded
+	dropped   int // events evicted into the digest
+	bound     int // max retained events, 0 = unbounded
+	digest    *digest
 	transport string
 }
 
@@ -81,8 +92,21 @@ func (r *Recorder) Transport() string {
 
 func (r *Recorder) add(e Event) {
 	r.mu.Lock()
-	e.Seq = len(r.events)
-	r.events = append(r.events, e)
+	e.Seq = r.seq
+	r.seq++
+	if r.bound > 0 && len(r.events) == r.bound {
+		// Ring is full: fold the oldest event into the digest so
+		// validation stays exact, then reuse its slot.
+		r.digest.feed(r.events[r.head])
+		r.events[r.head] = e
+		r.head++
+		if r.head == r.bound {
+			r.head = 0
+		}
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
 }
 
@@ -114,25 +138,61 @@ func (r *Recorder) OnRecover(rank, fromStep int) {
 	r.add(Event{Kind: EvRecover, Rank: rank, Step: fromStep})
 }
 
+// OnRecoveryPhase implements harness.Observer.
+func (r *Recorder) OnRecoveryPhase(rank int, phase string, d time.Duration) {
+	r.add(Event{Kind: EvRecoveryPhase, Rank: rank, Phase: phase, Dur: int64(d)})
+}
+
 // OnRecoveryComplete implements harness.Observer.
 func (r *Recorder) OnRecoveryComplete(rank int, d time.Duration) {
 	r.add(Event{Kind: EvRecoveryComplete, Rank: rank})
 }
 
-// Events returns a copy of the recorded events in arrival order.
+// Events returns a copy of the retained events in arrival order. On a
+// bounded recorder this is the most recent window; Dropped reports how
+// many older events were evicted.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	return r.eventsLocked()
+}
+
+func (r *Recorder) eventsLocked() []Event {
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.head:]...)
+	out = append(out, r.events[:r.head]...)
 	return out
 }
 
-// Len returns the number of recorded events.
+// snapshot atomically captures the retained events together with a
+// private copy of the digest state covering the evicted prefix, so
+// validation never observes a half-advanced ring.
+func (r *Recorder) snapshot() ([]Event, *digest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d *digest
+	if r.digest != nil {
+		d = r.digest.clone()
+	}
+	return r.eventsLocked(), d
+}
+
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
+}
+
+// Dropped returns how many events a bounded recorder has evicted (0 on
+// an unbounded recorder, and on imported traces whatever the header
+// recorded). Validation on the live recorder stays exact across drops;
+// a re-imported dropped trace carries only the retained suffix, so
+// offline validators should warn when this is nonzero.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Problem is one detected violation.
@@ -143,10 +203,8 @@ type Problem struct {
 
 func (p Problem) String() string { return p.Rule + ": " + p.Detail }
 
-type channel struct{ from, to int }
-
 // Validate checks the recorded execution. It reconstructs each rank's
-// *effective* history: on every EvKill, the rank's post-checkpoint
+// *effective* history: on every recovery, the rank's post-checkpoint
 // deliveries and sends are rolled back (they re-occur during rolling
 // forward), exactly as the recovery protocols promise. On the surviving
 // history it enforces:
@@ -160,131 +218,17 @@ type channel struct{ from, to int }
 //     message that the run consumed arrived exactly once).
 //
 // finished reports whether the run completed (all application steps
-// done); the no-loss rule only holds then.
+// done); the no-loss rule only holds then. On a bounded recorder the
+// result is identical to an unbounded one: evicted events were already
+// folded into the streaming validator state.
 func (r *Recorder) Validate(finished bool) []Problem {
-	events := r.Events()
-	var problems []Problem
-
-	// Effective per-rank histories, rebuilt with rollback on kill.
-	type rankHist struct {
-		delivered   map[channel][]int64 // per source channel, in delivery order
-		sent        map[channel]int64   // per dest channel, max effective index
-		ckptDeliver map[channel]int64   // channel state at last checkpoint
-		ckptSent    map[channel]int64
+	events, d := r.snapshot()
+	v := newValidator()
+	if d != nil {
+		v = d.val
 	}
-	hist := map[int]*rankHist{}
-	get := func(rank int) *rankHist {
-		h := hist[rank]
-		if h == nil {
-			h = &rankHist{
-				delivered:   map[channel][]int64{},
-				sent:        map[channel]int64{},
-				ckptDeliver: map[channel]int64{},
-				ckptSent:    map[channel]int64{},
-			}
-			hist[rank] = h
-		}
-		return h
-	}
-
 	for _, e := range events {
-		switch e.Kind {
-		case EvSend:
-			if e.Resent {
-				continue // retransmissions are not new sends
-			}
-			h := get(e.Rank)
-			ch := channel{from: e.Rank, to: e.Peer}
-			if e.SendIndex > h.sent[ch] {
-				h.sent[ch] = e.SendIndex
-			}
-		case EvDeliver:
-			h := get(e.Rank)
-			ch := channel{from: e.Peer, to: e.Rank}
-			h.delivered[ch] = append(h.delivered[ch], e.SendIndex)
-		case EvCheckpoint:
-			h := get(e.Rank)
-			for ch, idxs := range h.delivered {
-				h.ckptDeliver[ch] = int64(len(idxs))
-			}
-			for ch, max := range h.sent {
-				h.ckptSent[ch] = max
-			}
-		case EvRecover:
-			// Roll the rank back to its last checkpoint: deliveries and
-			// sends after it will be re-executed by the incarnation.
-			// Truncation happens at EvRecover rather than EvKill because
-			// a killed rank's final in-flight event can be recorded just
-			// after the kill; by recovery time its goroutines are gone.
-			h := get(e.Rank)
-			for ch := range h.delivered {
-				keep := h.ckptDeliver[ch]
-				if int64(len(h.delivered[ch])) > keep {
-					h.delivered[ch] = h.delivered[ch][:keep]
-				}
-			}
-			for ch := range h.sent {
-				h.sent[ch] = h.ckptSent[ch]
-			}
-		}
+		v.feed(e)
 	}
-
-	// FIFO and duplicates on effective delivery histories.
-	for rank, h := range hist {
-		for ch, idxs := range h.delivered {
-			seen := map[int64]bool{}
-			prev := int64(0)
-			for _, idx := range idxs {
-				if seen[idx] {
-					problems = append(problems, Problem{
-						Rule:   "no-duplicate",
-						Detail: fmt.Sprintf("rank %d delivered message (%d->%d #%d) twice", rank, ch.from, ch.to, idx),
-					})
-				}
-				seen[idx] = true
-				if idx <= prev {
-					problems = append(problems, Problem{
-						Rule:   "fifo-delivery",
-						Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after #%d", rank, ch.from, ch.to, idx, prev),
-					})
-				}
-				prev = idx
-			}
-		}
-	}
-
-	if finished {
-		// No-loss: per channel, the receiver's effective delivered set
-		// must be exactly 1..maxSent.
-		for _, h := range hist {
-			for ch, maxSent := range h.sent {
-				recv := hist[ch.to]
-				var got []int64
-				if recv != nil {
-					got = recv.delivered[ch]
-				}
-				sorted := append([]int64(nil), got...)
-				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-				if int64(len(sorted)) != maxSent {
-					problems = append(problems, Problem{
-						Rule: "no-loss",
-						Detail: fmt.Sprintf("channel %d->%d: sent %d messages, delivered %d",
-							ch.from, ch.to, maxSent, len(sorted)),
-					})
-					continue
-				}
-				for i, idx := range sorted {
-					if idx != int64(i+1) {
-						problems = append(problems, Problem{
-							Rule: "no-loss",
-							Detail: fmt.Sprintf("channel %d->%d: delivery set has gap at #%d",
-								ch.from, ch.to, i+1),
-						})
-						break
-					}
-				}
-			}
-		}
-	}
-	return problems
+	return v.finish(finished)
 }

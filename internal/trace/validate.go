@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// validator is the streaming form of Validate. It consumes events in
+// arrival order while holding only compact per-channel state:
+//
+//   - deliveries recorded since a rank's last checkpoint are kept raw
+//     (they are the only events a future rollback can still erase),
+//     bounded by the checkpoint interval, not the run length;
+//   - deliveries a checkpoint has confirmed are folded into chanDeliver
+//     aggregates, emitting fifo/duplicate problems as they commit —
+//     once checkpointed, a delivery is part of the effective history
+//     forever, so the verdict is final.
+//
+// Recorder.Validate runs one over the full event list; a bounded
+// recorder feeds evicted events into one incrementally, which keeps
+// validation exact while raw events are discarded.
+type validator struct {
+	problems []Problem
+	ranks    map[int]*rankVal
+}
+
+// rankVal is one rank's validation state, keyed by peer rank.
+type rankVal struct {
+	pending   map[int][]int64      // deliveries since last checkpoint, per source
+	committed map[int]*chanDeliver // checkpoint-confirmed history, per source
+	sentCur   map[int]int64        // max effective send index, per dest
+	sentCkpt  map[int]int64        // sentCur at last checkpoint
+}
+
+// chanDeliver aggregates one channel's committed delivery history. The
+// delivered multiset is stored as a contiguous prefix 1..contig plus
+// sparse exceptions, so a clean channel costs O(1) space no matter how
+// many messages it carried; only actual violations grow the maps.
+type chanDeliver struct {
+	count  int64              // committed deliveries
+	prev   int64              // last committed send index (fifo cursor)
+	contig int64              // send indexes 1..contig all delivered
+	extras map[int64]struct{} // delivered indexes outside 1..contig
+	dups   map[int64]int64    // re-delivery count beyond first, per index
+}
+
+func newValidator() *validator {
+	return &validator{ranks: map[int]*rankVal{}}
+}
+
+func (v *validator) rank(r int) *rankVal {
+	h := v.ranks[r]
+	if h == nil {
+		h = &rankVal{
+			pending:   map[int][]int64{},
+			committed: map[int]*chanDeliver{},
+			sentCur:   map[int]int64{},
+			sentCkpt:  map[int]int64{},
+		}
+		v.ranks[r] = h
+	}
+	return h
+}
+
+// feed advances the validator by one event.
+func (v *validator) feed(e Event) {
+	switch e.Kind {
+	case EvSend:
+		if e.Resent {
+			return // retransmissions are not new sends
+		}
+		h := v.rank(e.Rank)
+		if e.SendIndex > h.sentCur[e.Peer] {
+			h.sentCur[e.Peer] = e.SendIndex
+		}
+	case EvDeliver:
+		h := v.rank(e.Rank)
+		h.pending[e.Peer] = append(h.pending[e.Peer], e.SendIndex)
+	case EvCheckpoint:
+		h := v.rank(e.Rank)
+		v.commit(e.Rank, h)
+		for peer, max := range h.sentCur {
+			h.sentCkpt[peer] = max
+		}
+	case EvRecover:
+		// Roll the rank back to its last checkpoint: deliveries and
+		// sends after it will be re-executed by the incarnation.
+		// Truncation happens at EvRecover rather than EvKill because
+		// a killed rank's final in-flight event can be recorded just
+		// after the kill; by recovery time its goroutines are gone.
+		h := v.rank(e.Rank)
+		clear(h.pending)
+		for peer := range h.sentCur {
+			h.sentCur[peer] = h.sentCkpt[peer]
+		}
+	}
+}
+
+// commit folds the rank's pending deliveries into its committed
+// per-channel aggregates, emitting fifo/duplicate problems.
+func (v *validator) commit(rank int, h *rankVal) {
+	for peer, idxs := range h.pending {
+		if len(idxs) == 0 {
+			continue
+		}
+		cd := h.committed[peer]
+		if cd == nil {
+			cd = &chanDeliver{}
+			h.committed[peer] = cd
+		}
+		for _, idx := range idxs {
+			v.deliver(rank, peer, cd, idx)
+		}
+	}
+	clear(h.pending)
+}
+
+// deliver appends one confirmed delivery to a channel's committed
+// history, checking the no-duplicate and fifo-delivery rules.
+func (v *validator) deliver(rank, from int, cd *chanDeliver, idx int64) {
+	if cd.has(idx) {
+		v.problems = append(v.problems, Problem{
+			Rule:   "no-duplicate",
+			Detail: fmt.Sprintf("rank %d delivered message (%d->%d #%d) twice", rank, from, rank, idx),
+		})
+		if cd.dups == nil {
+			cd.dups = map[int64]int64{}
+		}
+		cd.dups[idx]++
+	} else if idx == cd.contig+1 {
+		cd.contig++
+		for {
+			if _, ok := cd.extras[cd.contig+1]; !ok {
+				break
+			}
+			delete(cd.extras, cd.contig+1)
+			cd.contig++
+		}
+	} else {
+		if cd.extras == nil {
+			cd.extras = map[int64]struct{}{}
+		}
+		cd.extras[idx] = struct{}{}
+	}
+	if idx <= cd.prev {
+		v.problems = append(v.problems, Problem{
+			Rule:   "fifo-delivery",
+			Detail: fmt.Sprintf("rank %d delivered (%d->%d #%d) after #%d", rank, from, rank, idx, cd.prev),
+		})
+	}
+	cd.prev = idx
+	cd.count++
+}
+
+func (cd *chanDeliver) has(v int64) bool {
+	if v >= 1 && v <= cd.contig {
+		return true
+	}
+	_, ok := cd.extras[v]
+	return ok
+}
+
+// firstMismatch reports the first 0-based position where the sorted
+// delivered multiset differs from 1..count, i.e. the position Validate
+// flags as a no-loss gap. Only call when count equals the sent max.
+func (cd *chanDeliver) firstMismatch() (int64, bool) {
+	if len(cd.extras) == 0 && len(cd.dups) == 0 {
+		return 0, false // exactly 1..contig, each once
+	}
+	pos := int64(0)
+	// step consumes the block of deliveries equal to val; the sorted
+	// multiset matches 1..count only while each value sits at its own
+	// index, which a duplicate or out-of-range value always breaks.
+	step := func(val int64) (int64, bool) {
+		if val != pos+1 {
+			return pos, true
+		}
+		if cd.dups[val] > 0 {
+			return pos + 1, true // second copy displaces the next value
+		}
+		pos++
+		return 0, false
+	}
+	var lows, highs []int64
+	for val := range cd.extras {
+		if val < 1 {
+			lows = append(lows, val)
+		} else {
+			highs = append(highs, val)
+		}
+	}
+	sort.Slice(lows, func(i, j int) bool { return lows[i] < lows[j] })
+	sort.Slice(highs, func(i, j int) bool { return highs[i] < highs[j] })
+	for _, val := range lows {
+		if p, bad := step(val); bad {
+			return p, true
+		}
+	}
+	for val := int64(1); val <= cd.contig; val++ {
+		if p, bad := step(val); bad {
+			return p, true
+		}
+	}
+	for _, val := range highs {
+		if p, bad := step(val); bad {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// finish folds every rank's still-pending deliveries (nothing can roll
+// them back once the trace ends) and, when the run finished, applies
+// the no-loss rule. It consumes the validator.
+func (v *validator) finish(finished bool) []Problem {
+	for rank, h := range v.ranks {
+		v.commit(rank, h)
+	}
+	if finished {
+		// No-loss: per channel, the receiver's effective delivered set
+		// must be exactly 1..maxSent. Iterate in sorted order so the
+		// problem list is deterministic.
+		froms := make([]int, 0, len(v.ranks))
+		for r := range v.ranks {
+			froms = append(froms, r)
+		}
+		sort.Ints(froms)
+		for _, from := range froms {
+			h := v.ranks[from]
+			tos := make([]int, 0, len(h.sentCur))
+			for to := range h.sentCur {
+				tos = append(tos, to)
+			}
+			sort.Ints(tos)
+			for _, to := range tos {
+				maxSent := h.sentCur[to]
+				var cd *chanDeliver
+				if recv := v.ranks[to]; recv != nil {
+					cd = recv.committed[from]
+				}
+				var count int64
+				if cd != nil {
+					count = cd.count
+				}
+				if count != maxSent {
+					v.problems = append(v.problems, Problem{
+						Rule: "no-loss",
+						Detail: fmt.Sprintf("channel %d->%d: sent %d messages, delivered %d",
+							from, to, maxSent, count),
+					})
+					continue
+				}
+				if cd == nil {
+					continue
+				}
+				if pos, bad := cd.firstMismatch(); bad {
+					v.problems = append(v.problems, Problem{
+						Rule: "no-loss",
+						Detail: fmt.Sprintf("channel %d->%d: delivery set has gap at #%d",
+							from, to, pos+1),
+					})
+				}
+			}
+		}
+	}
+	return v.problems
+}
+
+func (v *validator) clone() *validator {
+	n := &validator{
+		problems: append([]Problem(nil), v.problems...),
+		ranks:    make(map[int]*rankVal, len(v.ranks)),
+	}
+	for r, h := range v.ranks {
+		n.ranks[r] = h.clone()
+	}
+	return n
+}
+
+func (h *rankVal) clone() *rankVal {
+	n := &rankVal{
+		pending:   make(map[int][]int64, len(h.pending)),
+		committed: make(map[int]*chanDeliver, len(h.committed)),
+		sentCur:   make(map[int]int64, len(h.sentCur)),
+		sentCkpt:  make(map[int]int64, len(h.sentCkpt)),
+	}
+	for k, s := range h.pending {
+		n.pending[k] = append([]int64(nil), s...)
+	}
+	for k, cd := range h.committed {
+		n.committed[k] = cd.clone()
+	}
+	for k, x := range h.sentCur {
+		n.sentCur[k] = x
+	}
+	for k, x := range h.sentCkpt {
+		n.sentCkpt[k] = x
+	}
+	return n
+}
+
+func (cd *chanDeliver) clone() *chanDeliver {
+	n := &chanDeliver{count: cd.count, prev: cd.prev, contig: cd.contig}
+	if cd.extras != nil {
+		n.extras = make(map[int64]struct{}, len(cd.extras))
+		for k := range cd.extras {
+			n.extras[k] = struct{}{}
+		}
+	}
+	if cd.dups != nil {
+		n.dups = make(map[int64]int64, len(cd.dups))
+		for k, c := range cd.dups {
+			n.dups[k] = c
+		}
+	}
+	return n
+}

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"windar/internal/clock"
+	"windar/internal/obs"
 	"windar/internal/transport"
 	"windar/internal/wire"
 )
@@ -66,6 +67,10 @@ type Config struct {
 	DialBackoffMax time.Duration
 	// Clock paces the reconnect backoff; default the real clock.
 	Clock clock.Clock
+	// Backoff, when non-nil, records every reconnect backoff delay the
+	// dialing rank sleeps (per dialing rank, in nanoseconds) — the
+	// tail-latency signal loopback runs otherwise hide.
+	Backoff *obs.Family
 }
 
 // DefaultLinkBuffer is used when Config.LinkBufferBytes is zero; it
@@ -402,16 +407,16 @@ type link struct {
 
 	mu           sync.Mutex
 	cond         *sync.Cond
-	queue        []*pending // accepted, not yet written to the current conn
-	unacked      []*pending // written, awaiting ack from the inbox
-	recycle      []*pending // acked; buffers await pool return by the writer
-	pendingBytes int64      // bytes across queue+unacked (bounded buffer)
-	conn         net.Conn   // current connection, nil while down
-	gen          int64      // generation of the current connection
+	queue        []*pending      // accepted, not yet written to the current conn
+	unacked      []*pending      // written, awaiting ack from the inbox
+	recycle      []*pending      // acked; buffers await pool return by the writer
+	pendingBytes int64           // bytes across queue+unacked (bounded buffer)
+	conn         net.Conn        // current connection, nil while down
+	gen          int64           // generation of the current connection
 	base         map[int64]int64 // lifetime ack total at each generation's birth
-	acked        int64      // frames acked over the link's lifetime
-	ackSeen      int64      // highest lifetime ack total observed
-	started      bool       // writer goroutine launched
+	acked        int64           // frames acked over the link's lifetime
+	ackSeen      int64           // highest lifetime ack total observed
+	started      bool            // writer goroutine launched
 }
 
 // enqueue adds p to the link, blocking while the bounded buffer is full
@@ -557,6 +562,7 @@ func (l *link) dial() (net.Conn, bool) {
 		if err == nil {
 			return conn, true
 		}
+		l.t.cfg.Backoff.Rank(l.from).RecordDuration(backoff)
 		select {
 		case <-l.t.closed:
 			return nil, false

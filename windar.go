@@ -34,6 +34,7 @@ import (
 	"windar/internal/harness"
 	"windar/internal/metrics"
 	"windar/internal/npb"
+	"windar/internal/obs"
 	"windar/internal/trace"
 	"windar/internal/workload"
 )
@@ -114,6 +115,21 @@ type Stats = metrics.Snapshot
 // validation.
 type TraceRecorder = trace.Recorder
 
+// NewBoundedTrace returns a TraceRecorder that retains at most capacity
+// raw events. Validation stays exact across evictions (the streaming
+// validators absorb evicted events), which keeps long soak runs from
+// growing the trace without bound.
+func NewBoundedTrace(capacity int) *TraceRecorder { return trace.NewBounded(capacity) }
+
+// ObsRegistry collects latency/size histograms from the cluster's hot
+// paths (deliver latency, piggyback sizes, tracking time, TCP reconnect
+// backoff) and recovery-phase durations. Build one with NewObsRegistry,
+// set Config.Obs, and expose it live with Cluster.ServeDebug.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry returns an observability registry for an n-rank run.
+func NewObsRegistry(n int) *ObsRegistry { return obs.NewRegistry(n) }
+
 // Clock abstracts time for the whole system. Production code uses
 // RealClock; tests can inject a FakeClock and drive it deterministically.
 // The windar-lint directclock analyzer keeps every other package off the
@@ -162,6 +178,11 @@ type Config struct {
 	// Trace, if non-nil, records every send/deliver/checkpoint/failure
 	// event for validation.
 	Trace *TraceRecorder
+	// Obs, if non-nil, wires the hot paths to histogram families
+	// (deliver latency, piggyback sizes, tracking time, recovery
+	// phases). Expose it over HTTP with Cluster.ServeDebug. Nil keeps
+	// every recording site a no-op.
+	Obs *ObsRegistry
 	// Clock overrides the time source for the harness and protocols
 	// (watchdogs, tracking timers, recovery timing); default wall clock.
 	// A FakeClock also gates the fabric's delivery latencies, so a run
@@ -196,6 +217,7 @@ func (c Config) internal() harness.Config {
 	if c.Trace != nil {
 		cfg.Observer = c.Trace
 	}
+	cfg.Obs = c.Obs
 	cfg.Clock = c.Clock
 	return cfg
 }
@@ -211,6 +233,8 @@ func (a appAdapter) Restore(b []byte) error   { return a.inner.Restore(b) }
 // Cluster is a running n-rank system with failure injection.
 type Cluster struct {
 	inner *harness.Cluster
+	obs   *ObsRegistry
+	meta  map[string]string
 }
 
 // NewCluster builds a cluster executing factory's application under cfg.
@@ -228,7 +252,20 @@ func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner}, nil
+	protocol := cfg.Protocol
+	if protocol == "" {
+		protocol = TDI
+	}
+	tk := cfg.Transport
+	if tk == "" {
+		tk = TransportMem
+	}
+	meta := map[string]string{
+		"procs":     fmt.Sprint(cfg.Procs),
+		"protocol":  string(protocol),
+		"transport": tk,
+	}
+	return &Cluster{inner: inner, obs: cfg.Obs, meta: meta}, nil
 }
 
 // Start launches every rank.
@@ -266,6 +303,66 @@ func (c *Cluster) AppSnapshot(rank int) []byte { return c.inner.AppSnapshot(rank
 
 // LogItemsLive reports the retained sender-log population across ranks.
 func (c *Cluster) LogItemsLive() int { return c.inner.LogItemsLive() }
+
+// DebugServer is a live debug/telemetry endpoint set for one cluster:
+// /metrics (Prometheus text), /debug/vars (JSON snapshot polled by
+// windar-top), /healthz (per-rank liveness and incarnations) and
+// /debug/pprof/*. Close it before the cluster.
+type DebugServer struct {
+	srv *obs.Server
+	smp *obs.Sampler
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.srv.Addr() }
+
+// Close stops the sampler and the HTTP listener.
+func (d *DebugServer) Close() error {
+	d.smp.Stop()
+	return d.srv.Close()
+}
+
+// ServeDebug starts the debug HTTP server on addr (e.g.
+// "127.0.0.1:8077"; port 0 picks a free one — read it back from Addr).
+// The endpoints expose the cluster's counters, the Config.Obs histogram
+// families when a registry was attached, per-rank health, and a short
+// sampled history of the aggregate counters for rate computation.
+func (c *Cluster) ServeDebug(addr string) (*DebugServer, error) {
+	counters := func() []obs.RankCounters {
+		per := c.inner.Metrics().PerRank()
+		out := make([]obs.RankCounters, len(per))
+		for i, s := range per {
+			out[i] = obs.RankCounters{Rank: i, Counters: countersOf(s)}
+		}
+		return out
+	}
+	smp := obs.NewSampler(c.inner.Clock(), 250*time.Millisecond, 240, func() []obs.Counter {
+		return countersOf(c.inner.Metrics().Total())
+	})
+	srv, err := obs.Serve(addr, obs.Source{
+		Registry: c.obs,
+		Counters: counters,
+		Health:   c.inner.Health,
+		Sampler:  smp,
+		Meta:     c.meta,
+		Clock:    c.inner.Clock(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	smp.Start()
+	return &DebugServer{srv: srv, smp: smp}, nil
+}
+
+// countersOf flattens a metrics snapshot into the obs counter schema.
+func countersOf(s metrics.Snapshot) []obs.Counter {
+	vars := s.Vars()
+	out := make([]obs.Counter, len(vars))
+	for i, v := range vars {
+		out[i] = obs.Counter{Name: v.Name, Value: v.Value}
+	}
+	return out
+}
 
 // NPBFactory returns one of the paper's benchmarks: "lu", "bt" or "sp",
 // on an N^3 domain for the given iteration count.
