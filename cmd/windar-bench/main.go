@@ -1,8 +1,10 @@
 // Command windar-bench regenerates the paper's evaluation figures:
 //
-//	windar-bench -fig 6          # piggyback amount per message
+//	windar-bench -fig 6          # piggyback amount per message, plus the
+//	                             # delta-vs-full comparison -> BENCH_pig.json
 //	windar-bench -fig 7          # dependency-tracking time
 //	windar-bench -fig 8          # blocking vs non-blocking accomplishment time
+//	windar-bench -fig pig        # only the delta-vs-full piggyback comparison
 //	windar-bench -fig obs        # per-protocol histogram quantiles -> BENCH_obs.json
 //	windar-bench -fig all        # everything
 //
@@ -34,6 +36,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "network jitter seed")
 		faultAfter = flag.Duration("fault-after", 10*time.Millisecond, "fig 8 / obs: failure injection delay")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs sweep: output path for the quantile report")
+		pigOut     = flag.String("pig-out", "BENCH_pig.json", "fig 6 / pig: output path for the delta-vs-full piggyback comparison")
 	)
 	flag.Parse()
 
@@ -52,12 +55,12 @@ func main() {
 
 	want := map[string]bool{}
 	if *fig == "all" {
-		want["6"], want["7"], want["8"], want["ckpt"], want["obs"] = true, true, true, true, true
+		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"] = true, true, true, true, true, true
 	} else {
 		want[*fig] = true
 	}
-	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] {
-		fatal("unknown -fig %q (want 6, 7, 8, ckpt, obs or all)", *fig)
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] {
+		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs or all)", *fig)
 	}
 
 	if want["6"] || want["7"] {
@@ -71,6 +74,22 @@ func main() {
 		if want["7"] {
 			fmt.Println(windar.Fig7Text(rows))
 		}
+	}
+	if want["6"] || want["pig"] {
+		row, err := windar.RunPiggybackCompare(opts)
+		if err != nil {
+			fatal("piggyback compare: %v", err)
+		}
+		fmt.Println(windar.PigText(row))
+		data, err := json.MarshalIndent(row, "", "  ")
+		if err != nil {
+			fatal("piggyback compare: %v", err)
+		}
+		if err := os.WriteFile(*pigOut, append(data, '\n'), 0o644); err != nil {
+			fatal("piggyback compare: %v", err)
+		}
+		fmt.Printf("piggyback comparison written: %s (%s procs=%d, %.1f -> %.1f B/msg, %.0f%% reduction)\n",
+			*pigOut, row.Bench, row.Procs, row.FullBytes, row.DeltaBytes, 100*row.Reduction)
 	}
 	if want["8"] {
 		rows, err := windar.RunFig8(opts)

@@ -34,6 +34,8 @@ func main() {
 		validate  = flag.Bool("validate", true, "validate the execution trace")
 		traceOut  = flag.String("trace-out", "", "write the execution trace as JSON lines to this file")
 		traceCap  = flag.Int("trace-cap", 0, "retain at most this many raw trace events (0 = unbounded); validation stays exact")
+		pigEvery  = flag.Int("pig-refresh-every", 0, "TDI delta piggyback full-vector cadence (0 = default 32, 1 = full vector every send)")
+		batch     = flag.Int64("batch-bytes", 0, "send-side frame batching budget in bytes (0 = transport default, negative = off)")
 		serve     = flag.String("serve", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /debug/pprof)")
 		linger    = flag.Duration("serve-linger", 0, "keep the telemetry server up this long after the run completes")
 	)
@@ -59,6 +61,9 @@ func main() {
 		JitterFraction:  0.5,
 		Seed:            *seed,
 		StallTimeout:    2 * time.Minute,
+
+		PiggybackRefreshEvery: *pigEvery,
+		SendBatchBytes:        *batch,
 	}
 	if *validate {
 		cfg.Trace = rec

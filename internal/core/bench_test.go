@@ -51,6 +51,6 @@ func BenchmarkDeliverable(b *testing.B) {
 	env := &wire.Envelope{Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1, Piggyback: pig}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = tdi.Deliverable(env, 0)
+		_, _ = tdi.Deliverable(env, 0)
 	}
 }

@@ -55,8 +55,8 @@ func (h history) run(t *testing.T) *TDI {
 			SendIndex: counts[from],
 			Piggyback: wire.AppendVec(nil, pig),
 		}
-		if v := tdi.Deliverable(env, int64(i)); v != proto.Deliver {
-			t.Fatalf("delivery %d held: pig=%v count=%d", i, pig, i)
+		if v, err := tdi.Deliverable(env, int64(i)); err != nil || v != proto.Deliver {
+			t.Fatalf("delivery %d held: pig=%v count=%d err=%v", i, pig, i, err)
 		}
 		if err := tdi.OnDeliver(env, int64(i+1)); err != nil {
 			t.Fatal(err)
@@ -158,7 +158,10 @@ func TestPropertyDeliverablePredicate(t *testing.T) {
 			Kind: wire.KindApp, From: (rank + 1) % len(pig), To: rank,
 			SendIndex: 1, Piggyback: wire.AppendVec(nil, pig),
 		}
-		got := tdi.Deliverable(env, count)
+		got, err := tdi.Deliverable(env, count)
+		if err != nil {
+			return false
+		}
 		want := proto.Hold
 		if count >= pig[rank] {
 			want = proto.Deliver

@@ -44,7 +44,7 @@ func TestFig1Walkthrough(t *testing.T) {
 		return &wire.Envelope{Kind: wire.KindApp, From: from, To: to, SendIndex: idx, Piggyback: pig}
 	}
 	deliver := func(p *TDI, env *wire.Envelope, count int64) {
-		if v := p.Deliverable(env, count-1); v != proto.Deliver {
+		if v, err := p.Deliverable(env, count-1); err != nil || v != proto.Deliver {
 			t.Fatalf("delivery %d at P%d held unexpectedly", count, env.To)
 		}
 		if err := p.OnDeliver(env, count); err != nil {
@@ -83,15 +83,15 @@ func TestFig1Walkthrough(t *testing.T) {
 	// m0 and m2 in either order — both carry depend_interval[P1] = 0.
 	inc := New(1, n, nil, nil)
 	for _, m := range []*wire.Envelope{m0, m2} {
-		if got := inc.Deliverable(m, 0); got != proto.Deliver {
+		if got, err := inc.Deliverable(m, 0); err != nil || got != proto.Deliver {
 			t.Fatalf("recovering P1 held %v at count 0", m)
 		}
 	}
 	// ... but m5 must wait until two messages have been delivered.
-	if got := inc.Deliverable(m5, 0); got != proto.Hold {
+	if got, err := inc.Deliverable(m5, 0); err != nil || got != proto.Hold {
 		t.Fatal("recovering P1 delivered m5 before its dependencies")
 	}
-	if got := inc.Deliverable(m5, 1); got != proto.Hold {
+	if got, err := inc.Deliverable(m5, 1); err != nil || got != proto.Hold {
 		t.Fatal("recovering P1 delivered m5 after only one delivery")
 	}
 	// Deliver m2 first — the order PWD would forbid (originally m0 came
@@ -102,7 +102,7 @@ func TestFig1Walkthrough(t *testing.T) {
 	if err := inc.OnDeliver(m0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if got := inc.Deliverable(m5, 2); got != proto.Deliver {
+	if got, err := inc.Deliverable(m5, 2); err != nil || got != proto.Deliver {
 		t.Fatal("m5 still held after both dependencies delivered")
 	}
 	if err := inc.OnDeliver(m5, 3); err != nil {
@@ -198,13 +198,13 @@ func TestFig2MultiFailureScenario(t *testing.T) {
 	// require zero prior deliveries (their delivery order cannot create
 	// an orphan: they are causally independent).
 	inc1 := New(1, n, nil, nil)
-	if v := inc1.Deliverable(m2, 0); v != proto.Deliver {
+	if v, err := inc1.Deliverable(m2, 0); err != nil || v != proto.Deliver {
 		t.Fatalf("m2 held at count 0: %v", v)
 	}
 	if err := inc1.OnDeliver(m2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if v := inc1.Deliverable(m0, 1); v != proto.Deliver {
+	if v, err := inc1.Deliverable(m0, 1); err != nil || v != proto.Deliver {
 		t.Fatalf("m0 held at count 1: %v", v)
 	}
 	if err := inc1.OnDeliver(m0, 2); err != nil {
@@ -243,10 +243,10 @@ func TestFig2MultiFailureScenario(t *testing.T) {
 	// A third-incarnation P1 with no deliveries must hold that onward
 	// message until it has replayed two deliveries — no orphan can form.
 	inc1b := New(1, n, nil, nil)
-	if v := inc1b.Deliverable(onward, 0); v != proto.Hold {
+	if v, err := inc1b.Deliverable(onward, 0); err != nil || v != proto.Hold {
 		t.Fatal("onward message delivered before its dependencies")
 	}
-	if v := inc1b.Deliverable(onward, 2); v != proto.Deliver {
+	if v, err := inc1b.Deliverable(onward, 2); err != nil || v != proto.Deliver {
 		t.Fatal("onward message held after dependencies satisfied")
 	}
 }

@@ -25,6 +25,21 @@
 // slot is known the moment it arrives ("proactive perception of delivery
 // order"), so recovery needs no determinant collection phase at all.
 //
+// # Delta piggyback (wire format v2)
+//
+// Between consecutive sends to the same destination the vector changes
+// in only a few elements, so the piggyback is delta-encoded: the sender
+// caches the last vector it sent per destination and emits only the
+// changed (index, value) pairs (wire.AppendVecDelta), falling back to
+// the full v1 vector every refreshEvery-th message so a fresh receiver
+// incarnation can always resynchronize. The receiver reconstructs the
+// full vector from a per-source cache committed on each delivery; the
+// per-channel FIFO the harness enforces makes the chain exact. Because
+// regenerated sends after a rollback could diverge from in-flight
+// originals at the same send index, an incarnation that restored a
+// checkpoint or began recovery pins itself to full vectors — failures
+// are rare, so the failure-free hot path keeps the whole delta win.
+//
 // The division of labour with the harness: the harness owns per-channel
 // FIFO/duplicate control (lines 19, 21, 28), the sender log and its
 // release (lines 12, 38-39), checkpointing (lines 32-37) and the
@@ -44,6 +59,16 @@ import (
 	"windar/internal/wire"
 )
 
+// DefaultRefreshEvery is the full-vector refresh cadence when none is
+// configured: every 32nd message per destination carries the whole
+// vector even if a delta would be smaller.
+const DefaultRefreshEvery = 32
+
+// snapshotV2Marker is the first byte of the v2 Snapshot layout. A v1
+// snapshot was a bare AppendVec whose first byte is uvarint(n) >= 1, so
+// 0x00 is unambiguous.
+const snapshotV2Marker = 0x00
+
 // TDI is one rank's protocol instance. It implements proto.Protocol.
 type TDI struct {
 	rank int
@@ -52,6 +77,32 @@ type TDI struct {
 	dependInterval vclock.Vec
 	m              *metrics.Rank
 	clk            clock.Clock
+
+	// refreshEvery is the per-destination full-vector cadence: at most
+	// refreshEvery-1 consecutive deltas before a full resend. 1 disables
+	// deltas entirely (the Fig. 6 full-vector baseline).
+	refreshEvery int
+	// pinFull forces full vectors forever once this instance restored a
+	// checkpoint or began rolling forward: regenerated sends may diverge
+	// from in-flight originals at the same send index, so no delta base
+	// can be proven shared with any receiver after a rollback.
+	pinFull bool
+
+	// Send side: last vector sent per destination and deltas since the
+	// last full vector.
+	sent      []vclock.Vec
+	sinceFull []int
+
+	// Receive side: last reconstructed vector per source (the delta
+	// base), committed on delivery so it tracks lastDeliverIndex exactly.
+	recv []vclock.Vec
+
+	// Per-source decode memo: Deliverable, OnDeliver and DeliveryDemand
+	// all see the same FIFO-head message, often repeatedly; decode it
+	// once per (source, send index).
+	memoIdx []int64
+	memoVec []vclock.Vec
+	memoErr []error
 }
 
 var _ proto.Protocol = (*TDI)(nil)
@@ -67,7 +118,34 @@ func New(rank, n int, m *metrics.Rank, clk clock.Clock) *TDI {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &TDI{rank: rank, n: n, dependInterval: vclock.New(n), m: m, clk: clk}
+	t := &TDI{
+		rank:           rank,
+		n:              n,
+		dependInterval: vclock.New(n),
+		m:              m,
+		clk:            clk,
+		refreshEvery:   DefaultRefreshEvery,
+		sent:           make([]vclock.Vec, n),
+		sinceFull:      make([]int, n),
+		recv:           make([]vclock.Vec, n),
+		memoIdx:        make([]int64, n),
+		memoVec:        make([]vclock.Vec, n),
+		memoErr:        make([]error, n),
+	}
+	for i := range t.memoIdx {
+		t.memoIdx[i] = -1
+	}
+	return t
+}
+
+// SetRefreshEvery overrides the full-vector refresh cadence: every k-th
+// message per destination carries the full vector. k == 1 disables
+// delta encoding entirely; k <= 0 restores the default.
+func (t *TDI) SetRefreshEvery(k int) {
+	if k <= 0 {
+		k = DefaultRefreshEvery
+	}
+	t.refreshEvery = k
 }
 
 // Name implements proto.Protocol.
@@ -77,40 +155,96 @@ func (t *TDI) Name() string { return "tdi" }
 // (diagnostics and tests).
 func (t *TDI) DependInterval() vclock.Vec { return t.dependInterval.Clone() }
 
-// PiggybackForSend implements proto.Protocol: the piggyback is the whole
-// current depend_interval vector (Algorithm 1 line 11), n identifiers.
+// PiggybackForSend implements proto.Protocol: the piggyback is the
+// current depend_interval vector (Algorithm 1 line 11) — delta-encoded
+// against the last vector sent to dest when that is smaller and the
+// refresh cadence permits, the full n-element vector otherwise.
 func (t *TDI) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
 	start := t.clk.Now()
-	pig := wire.AppendVec(make([]byte, 0, 4*t.n), t.dependInterval)
+	var pig []byte
+	ids := t.n
+	delta := false
+	if !t.pinFull && t.refreshEvery > 1 &&
+		t.sent[dest] != nil && t.sinceFull[dest] < t.refreshEvery-1 {
+		if ds := wire.VecDeltaSize(t.sent[dest], t.dependInterval); ds < wire.VecSize(t.dependInterval) {
+			pig = wire.AppendVecDelta(make([]byte, 0, ds), t.sent[dest], t.dependInterval)
+			ids = 2*wire.VecChanged(t.sent[dest], t.dependInterval) + 1
+			delta = true
+		}
+	}
+	if pig == nil {
+		pig = wire.AppendVec(make([]byte, 0, 4*t.n), t.dependInterval)
+	}
+	if delta {
+		t.sinceFull[dest]++
+	} else {
+		t.sinceFull[dest] = 0
+	}
+	if t.sent[dest] == nil {
+		t.sent[dest] = t.dependInterval.Clone()
+	} else {
+		t.sent[dest].CopyFrom(t.dependInterval)
+	}
 	t.m.SendTracking(t.clk.Now().Sub(start))
-	return pig, t.n
+	if delta {
+		t.m.PigDelta(len(pig))
+	} else {
+		t.m.PigFull()
+	}
+	return pig, ids
+}
+
+// decodePig reconstructs env's full depend_interval vector: a v1 full
+// vector directly, a v2 delta applied to the per-source base committed
+// at the previous delivery on that channel. The result is memoized per
+// (source, send index) so the repeated Deliverable probes on a held
+// FIFO head decode once.
+func (t *TDI) decodePig(env *wire.Envelope) (vclock.Vec, error) {
+	src := env.From
+	if src < 0 || src >= t.n {
+		return nil, fmt.Errorf("core: rank %d: piggyback from out-of-range rank %d", t.rank, src)
+	}
+	if t.memoIdx[src] == env.SendIndex && (t.memoVec[src] != nil || t.memoErr[src] != nil) {
+		return t.memoVec[src], t.memoErr[src]
+	}
+	v, _, _, err := wire.ReadVecAny(env.Piggyback, t.recv[src])
+	if err != nil {
+		v = nil
+		err = fmt.Errorf("core: rank %d: bad TDI piggyback from %d: %w", t.rank, src, err)
+	} else if len(v) != t.n {
+		v = nil
+		err = fmt.Errorf("core: rank %d: piggyback length %d from %d, want %d", t.rank, len(v), src, t.n)
+	}
+	t.memoIdx[src] = env.SendIndex
+	t.memoVec[src] = v
+	t.memoErr[src] = err
+	return v, err
 }
 
 // Deliverable implements proto.Protocol: line 17 of Algorithm 1. The
 // message may be delivered once this rank's own interval index has reached
-// the piggybacked requirement.
-func (t *TDI) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdict {
-	pig, _, err := wire.ReadVec(env.Piggyback)
+// the piggybacked requirement. A malformed piggyback is reported as an
+// error (treated as Hold by the harness), never a panic.
+func (t *TDI) Deliverable(env *wire.Envelope, deliveredCount int64) (proto.Verdict, error) {
+	pig, err := t.decodePig(env)
 	if err != nil {
-		panic(fmt.Sprintf("core: rank %d: bad TDI piggyback from %d: %v", t.rank, env.From, err))
+		return proto.Hold, err
 	}
 	if deliveredCount >= pig[t.rank] {
-		return proto.Deliver
+		return proto.Deliver, nil
 	}
-	return proto.Hold
+	return proto.Hold, nil
 }
 
 // OnDeliver implements proto.Protocol: lines 20 and 22-24. The own element
 // is advanced by exactly one (this delivery); the rest is merged from the
-// piggyback.
+// piggyback. The reconstructed vector also becomes the delta base for the
+// next message on this channel.
 func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	start := t.clk.Now()
-	pig, _, err := wire.ReadVec(env.Piggyback)
+	pig, err := t.decodePig(env)
 	if err != nil {
-		return fmt.Errorf("core: rank %d: bad TDI piggyback from %d: %w", t.rank, env.From, err)
-	}
-	if len(pig) != t.n {
-		return fmt.Errorf("core: rank %d: piggyback length %d, want %d", t.rank, len(pig), t.n)
+		return err
 	}
 	t.dependInterval[t.rank]++
 	if t.dependInterval[t.rank] != deliverIndex {
@@ -118,6 +252,12 @@ func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 			t.rank, t.dependInterval[t.rank], deliverIndex)
 	}
 	t.dependInterval.MergeExcept(pig, t.rank)
+	src := env.From
+	if t.recv[src] == nil {
+		t.recv[src] = pig.Clone()
+	} else {
+		t.recv[src].CopyFrom(pig)
+	}
 	t.m.DeliverTracking(t.clk.Now().Sub(start))
 	return nil
 }
@@ -126,31 +266,89 @@ func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 // depend_interval element for this rank is exactly the delivery count
 // Algorithm 1 line 17 requires before env may be delivered. It feeds the
 // trace recorder so the offline invariant checker can re-verify the
-// comparison on every recorded delivery.
+// comparison on every recorded delivery. Deltas carry absolute values,
+// so re-decoding against the post-delivery base is exact.
 func (t *TDI) DeliveryDemand(env *wire.Envelope) (int64, bool) {
-	pig, _, err := wire.ReadVec(env.Piggyback)
+	pig, err := t.decodePig(env)
 	if err != nil || t.rank >= len(pig) {
 		return 0, false
 	}
 	return pig[t.rank], true
 }
 
-// Snapshot implements proto.Protocol: the protocol state is exactly the
-// depend_interval vector (line 33 saves it with the checkpoint).
+// Snapshot implements proto.Protocol: the depend_interval vector
+// (line 33 saves it with the checkpoint) plus the per-source delta
+// bases, which must survive a restore so the incarnation can keep
+// decoding deltas from live senders mid-chain.
 func (t *TDI) Snapshot() []byte {
-	return wire.AppendVec(nil, t.dependInterval)
+	buf := append([]byte(nil), snapshotV2Marker)
+	buf = wire.AppendVec(buf, t.dependInterval)
+	for src := 0; src < t.n; src++ {
+		if t.recv[src] == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = wire.AppendVec(buf, t.recv[src])
+	}
+	return buf
 }
 
-// Restore implements proto.Protocol (line 42).
+// Restore implements proto.Protocol (line 42). It accepts the v2 layout
+// of Snapshot and the legacy bare-vector v1 layout (no delta bases).
+// Restoring pins the instance to full-vector sends: its regenerated
+// sends may diverge from in-flight originals, so no per-destination
+// delta base is trustworthy anymore.
 func (t *TDI) Restore(data []byte) error {
-	v, _, err := wire.ReadVec(data)
-	if err != nil {
-		return fmt.Errorf("core: restore: %w", err)
+	recv := make([]vclock.Vec, t.n)
+	var di vclock.Vec
+	if len(data) > 0 && data[0] == snapshotV2Marker {
+		i := 1
+		v, n, err := wire.ReadVec(data[i:])
+		if err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		i += n
+		di = v
+		for src := 0; src < t.n; src++ {
+			if i >= len(data) {
+				return fmt.Errorf("core: restore: truncated delta bases")
+			}
+			present := data[i]
+			i++
+			if present == 0 {
+				continue
+			}
+			base, n, err := wire.ReadVec(data[i:])
+			if err != nil {
+				return fmt.Errorf("core: restore: base for %d: %w", src, err)
+			}
+			if len(base) != t.n {
+				return fmt.Errorf("core: restore: base length %d for %d, want %d", len(base), src, t.n)
+			}
+			i += n
+			recv[src] = base
+		}
+	} else {
+		v, _, err := wire.ReadVec(data)
+		if err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		di = v
 	}
-	if len(v) != t.n {
-		return fmt.Errorf("core: restore: vector length %d, want %d", len(v), t.n)
+	if len(di) != t.n {
+		return fmt.Errorf("core: restore: vector length %d, want %d", len(di), t.n)
 	}
-	t.dependInterval = v
+	t.dependInterval = di
+	t.recv = recv
+	for i := range t.memoIdx {
+		t.memoIdx[i] = -1
+		t.memoVec[i] = nil
+		t.memoErr[i] = nil
+	}
+	t.sent = make([]vclock.Vec, t.n)
+	t.sinceFull = make([]int, t.n)
+	t.pinFull = true
 	return nil
 }
 
@@ -161,8 +359,10 @@ func (t *TDI) Restore(data []byte) error {
 func (t *TDI) RecoveryData(failed int, ckptDeliveredCount int64) []byte { return nil }
 
 // BeginRecovery implements proto.Protocol. TDI rolling forward imposes no
-// collection phase: delivery can begin the moment messages arrive.
-func (t *TDI) BeginRecovery(expectResponses int) {}
+// collection phase: delivery can begin the moment messages arrive. The
+// incarnation does pin itself to full-vector sends (see Restore) — this
+// also covers a recovery with no checkpoint, where Restore never ran.
+func (t *TDI) BeginRecovery(expectResponses int) { t.pinFull = true }
 
 // OnRecoveryData implements proto.Protocol.
 func (t *TDI) OnRecoveryData(from int, data []byte) error { return nil }

@@ -83,19 +83,19 @@ func TestDeliverableCountPredicate(t *testing.T) {
 	m2 := env(2, 1, 1, vclock.Vec{0, 0, 0, 0})
 	m5 := env(2, 1, 2, vclock.Vec{0, 2, 2, 1})
 
-	if v := tdi.Deliverable(m0, 0); v != proto.Deliver {
+	if v, err := tdi.Deliverable(m0, 0); err != nil || v != proto.Deliver {
 		t.Fatalf("m0 at count 0: %v", v)
 	}
-	if v := tdi.Deliverable(m2, 0); v != proto.Deliver {
+	if v, err := tdi.Deliverable(m2, 0); err != nil || v != proto.Deliver {
 		t.Fatalf("m2 at count 0: %v", v)
 	}
-	if v := tdi.Deliverable(m5, 0); v != proto.Hold {
+	if v, err := tdi.Deliverable(m5, 0); err != nil || v != proto.Hold {
 		t.Fatalf("m5 at count 0: %v, want Hold", v)
 	}
-	if v := tdi.Deliverable(m5, 1); v != proto.Hold {
+	if v, err := tdi.Deliverable(m5, 1); err != nil || v != proto.Hold {
 		t.Fatalf("m5 at count 1: %v, want Hold", v)
 	}
-	if v := tdi.Deliverable(m5, 2); v != proto.Deliver {
+	if v, err := tdi.Deliverable(m5, 2); err != nil || v != proto.Deliver {
 		t.Fatalf("m5 at count 2: %v, want Deliver", v)
 	}
 }
@@ -202,7 +202,7 @@ func TestCausalTransitivity(t *testing.T) {
 	// the constraint binds on *P1's own* element only.
 	p1 := New(1, 4, nil, nil)
 	m5 := &wire.Envelope{Kind: wire.KindApp, From: 2, To: 1, SendIndex: 1, Piggyback: pigM5}
-	if got := p1.Deliverable(m5, 0); got != proto.Deliver {
+	if got, err := p1.Deliverable(m5, 0); err != nil || got != proto.Deliver {
 		t.Fatalf("m5 at P1: %v", got)
 	}
 	// After delivering m5, P1 transitively knows P3's interval.

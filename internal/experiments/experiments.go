@@ -127,6 +127,11 @@ func (o Options) clusterConfig(procs int, p harness.ProtocolKind, mode harness.M
 		Protocol:        p,
 		Mode:            mode,
 		CheckpointEvery: o.CheckpointEvery,
+		// The figure sweeps reproduce the published protocol, which
+		// piggybacks the full depend_interval on every message (Fig. 6's
+		// headline: exactly n identifiers). Delta encoding is measured
+		// separately by RunPiggybackCompare.
+		PiggybackRefreshEvery: 1,
 		Fabric: fabric.Config{
 			BaseLatency:    20 * time.Microsecond,
 			BytesPerSecond: 1 << 30, // ~1 GiB/s links: size matters, mildly
@@ -263,6 +268,91 @@ func addProtocolTable(t *metrics.Table, rows []OverheadRow, metric func(Overhead
 			metrics.F(c[harness.TDI]), metrics.F(c[harness.TAG]), metrics.F(c[harness.TEL]),
 			ratio(harness.TAG), ratio(harness.TEL))
 	}
+}
+
+// PigRow compares the v2 delta piggyback encoding against the paper's
+// full-vector baseline on one TDI workload.
+type PigRow struct {
+	Bench string `json:"bench"`
+	Procs int    `json:"procs"`
+	// FullBytes and DeltaBytes are average piggyback bytes per message
+	// under the full-vector baseline (refresh every send) and the default
+	// delta cadence respectively.
+	FullBytes  float64 `json:"full_bytes_per_msg"`
+	DeltaBytes float64 `json:"delta_bytes_per_msg"`
+	// FullIDs and DeltaIDs are the identifier-denominated companions
+	// (Fig. 6's unit).
+	FullIDs  float64 `json:"full_ids_per_msg"`
+	DeltaIDs float64 `json:"delta_ids_per_msg"`
+	// DeltaMsgs and FullRefreshes count, in the delta run, how many sends
+	// used the compact encoding vs a full-vector refresh.
+	DeltaMsgs     int64 `json:"delta_msgs"`
+	FullRefreshes int64 `json:"full_refreshes"`
+	// Reduction is 1 - DeltaBytes/FullBytes: the fraction of piggyback
+	// traffic the delta encoding removes.
+	Reduction float64 `json:"reduction"`
+	MsgsSent  int64   `json:"msgs_sent"`
+}
+
+// RunPiggybackCompare runs one TDI workload twice — once with the paper's
+// full-vector piggyback (refresh every send) and once with the default
+// delta cadence — and reports the piggyback traffic both ways. The cell is
+// the first configured benchmark at the process count closest to the
+// paper's 16-process column.
+func RunPiggybackCompare(o Options) (PigRow, error) {
+	o = o.withDefaults()
+	bench := o.Benchmarks[0]
+	procs := o.ProcCounts[0]
+	for _, p := range o.ProcCounts {
+		if abs(p-16) < abs(procs-16) {
+			procs = p
+		}
+	}
+	row := PigRow{Bench: bench, Procs: procs}
+	for _, refresh := range []int{1, 0} { // 1 = full baseline, 0 = default delta cadence
+		factory, err := npb.Benchmark(bench, o.params(bench))
+		if err != nil {
+			return PigRow{}, err
+		}
+		cfg := o.clusterConfig(procs, harness.TDI, harness.NonBlocking)
+		cfg.PiggybackRefreshEvery = refresh
+		tot, _, err := runOnce(o.Clock, cfg, factory, nil)
+		if err != nil {
+			return PigRow{}, fmt.Errorf("experiments: piggyback compare refresh=%d: %w", refresh, err)
+		}
+		if refresh == 1 {
+			row.FullBytes = tot.AvgPiggybackBytes()
+			row.FullIDs = tot.AvgPiggybackIDs()
+			row.MsgsSent = tot.MsgsSent
+		} else {
+			row.DeltaBytes = tot.AvgPiggybackBytes()
+			row.DeltaIDs = tot.AvgPiggybackIDs()
+			row.DeltaMsgs = tot.PigDeltaMsgs
+			row.FullRefreshes = tot.PigFullMsgs
+		}
+	}
+	if row.FullBytes > 0 {
+		row.Reduction = 1 - row.DeltaBytes/row.FullBytes
+	}
+	return row, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PigTable renders the delta-vs-full comparison.
+func PigTable(r PigRow) *metrics.Table {
+	t := &metrics.Table{
+		Title:  "Piggyback bytes per message — full vector vs delta encoding",
+		Header: []string{"bench", "procs", "full_B/msg", "delta_B/msg", "reduction"},
+	}
+	t.AddRow(r.Bench, fmt.Sprint(r.Procs),
+		metrics.F(r.FullBytes), metrics.F(r.DeltaBytes), metrics.F(r.Reduction))
+	return t
 }
 
 // Fig8Row is one cell of the blocking vs non-blocking comparison.

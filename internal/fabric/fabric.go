@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"windar/internal/clock"
+	"windar/internal/obs"
 	"windar/internal/wire"
 )
 
@@ -50,6 +51,16 @@ type Config struct {
 	LinkBufferBytes int64
 	// Seed makes jitter reproducible. Each link derives its own RNG.
 	Seed int64
+	// BatchBytes, when positive, lets a link coalesce consecutive queued
+	// messages up to this many bytes into one serviced transfer (one
+	// latency charge for the whole batch — the simulated analogue of the
+	// TCP transport's batched write). 0 or negative services messages
+	// one at a time, preserving the per-message timing the figure
+	// experiments are calibrated against.
+	BatchBytes int64
+	// Batch, if non-nil, records per-sender batch occupancy (frames per
+	// serviced transfer).
+	Batch *obs.Family
 	// Clock defaults to the real clock.
 	Clock clock.Clock
 }
@@ -102,6 +113,7 @@ func New(cfg Config) *Fabric {
 				to:     to,
 				maxBuf: cfg.LinkBufferBytes,
 				rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(from*cfg.N+to)*0x5851F42D4C957F2D ^ 0x5DEECE66D)),
+				batch:  cfg.Batch.Rank(from),
 			}
 			l.cond = sync.NewCond(&l.mu)
 			f.links[from*cfg.N+to] = l
@@ -242,10 +254,7 @@ func (f *Fabric) InFlight() int {
 	total := 0
 	for _, l := range f.links {
 		l.mu.Lock()
-		total += len(l.queue)
-		if l.busy {
-			total++
-		}
+		total += len(l.queue) + l.busy
 		l.mu.Unlock()
 	}
 	return total
@@ -270,8 +279,9 @@ type link struct {
 	cond    *sync.Cond
 	queue   []*item
 	queued  int64 // bytes waiting
-	busy    bool  // a message is in service
+	busy    int   // messages in service (the current batch)
 	rng     *rand.Rand
+	batch   *obs.Hist // occupancy of each serviced batch (nil-safe)
 	dropped int64
 }
 
@@ -311,14 +321,27 @@ func (l *link) run() {
 			}
 			l.cond.Wait()
 		}
-		it := l.queue[0]
+		// Serve the head, plus — when batching is on — as many queued
+		// followers as fit under BatchBytes. The whole batch pays one
+		// latency charge, like one coalesced write on a real link; FIFO
+		// order within the batch is preserved at delivery.
+		batch := []*item{l.queue[0]}
+		total := l.queue[0].size
 		l.queue = l.queue[1:]
-		l.queued -= it.size
-		l.busy = true
-		delay := l.delayFor(it.size)
+		if max := l.f.cfg.BatchBytes; max > 0 {
+			for len(l.queue) > 0 && total+l.queue[0].size <= max {
+				batch = append(batch, l.queue[0])
+				total += l.queue[0].size
+				l.queue = l.queue[1:]
+			}
+		}
+		l.queued -= total
+		l.busy = len(batch)
+		delay := l.delayFor(total)
 		l.cond.Broadcast()
 		l.mu.Unlock()
 
+		l.batch.Record(int64(len(batch)))
 		if delay > 0 {
 			select {
 			case <-l.f.clk.After(delay):
@@ -326,11 +349,13 @@ func (l *link) run() {
 				return
 			}
 		}
-		if !l.deliver(it) {
-			return
+		for _, it := range batch {
+			if !l.deliver(it) {
+				return
+			}
 		}
 		l.mu.Lock()
-		l.busy = false
+		l.busy = 0
 		l.mu.Unlock()
 	}
 }

@@ -83,11 +83,20 @@ func decodeCkptAdvance(b []byte) (int64, int64, error) {
 // transport closes. The inbox handle is pinned to this incarnation: after a
 // kill the handle closes, so a lingering receiver can never steal the
 // successor incarnation's messages.
+//
+// Envelopes straight off a real transport are hostile input: every
+// handler below indexes per-rank vectors by From, so an out-of-range
+// rank id — or an unknown kind — is dropped and counted here rather
+// than crashing the rank.
 func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 	for {
 		env, ok := in.Recv()
 		if !ok {
 			return
+		}
+		if env.From < 0 || env.From >= r.n || env.To != r.id {
+			r.c.coll.Rank(r.id).IngestRejected()
+			continue
 		}
 		switch env.Kind {
 		case wire.KindApp:
@@ -99,7 +108,7 @@ func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 		case wire.KindCkptAdvance:
 			r.handleCkptAdvance(env)
 		default:
-			panic(fmt.Sprintf("harness: rank %d received unexpected %v", r.id, env.Kind))
+			r.c.coll.Rank(r.id).IngestRejected()
 		}
 	}
 }
@@ -111,11 +120,11 @@ func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 	failed := env.From
 	ckptDelivered, lastDeliver, err := decodeRollback(env.Payload)
-	if err != nil {
-		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
-	}
-	if r.id >= len(lastDeliver) {
-		panic(fmt.Sprintf("harness: rank %d: ROLLBACK vector too short (%d)", r.id, len(lastDeliver)))
+	if err != nil || r.id >= len(lastDeliver) {
+		// A corrupt ROLLBACK cannot be served; the recovering rank's
+		// stall report will name the missing RESPONSE.
+		r.c.coll.Rank(r.id).IngestRejected()
+		return
 	}
 
 	r.mu.Lock()
@@ -157,15 +166,17 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 func (r *rankRuntime) handleResponse(env *wire.Envelope) {
 	count, recData, err := decodeResponse(env.Payload)
 	if err != nil {
-		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+		r.c.coll.Rank(r.id).IngestRejected()
+		return
 	}
 	r.mu.Lock()
 	if count > r.rollbackLastSendIndex[env.From] {
 		r.rollbackLastSendIndex[env.From] = count
 	}
 	if err := r.prot.OnRecoveryData(env.From, recData); err != nil {
+		r.c.coll.Rank(r.id).IngestRejected()
 		r.mu.Unlock()
-		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+		return
 	}
 	if r.respExpect > 0 {
 		r.respExpect--
@@ -182,7 +193,8 @@ func (r *rankRuntime) handleResponse(env *wire.Envelope) {
 func (r *rankRuntime) handleCkptAdvance(env *wire.Envelope) {
 	count, total, err := decodeCkptAdvance(env.Payload)
 	if err != nil {
-		panic(fmt.Sprintf("harness: rank %d: %v", r.id, err))
+		r.c.coll.Rank(r.id).IngestRejected()
+		return
 	}
 	r.mu.Lock()
 	released := r.log.Release(env.From, count)

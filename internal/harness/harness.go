@@ -164,6 +164,15 @@ type Config struct {
 	// delivery wait exceeds it — a debugging aid for misbehaving
 	// applications; production runs leave it zero.
 	StallTimeout time.Duration
+	// PiggybackRefreshEvery is TDI's full-vector refresh cadence: every
+	// k-th message per destination carries the full depend_interval
+	// vector instead of a delta. 1 disables delta encoding (the
+	// full-vector baseline); 0 uses the protocol default.
+	PiggybackRefreshEvery int
+	// SendBatchBytes caps the bytes a transport link coalesces into one
+	// batched write (TCP) or one serviced transfer (mem). 0 selects the
+	// transport default; negative disables batching.
+	SendBatchBytes int64
 }
 
 // Cluster is one n-rank run: transport, stable storage, protocol instances,
@@ -257,19 +266,26 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 
 // newTransport builds the configured communication substrate.
 func newTransport(cfg Config) (transport.Transport, error) {
+	batchFam := cfg.Obs.Family("send_batch_frames",
+		"Frames coalesced into one batched link write.", "frames")
 	switch cfg.Transport {
 	case "", transport.Mem:
 		fcfg := cfg.Fabric
 		fcfg.N = cfg.N
 		fcfg.Clock = cfg.Clock
+		fcfg.BatchBytes = cfg.SendBatchBytes
+		fcfg.Batch = batchFam
 		return mem.New(fcfg), nil
 	case transport.TCP:
 		return tcp.New(tcp.Config{
 			N:               cfg.N,
 			LinkBufferBytes: cfg.Fabric.LinkBufferBytes,
+			BatchBytes:      cfg.SendBatchBytes,
+			Seed:            cfg.Fabric.Seed,
 			Clock:           cfg.Clock,
 			Backoff: cfg.Obs.Family("tcp_reconnect_backoff_ns",
 				"Backoff delay slept before each TCP reconnect attempt.", "ns"),
+			Batch: batchFam,
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
@@ -285,7 +301,9 @@ func (c *Cluster) newProtocol(r *rankRuntime) (proto.Protocol, error) {
 	m := c.coll.Rank(r.id)
 	switch c.cfg.Protocol {
 	case TDI:
-		return core.New(r.id, c.cfg.N, m, c.clk), nil
+		p := core.New(r.id, c.cfg.N, m, c.clk)
+		p.SetRefreshEvery(c.cfg.PiggybackRefreshEvery)
+		return p, nil
 	case TAG:
 		return tag.New(r.id, c.cfg.N, m, c.clk), nil
 	case TEL:

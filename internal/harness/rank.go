@@ -44,6 +44,13 @@ type rankRuntime struct {
 	deliveredCount        int64
 	recvQ                 [][]*wire.Envelope // queue B, per source, sorted by SendIndex
 
+	// Piggyback-rejection bookkeeping: the send index of the last
+	// malformed head counted per source (so a held corrupt head is
+	// counted once, not once per wakeup) and the last error for the
+	// stall report.
+	lastPigErrIdx []int64
+	lastIngestErr error
+
 	recovering     bool
 	recoveryStart  time.Time
 	recoveryTarget int64
@@ -89,8 +96,12 @@ func (c *Cluster) newRuntime(rank int, incarnation int32) (*rankRuntime, error) 
 		lastCkptDeliverIndex:  vclock.New(c.cfg.N),
 		rollbackLastSendIndex: vclock.New(c.cfg.N),
 		recvQ:                 make([][]*wire.Envelope, c.cfg.N),
+		lastPigErrIdx:         make([]int64, c.cfg.N),
 		killed:                make(chan struct{}),
 		deliverLat:            c.deliverLat.Rank(rank),
+	}
+	for i := range r.lastPigErrIdx {
+		r.lastPigErrIdx[i] = -1
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.sendCond = sync.NewCond(&r.sendMu)
@@ -298,15 +309,18 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
+		// The kill check precedes the delivery scan: a killed rank must
+		// never deliver another message, or its failure point drifts past
+		// what Cluster.Kill recorded.
+		if r.isKilled() {
+			panic(killedPanic{})
+		}
 		if env := r.findDeliverableLocked(source, tag); env != nil {
 			payload := r.deliverLocked(env)
 			if r.deliverLat != nil {
 				r.deliverLat.RecordDuration(r.c.clk.Now().Sub(start))
 			}
 			return payload, env.From
-		}
-		if r.isKilled() {
-			panic(killedPanic{})
 		}
 		if st := r.c.cfg.StallTimeout; st > 0 && r.c.clk.Now().Sub(start) > st {
 			panic(r.stallReportLocked(source, tag))
@@ -330,7 +344,12 @@ func (r *rankRuntime) findDeliverableLocked(source int, tag int32) *wire.Envelop
 		if tag != app.AnyTag && head.Tag != tag {
 			return nil
 		}
-		if r.prot.Deliverable(head, r.deliveredCount) != proto.Deliver {
+		v, err := r.prot.Deliverable(head, r.deliveredCount)
+		if err != nil {
+			r.noteIngestErrLocked(src, head.SendIndex, err)
+			return nil
+		}
+		if v != proto.Deliver {
 			return nil
 		}
 		return head
@@ -347,6 +366,18 @@ func (r *rankRuntime) findDeliverableLocked(source int, tag int32) *wire.Envelop
 		}
 	}
 	return nil
+}
+
+// noteIngestErrLocked counts a malformed piggyback at a channel's FIFO
+// head — once per (source, send index), since a held head is re-probed
+// on every wakeup — and keeps the error for the stall report.
+func (r *rankRuntime) noteIngestErrLocked(src int, sendIndex int64, err error) {
+	if r.lastPigErrIdx[src] == sendIndex {
+		return
+	}
+	r.lastPigErrIdx[src] = sendIndex
+	r.lastIngestErr = err
+	r.c.coll.Rank(r.id).IngestRejected()
 }
 
 // deliverLocked removes env from queue B and delivers it to the
@@ -474,13 +505,20 @@ func (r *rankRuntime) stallReportLocked(source int, tag int32) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "harness: rank %d stalled in Recv(source=%d, tag=%d); delivered=%d\n",
 		r.id, source, tag, r.deliveredCount)
+	if r.lastIngestErr != nil {
+		fmt.Fprintf(&b, "  last rejected piggyback: %v\n", r.lastIngestErr)
+	}
 	for src, q := range r.recvQ {
 		if len(q) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  queue[%d]: %d msgs, head index %d (want %d), head tag %d, verdict %v\n",
-			src, len(q), q[0].SendIndex, r.lastDeliverIndex[src]+1, q[0].Tag,
-			r.prot.Deliverable(q[0], r.deliveredCount))
+		verdict, err := r.prot.Deliverable(q[0], r.deliveredCount)
+		vs := verdict.String()
+		if err != nil {
+			vs = fmt.Sprintf("rejected (%v)", err)
+		}
+		fmt.Fprintf(&b, "  queue[%d]: %d msgs, head index %d (want %d), head tag %d, verdict %s\n",
+			src, len(q), q[0].SendIndex, r.lastDeliverIndex[src]+1, q[0].Tag, vs)
 	}
 	return b.String()
 }

@@ -20,12 +20,16 @@ func (c *Cluster) Kill(rank int) error {
 	if r.isKilled() {
 		return fmt.Errorf("harness: rank %d is already dead", rank)
 	}
+	c.tr.Kill(rank) // stop deliveries first: the inbox content is lost
+	r.kill()
+
+	// The failure point is read only after the rank is stopped: the app
+	// goroutine may deliver between an earlier read and the kill, and an
+	// incarnation rolling forward to a stale count would silently lose
+	// those deliveries.
 	r.mu.Lock()
 	pre := r.deliveredCount
 	r.mu.Unlock()
-
-	c.tr.Kill(rank) // stop deliveries first: the inbox content is lost
-	r.kill()
 
 	c.ranksMu.Lock()
 	c.failedAt[rank] = pre

@@ -2,25 +2,31 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
 const wirePackage = "windar/internal/wire"
 
 // Piggyback reports construction of application (KindApp) wire envelopes
-// that skips the protocol's piggyback hook. Every application message
-// must carry the depend_interval (or determinant) metadata returned by
-// proto.Protocol.PiggybackForSend — an envelope built without a
-// Piggyback field silently breaks delivery control on the receiver.
+// that skips the protocol's piggyback hook, and direct indexing of a
+// decoded piggyback vector without a preceding length check. Every
+// application message must carry the depend_interval (or determinant)
+// metadata returned by proto.Protocol.PiggybackForSend — an envelope
+// built without a Piggyback field silently breaks delivery control on
+// the receiver. And a vector decoded from the wire can be shorter than
+// n: `pig[i]` with no `len(pig)` guard is exactly the crash a corrupt
+// TCP frame triggers.
 var Piggyback = &Analyzer{
 	Name: "piggyback",
-	Doc:  "require KindApp wire.Envelope literals to set Piggyback from the protocol hook",
+	Doc:  "require KindApp wire.Envelope literals to set Piggyback from the protocol hook, and length checks before indexing decoded vectors",
 	Run:  runPiggyback,
 }
 
 func runPiggyback(pass *Pass) {
 	info := pass.Pkg.TypesInfo
 	for _, f := range pass.Pkg.Syntax {
+		checkDecodedVecIndexing(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			cl, ok := n.(*ast.CompositeLit)
 			if !ok || !isWireEnvelope(info.Types[cl].Type) {
@@ -56,6 +62,88 @@ func runPiggyback(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// vecReaders are the wire decoders whose vector result length is
+// attacker-controlled: nothing about a successful decode bounds it.
+var vecReaders = map[string]bool{"ReadVec": true, "ReadVecAny": true, "ReadVecDelta": true}
+
+// checkDecodedVecIndexing flags `v[i]` where v was assigned from a
+// wire.ReadVec/ReadVecAny/ReadVecDelta call and no `len(v)` expression
+// (or `range v` loop, whose indexes are bounded by construction) appears
+// earlier in the same function body.
+func checkDecodedVecIndexing(pass *Pass, f *ast.File) {
+	info := pass.Pkg.TypesInfo
+	funcsOf(f, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		// decoded maps each tracked object to the position it was
+		// assigned; checked holds the earliest len()/range guard.
+		decoded := map[types.Object]token.Pos{}
+		checked := map[types.Object]token.Pos{}
+		note := func(m map[types.Object]token.Pos, obj types.Object, pos token.Pos) {
+			if prev, ok := m[obj]; !ok || pos < prev {
+				m[obj] = pos
+			}
+		}
+		objOf := func(e ast.Expr) types.Object {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			if obj := info.Defs[id]; obj != nil {
+				return obj
+			}
+			return info.Uses[id]
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				if len(e.Rhs) != 1 {
+					return true
+				}
+				call, ok := e.Rhs[0].(*ast.CallExpr)
+				if !ok || !isVecReaderCall(info, call) {
+					return true
+				}
+				if obj := objOf(e.Lhs[0]); obj != nil {
+					note(decoded, obj, e.Pos())
+				}
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "len" && len(e.Args) == 1 {
+					if obj := objOf(e.Args[0]); obj != nil {
+						note(checked, obj, e.Pos())
+					}
+				}
+			case *ast.RangeStmt:
+				if obj := objOf(e.X); obj != nil {
+					note(checked, obj, e.Pos())
+				}
+			case *ast.IndexExpr:
+				obj := objOf(e.X)
+				if obj == nil {
+					return true
+				}
+				if _, ok := decoded[obj]; !ok {
+					return true
+				}
+				if guard, ok := checked[obj]; ok && guard < e.Pos() {
+					return true
+				}
+				pass.Reportf(e.Pos(), "%s decoded from the wire is indexed without a length check; a corrupt piggyback can be shorter than n — check len(%s) first", obj.Name(), obj.Name())
+			}
+			return true
+		})
+	})
+}
+
+// isVecReaderCall reports whether call invokes one of the wire package's
+// vector decoders.
+func isVecReaderCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && vecReaders[fn.Name()] && fn.Pkg() != nil && fn.Pkg().Path() == wirePackage
 }
 
 // isWireEnvelope reports whether t is windar/internal/wire.Envelope

@@ -29,6 +29,6 @@ func good(clk clock.Clock) {
 }
 
 func measured() time.Duration {
-	start := time.Now() //windar:allow directclock (true wall-clock measurement)
+	start := time.Now()                       //windar:allow directclock (true wall-clock measurement)
 	return time.Until(start.Add(time.Second)) // want "direct time.Until bypasses"
 }

@@ -2,7 +2,10 @@
 // be built with keyed literals that attach the protocol piggyback.
 package piggyback
 
-import "windar/internal/wire"
+import (
+	"windar/internal/vclock"
+	"windar/internal/wire"
+)
 
 func bad(pig []byte) *wire.Envelope {
 	return &wire.Envelope{ // want "KindApp envelope built without Piggyback"
@@ -30,4 +33,41 @@ func good(pig []byte) *wire.Envelope {
 func goodControl() *wire.Envelope {
 	// Control messages carry no application piggyback by design.
 	return &wire.Envelope{Kind: wire.KindRollback, From: 0, To: 1}
+}
+
+func badIndex(b []byte) int64 {
+	v, _, err := wire.ReadVec(b)
+	if err != nil {
+		return 0
+	}
+	return v[2] // want "indexed without a length check"
+}
+
+func badIndexDelta(b []byte, base vclock.Vec) int64 {
+	v, _, _, err := wire.ReadVecAny(b, base)
+	if err != nil {
+		return 0
+	}
+	sum := v[0] // want "indexed without a length check"
+	return sum
+}
+
+func goodIndex(b []byte, rank int) int64 {
+	v, _, err := wire.ReadVec(b)
+	if err != nil || len(v) <= rank {
+		return 0
+	}
+	return v[rank]
+}
+
+func goodRange(b []byte, base vclock.Vec) int64 {
+	v, _, err := wire.ReadVecDelta(b, base)
+	if err != nil {
+		return 0
+	}
+	var sum int64
+	for i := range v {
+		sum += v[i]
+	}
+	return sum
 }

@@ -36,16 +36,20 @@ type Rank struct {
 	recoveries          atomic.Int64
 	recoveryNanos       atomic.Int64
 	blockedSendNanos    atomic.Int64
+	pigDeltaMsgs        atomic.Int64
+	pigFullMsgs         atomic.Int64
+	ingestRejected      atomic.Int64
 }
 
 // Hists bundles the optional per-rank histogram sinks a Rank mirrors its
 // hot-path measurements into. Any field may be nil (obs histograms
 // ignore records through nil handles).
 type Hists struct {
-	PiggybackIDs    *obs.Hist
-	PiggybackBytes  *obs.Hist
-	SendTracking    *obs.Hist
-	DeliverTracking *obs.Hist
+	PiggybackIDs        *obs.Hist
+	PiggybackBytes      *obs.Hist
+	PiggybackDeltaBytes *obs.Hist
+	SendTracking        *obs.Hist
+	DeliverTracking     *obs.Hist
 }
 
 // SetHists installs histogram sinks. Safe to call while the rank is
@@ -84,6 +88,22 @@ func (r *Rank) DeliverTracking(d time.Duration) {
 		h.DeliverTracking.RecordDuration(d)
 	}
 }
+
+// PigDelta records one outgoing piggyback emitted in the delta encoding
+// (wire format v2) at the given encoded size.
+func (r *Rank) PigDelta(bytes int) {
+	r.pigDeltaMsgs.Add(1)
+	if h := r.hists.Load(); h != nil {
+		h.PiggybackDeltaBytes.Record(int64(bytes))
+	}
+}
+
+// PigFull records one outgoing piggyback emitted as a full vector.
+func (r *Rank) PigFull() { r.pigFullMsgs.Add(1) }
+
+// IngestRejected records one incoming envelope dropped or held because
+// its piggyback or framing failed validation.
+func (r *Rank) IngestRejected() { r.ingestRejected.Add(1) }
 
 // ControlMsg records one protocol control message (ROLLBACK, RESPONSE,
 // CHECKPOINT_ADVANCE, determinant traffic).
@@ -128,6 +148,9 @@ func (r *Rank) Snapshot() Snapshot {
 		Recoveries:          r.recoveries.Load(),
 		RecoveryNanos:       r.recoveryNanos.Load(),
 		BlockedSendNanos:    r.blockedSendNanos.Load(),
+		PigDeltaMsgs:        r.pigDeltaMsgs.Load(),
+		PigFullMsgs:         r.pigFullMsgs.Load(),
+		IngestRejected:      r.ingestRejected.Load(),
 	}
 }
 
@@ -149,6 +172,9 @@ type Snapshot struct {
 	Recoveries          int64
 	RecoveryNanos       int64
 	BlockedSendNanos    int64
+	PigDeltaMsgs        int64
+	PigFullMsgs         int64
+	IngestRejected      int64
 }
 
 // Add returns the elementwise sum of s and o.
@@ -168,6 +194,9 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.Recoveries += o.Recoveries
 	s.RecoveryNanos += o.RecoveryNanos
 	s.BlockedSendNanos += o.BlockedSendNanos
+	s.PigDeltaMsgs += o.PigDeltaMsgs
+	s.PigFullMsgs += o.PigFullMsgs
+	s.IngestRejected += o.IngestRejected
 	return s
 }
 
@@ -244,14 +273,16 @@ func (c *Collector) AttachObs(reg *obs.Registry) {
 	}
 	ids := reg.Family("piggyback_ids", "Identifiers piggybacked per application message.", "ids")
 	bytes := reg.Family("piggyback_bytes", "Encoded piggyback bytes per application message.", "bytes")
+	db := reg.Family("piggyback_delta_bytes", "Encoded size of delta-encoded piggybacks (wire format v2).", "bytes")
 	st := reg.Family("send_tracking_ns", "Send-side dependency-tracking time per message.", "ns")
 	dt := reg.Family("deliver_tracking_ns", "Deliver-side dependency-tracking time per message.", "ns")
 	for i, r := range c.ranks {
 		r.SetHists(&Hists{
-			PiggybackIDs:    ids.Rank(i),
-			PiggybackBytes:  bytes.Rank(i),
-			SendTracking:    st.Rank(i),
-			DeliverTracking: dt.Rank(i),
+			PiggybackIDs:        ids.Rank(i),
+			PiggybackBytes:      bytes.Rank(i),
+			PiggybackDeltaBytes: db.Rank(i),
+			SendTracking:        st.Rank(i),
+			DeliverTracking:     dt.Rank(i),
 		})
 	}
 }
@@ -281,5 +312,8 @@ func (s Snapshot) Vars() []Var {
 		{"recoveries", s.Recoveries},
 		{"recovery_ns", s.RecoveryNanos},
 		{"blocked_send_ns", s.BlockedSendNanos},
+		{"pig_delta_msgs", s.PigDeltaMsgs},
+		{"pig_full_msgs", s.PigFullMsgs},
+		{"ingest_rejected", s.IngestRejected},
 	}
 }

@@ -59,7 +59,13 @@ type Protocol interface {
 	// its channel's FIFO order; the protocol adds its causal/replay
 	// constraint. deliveredCount is the number of messages this rank has
 	// delivered so far (the local state interval index).
-	Deliverable(env *wire.Envelope, deliveredCount int64) Verdict
+	//
+	// A non-nil error reports a malformed piggyback (corrupt bytes off a
+	// real transport, a short vector, an undecodable determinant set).
+	// Implementations must never panic on hostile piggyback input; the
+	// harness treats an error as Hold and counts the rejection instead of
+	// crashing the rank.
+	Deliverable(env *wire.Envelope, deliveredCount int64) (Verdict, error)
 
 	// OnDeliver folds env's piggyback into protocol state after the
 	// application accepted it as the deliverIndex-th local delivery.

@@ -101,7 +101,10 @@ func TestPropertyReplayAdmitsOnlyRecordedOrder(t *testing.T) {
 			for i, det := range remaining {
 				env := &wire.Envelope{Kind: wire.KindApp, From: det.Sender, To: 1,
 					SendIndex: det.SendIndex, Piggyback: emptyTagPig()}
-				v := inc.Deliverable(env, delivered)
+				v, err := inc.Deliverable(env, delivered)
+				if err != nil {
+					return false
+				}
 				want := proto.Hold
 				if det.DeliverIndex == delivered+1 {
 					want = proto.Deliver

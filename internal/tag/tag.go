@@ -44,6 +44,14 @@ type TAG struct {
 	recorded         map[int64]determinant.D // deliverIndex -> determinant
 	recoveryBase     int64
 
+	// Piggyback pre-validation memo: Deliverable runs on every probe of
+	// a held FIFO head, so the bytes are checked once per (source, send
+	// index). valSeen guards against envelopes whose forged SendIndex
+	// collides with the zero value.
+	valIdx  []int64
+	valErr  []error
+	valSeen []bool
+
 	m   *metrics.Rank
 	clk clock.Clock
 }
@@ -65,6 +73,9 @@ func New(rank, n int, m *metrics.Rank, clk clock.Clock) *TAG {
 		n:       n,
 		graph:   agraph.New(),
 		knownTo: make([]map[agraph.NodeID]struct{}, n),
+		valIdx:  make([]int64, n),
+		valErr:  make([]error, n),
+		valSeen: make([]bool, n),
 		m:       m,
 		clk:     clk,
 	}
@@ -100,25 +111,53 @@ func (t *TAG) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
 	return buf, determinant.IdentifierCount*len(diff) + 1
 }
 
+// validatePig checks that env's piggyback parses as a TAG increment
+// (header interval + antecedence-graph nodes) without applying it,
+// memoized per (source, send index). OnDeliver still owns the merge;
+// this gate keeps hostile bytes from ever reaching it.
+func (t *TAG) validatePig(env *wire.Envelope) error {
+	src := env.From
+	if src < 0 || src >= t.n {
+		return fmt.Errorf("tag: rank %d: piggyback from out-of-range rank %d", t.rank, src)
+	}
+	if t.valSeen[src] && t.valIdx[src] == env.SendIndex {
+		return t.valErr[src]
+	}
+	var err error
+	if _, off := binary.Varint(env.Piggyback); off <= 0 {
+		err = fmt.Errorf("tag: rank %d: bad piggyback header from %d", t.rank, src)
+	} else if _, _, e := agraph.ReadNodes(env.Piggyback[off:]); e != nil {
+		err = fmt.Errorf("tag: rank %d: bad piggyback from %d: %w", t.rank, src, e)
+	}
+	t.valSeen[src] = true
+	t.valIdx[src] = env.SendIndex
+	t.valErr[src] = err
+	return err
+}
+
 // Deliverable implements proto.Protocol. In normal operation PWD imposes
 // no wait (FIFO and duplicate control are the harness's); during rolling
 // forward the recorded history pins each delivery slot to one exact
-// message.
-func (t *TAG) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdict {
+// message. A piggyback that does not parse is reported as an error
+// (held by the harness), never delivered or panicked on.
+func (t *TAG) Deliverable(env *wire.Envelope, deliveredCount int64) (proto.Verdict, error) {
+	if err := t.validatePig(env); err != nil {
+		return proto.Hold, err
+	}
 	if t.pendingResponses > 0 {
 		// The replay order is not fully known yet; delivering now could
 		// violate an order constraint that arrives in a later RESPONSE.
-		return proto.Hold
+		return proto.Hold, nil
 	}
 	if det, ok := t.recorded[deliveredCount+1]; ok {
 		if env.From == det.Sender && env.SendIndex == det.SendIndex {
-			return proto.Deliver
+			return proto.Deliver, nil
 		}
-		return proto.Hold
+		return proto.Hold, nil
 	}
 	// Beyond recorded history the event is a fresh non-deterministic
 	// choice.
-	return proto.Deliver
+	return proto.Deliver, nil
 }
 
 // OnDeliver implements proto.Protocol: merge the piggybacked increment,

@@ -22,7 +22,7 @@ func sendTo(t *testing.T, p *TAG, from, to int, sendIndex int64) *wire.Envelope 
 
 func deliver(t *testing.T, p *TAG, env *wire.Envelope, idx int64) {
 	t.Helper()
-	if v := p.Deliverable(env, idx-1); v != proto.Deliver {
+	if v, err := p.Deliverable(env, idx-1); err != nil || v != proto.Deliver {
 		t.Fatalf("Deliverable = %v before delivery %d", v, idx)
 	}
 	if err := p.OnDeliver(env, idx); err != nil {
@@ -157,7 +157,7 @@ func TestRecoveryReplayOrderEnforced(t *testing.T) {
 	fromP0.Piggyback = agraph.AppendNodes(fromP0.Piggyback, nil)
 
 	// Responses outstanding: everything holds.
-	if v := inc.Deliverable(fromP0, 0); v != proto.Hold {
+	if v, err := inc.Deliverable(fromP0, 0); err != nil || v != proto.Hold {
 		t.Fatalf("delivery admitted before responses complete: %v", v)
 	}
 	if err := inc.OnRecoveryData(0, data); err != nil {
@@ -168,17 +168,17 @@ func TestRecoveryReplayOrderEnforced(t *testing.T) {
 	}
 
 	// Replay slot 1 is pinned to (P0,#1): the P2 message must hold.
-	if v := inc.Deliverable(fromP2, 0); v != proto.Hold {
+	if v, err := inc.Deliverable(fromP2, 0); err != nil || v != proto.Hold {
 		t.Fatalf("out-of-order replay admitted: %v", v)
 	}
-	if v := inc.Deliverable(fromP0, 0); v != proto.Deliver {
+	if v, err := inc.Deliverable(fromP0, 0); err != nil || v != proto.Deliver {
 		t.Fatalf("recorded message held: %v", v)
 	}
 	if err := inc.OnDeliver(fromP0, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Now slot 2 admits the P2 message.
-	if v := inc.Deliverable(fromP2, 1); v != proto.Deliver {
+	if v, err := inc.Deliverable(fromP2, 1); err != nil || v != proto.Deliver {
 		t.Fatalf("second recorded message held: %v", v)
 	}
 	if err := inc.OnDeliver(fromP2, 2); err != nil {
@@ -188,7 +188,7 @@ func TestRecoveryReplayOrderEnforced(t *testing.T) {
 	fresh := &wire.Envelope{Kind: wire.KindApp, From: 2, To: 1, SendIndex: 2,
 		Piggyback: binary.AppendVarint(nil, 0)}
 	fresh.Piggyback = agraph.AppendNodes(fresh.Piggyback, nil)
-	if v := inc.Deliverable(fresh, 2); v != proto.Deliver {
+	if v, err := inc.Deliverable(fresh, 2); err != nil || v != proto.Deliver {
 		t.Fatalf("post-history delivery held: %v", v)
 	}
 }

@@ -45,6 +45,14 @@ type TEL struct {
 	recorded         map[int64]determinant.D
 	recoveryBase     int64
 
+	// Piggyback pre-validation memo: Deliverable runs on every probe of
+	// a held FIFO head, so the bytes are checked once per (source, send
+	// index). valSeen guards against envelopes whose forged SendIndex
+	// collides with the zero value.
+	valIdx  []int64
+	valErr  []error
+	valSeen []bool
+
 	m   *metrics.Rank
 	clk clock.Clock
 }
@@ -72,6 +80,9 @@ func New(rank, n int, logger *Logger, locker sync.Locker, m *metrics.Rank, clk c
 		locker:      locker,
 		received:    determinant.NewSet(),
 		stableKnown: vclock.New(n),
+		valIdx:      make([]int64, n),
+		valErr:      make([]error, n),
+		valSeen:     make([]bool, n),
 		m:           m,
 		clk:         clk,
 	}
@@ -110,21 +121,47 @@ func (t *TEL) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
 	return pig, determinant.IdentifierCount * len(ds)
 }
 
+// validatePig checks that env's piggyback parses as a determinant slice
+// without absorbing it, memoized per (source, send index). OnDeliver
+// still owns the merge; this gate keeps hostile bytes from reaching it.
+func (t *TEL) validatePig(env *wire.Envelope) error {
+	src := env.From
+	if src < 0 || src >= t.n {
+		return fmt.Errorf("tel: rank %d: piggyback from out-of-range rank %d", t.rank, src)
+	}
+	if t.valSeen[src] && t.valIdx[src] == env.SendIndex {
+		return t.valErr[src]
+	}
+	var err error
+	if _, _, e := determinant.ReadSlice(env.Piggyback); e != nil {
+		err = fmt.Errorf("tel: rank %d: bad piggyback from %d: %w", t.rank, src, e)
+	}
+	t.valSeen[src] = true
+	t.valIdx[src] = env.SendIndex
+	t.valErr[src] = err
+	return err
+}
+
 // Deliverable implements proto.Protocol. Normal operation: no constraint
 // beyond the harness's FIFO/duplicate control. Rolling forward: hold
 // until all responses arrive, then pin each slot to the recorded message
-// (PWD replay), falling back to free choice beyond recorded history.
-func (t *TEL) Deliverable(env *wire.Envelope, deliveredCount int64) proto.Verdict {
+// (PWD replay), falling back to free choice beyond recorded history. A
+// piggyback that does not parse is reported as an error (held by the
+// harness), never delivered or panicked on.
+func (t *TEL) Deliverable(env *wire.Envelope, deliveredCount int64) (proto.Verdict, error) {
+	if err := t.validatePig(env); err != nil {
+		return proto.Hold, err
+	}
 	if t.pendingResponses > 0 {
-		return proto.Hold
+		return proto.Hold, nil
 	}
 	if det, ok := t.recorded[deliveredCount+1]; ok {
 		if env.From == det.Sender && env.SendIndex == det.SendIndex {
-			return proto.Deliver
+			return proto.Deliver, nil
 		}
-		return proto.Hold
+		return proto.Hold, nil
 	}
-	return proto.Deliver
+	return proto.Deliver, nil
 }
 
 // OnDeliver implements proto.Protocol: absorb the piggybacked

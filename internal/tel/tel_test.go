@@ -26,7 +26,7 @@ func envFrom(p *TEL, from, to int, sendIndex int64) *wire.Envelope {
 
 func deliverT(t *testing.T, p *TEL, env *wire.Envelope, idx int64) {
 	t.Helper()
-	if v := p.Deliverable(env, idx-1); v != proto.Deliver {
+	if v, err := p.Deliverable(env, idx-1); err != nil || v != proto.Deliver {
 		t.Fatalf("Deliverable = %v for delivery %d", v, idx)
 	}
 	if err := p.OnDeliver(env, idx); err != nil {
@@ -206,7 +206,7 @@ func TestRecoveryUsesLoggerAndResponses(t *testing.T) {
 	m2 := envFrom(New(2, 3, nil, nil, nil, nil), 2, 1, 1)
 
 	// Responses outstanding: hold.
-	if v := inc.Deliverable(m0, 0); v != proto.Hold {
+	if v, err := inc.Deliverable(m0, 0); err != nil || v != proto.Hold {
 		t.Fatalf("admitted before responses: %v", v)
 	}
 	if err := inc.OnRecoveryData(0, determinant.AppendSlice(nil, nil)); err != nil {
@@ -217,16 +217,16 @@ func TestRecoveryUsesLoggerAndResponses(t *testing.T) {
 	}
 
 	// The logger pinned slot 1 to (P0,#1): m2 must hold, m0 delivers.
-	if v := inc.Deliverable(m2, 0); v != proto.Hold {
+	if v, err := inc.Deliverable(m2, 0); err != nil || v != proto.Hold {
 		t.Fatalf("out-of-order replay admitted: %v", v)
 	}
-	if v := inc.Deliverable(m0, 0); v != proto.Deliver {
+	if v, err := inc.Deliverable(m0, 0); err != nil || v != proto.Deliver {
 		t.Fatalf("recorded message held: %v", v)
 	}
 	if err := inc.OnDeliver(m0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if v := inc.Deliverable(m2, 1); v != proto.Deliver {
+	if v, err := inc.Deliverable(m2, 1); err != nil || v != proto.Deliver {
 		t.Fatalf("slot 2 held: %v", v)
 	}
 }

@@ -18,15 +18,23 @@ import (
 	"windar/internal/wire"
 )
 
-// each runs fn once per implementation on a fresh n-rank transport.
+// each runs fn once per implementation on a fresh n-rank transport with
+// default batching (on for tcp, off for mem).
 func each(t *testing.T, n int, fn func(t *testing.T, tr transport.Transport)) {
+	eachWith(t, n, 0, fn)
+}
+
+// eachWith is each with an explicit send-batching budget: positive
+// enables frame batching on both implementations, negative disables it.
+func eachWith(t *testing.T, n int, batchBytes int64, fn func(t *testing.T, tr transport.Transport)) {
 	t.Run("mem", func(t *testing.T) {
-		tr := mem.New(fabric.Config{N: n, BaseLatency: 50 * time.Microsecond, Seed: 7})
+		tr := mem.New(fabric.Config{N: n, BaseLatency: 50 * time.Microsecond, Seed: 7,
+			BatchBytes: batchBytes})
 		defer tr.Close()
 		fn(t, tr)
 	})
 	t.Run("tcp", func(t *testing.T) {
-		tr, err := tcp.New(tcp.Config{N: n})
+		tr, err := tcp.New(tcp.Config{N: n, BatchBytes: batchBytes})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,33 +85,71 @@ func TestKindAndN(t *testing.T) {
 	})
 }
 
-// TestFIFOPerPair: messages on one ordered pair arrive in send order.
-func TestFIFOPerPair(t *testing.T) {
+// checkFIFOPerPair: messages on one ordered pair arrive in send order.
+func checkFIFOPerPair(t *testing.T, tr transport.Transport) {
 	const count = 500
-	each(t, 2, func(t *testing.T, tr transport.Transport) {
-		in := tr.Inbox(1)
-		done := make(chan error, 1)
-		go func() {
-			for i := 0; i < count; i++ {
-				env, ok := in.Recv()
-				if !ok {
-					done <- fmt.Errorf("inbox closed at %d", i)
-					return
-				}
-				if env.SendIndex != int64(i) {
-					done <- fmt.Errorf("got index %d, want %d", env.SendIndex, i)
-					return
-				}
-			}
-			done <- nil
-		}()
+	in := tr.Inbox(1)
+	done := make(chan error, 1)
+	go func() {
 		for i := 0; i < count; i++ {
+			env, ok := in.Recv()
+			if !ok {
+				done <- fmt.Errorf("inbox closed at %d", i)
+				return
+			}
+			if env.SendIndex != int64(i) {
+				done <- fmt.Errorf("got index %d, want %d", env.SendIndex, i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < count; i++ {
+		mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	each(t, 2, checkFIFOPerPair)
+}
+
+// TestBatchedFIFOPerPair re-runs the ordering contract with send-side
+// frame batching explicitly enabled on both implementations (the mem
+// fabric defaults it off); coalescing frames into one link write must
+// not reorder or drop anything.
+func TestBatchedFIFOPerPair(t *testing.T) {
+	eachWith(t, 2, 4<<10, checkFIFOPerPair)
+}
+
+// TestBatchedKillSemantics: with batching enabled, a kill still drops
+// everything the inbox accepted and the revived incarnation sees only
+// later traffic — batched frames must not resurrect across the window.
+func TestBatchedKillSemantics(t *testing.T) {
+	eachWith(t, 2, 4<<10, func(t *testing.T, tr transport.Transport) {
+		for i := 0; i < 5; i++ {
 			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
 		}
-		if err := <-done; err != nil {
-			t.Fatal(err)
+		waitDrained(t, tr)
+		tr.Kill(1)
+		tr.Revive(1)
+		mustSend(t, tr, appEnv(0, 1, 100), transport.SendOpts{})
+		env, ok := tr.Inbox(1).Recv()
+		if !ok {
+			t.Fatal("revived inbox closed")
+		}
+		if env.SendIndex != 100 {
+			t.Fatalf("revived rank received pre-kill message %d", env.SendIndex)
 		}
 	})
+}
+
+// TestBatchingDisabled: a negative budget turns batching off on both
+// implementations without changing the delivery contract.
+func TestBatchingDisabled(t *testing.T) {
+	eachWith(t, 2, -1, checkFIFOPerPair)
 }
 
 // TestKillUnblocksReceiver: a Recv blocked on the killed incarnation's

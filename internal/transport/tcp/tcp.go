@@ -44,6 +44,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -65,12 +66,23 @@ type Config struct {
 	LinkBufferBytes int64
 	// DialBackoffMax caps the reconnect backoff. 0 means 100ms.
 	DialBackoffMax time.Duration
+	// BatchBytes caps the bytes the link writer coalesces from its queue
+	// into one vectored write. 0 means DefaultBatchBytes; negative
+	// disables batching (one frame per write).
+	BatchBytes int64
+	// Seed makes the reconnect-backoff jitter reproducible. Each link
+	// derives its own RNG.
+	Seed int64
 	// Clock paces the reconnect backoff; default the real clock.
 	Clock clock.Clock
 	// Backoff, when non-nil, records every reconnect backoff delay the
 	// dialing rank sleeps (per dialing rank, in nanoseconds) — the
-	// tail-latency signal loopback runs otherwise hide.
+	// tail-latency signal loopback runs otherwise hide. The recorded
+	// value includes jitter: it is the delay actually slept.
 	Backoff *obs.Family
+	// Batch, if non-nil, records per-sender batch occupancy (frames per
+	// vectored write).
+	Batch *obs.Family
 }
 
 // DefaultLinkBuffer is used when Config.LinkBufferBytes is zero; it
@@ -78,13 +90,19 @@ type Config struct {
 // send-side backpressure.
 const DefaultLinkBuffer = 1 << 20
 
+// DefaultBatchBytes is the batched-write cap when Config.BatchBytes is
+// zero: enough to coalesce a burst of small protocol frames without
+// holding a large payload hostage behind the batch.
+const DefaultBatchBytes = 64 << 10
+
 // Transport is the TCP loopback transport. Create with New, release
 // with Close.
 type Transport struct {
-	cfg    Config
-	clk    clock.Clock
-	n      int
-	maxBuf int64
+	cfg        Config
+	clk        clock.Clock
+	n          int
+	maxBuf     int64
+	batchBytes int64 // effective batched-write cap; 0 = one frame per write
 
 	listeners []net.Listener
 	addrs     []string
@@ -113,16 +131,23 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.DialBackoffMax == 0 {
 		cfg.DialBackoffMax = 100 * time.Millisecond
 	}
+	batchBytes := cfg.BatchBytes
+	if batchBytes == 0 {
+		batchBytes = DefaultBatchBytes
+	} else if batchBytes < 0 {
+		batchBytes = 0
+	}
 	t := &Transport{
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		n:         cfg.N,
-		maxBuf:    cfg.LinkBufferBytes,
-		listeners: make([]net.Listener, cfg.N),
-		addrs:     make([]string, cfg.N),
-		links:     make([]*link, cfg.N*cfg.N),
-		ranks:     make([]*rankState, cfg.N),
-		closed:    make(chan struct{}),
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		n:          cfg.N,
+		maxBuf:     cfg.LinkBufferBytes,
+		batchBytes: batchBytes,
+		listeners:  make([]net.Listener, cfg.N),
+		addrs:      make([]string, cfg.N),
+		links:      make([]*link, cfg.N*cfg.N),
+		ranks:      make([]*rankState, cfg.N),
+		closed:     make(chan struct{}),
 	}
 	for rank := 0; rank < cfg.N; rank++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -137,7 +162,11 @@ func New(cfg Config) (*Transport, error) {
 	}
 	for from := 0; from < cfg.N; from++ {
 		for to := 0; to < cfg.N; to++ {
-			l := &link{t: t, from: from, to: to, base: map[int64]int64{}}
+			l := &link{
+				t: t, from: from, to: to, base: map[int64]int64{},
+				rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(from*cfg.N+to)*0x5851F42D4C957F2D ^ 0x5DEECE66D)),
+				batch: cfg.Batch.Rank(from),
+			}
 			l.cond = sync.NewCond(&l.mu)
 			t.links[from*cfg.N+to] = l
 		}
@@ -417,6 +446,11 @@ type link struct {
 	acked        int64           // frames acked over the link's lifetime
 	ackSeen      int64           // highest lifetime ack total observed
 	started      bool            // writer goroutine launched
+
+	// rng (backoff jitter) and batch (occupancy histogram, nil-safe)
+	// are touched only by the writer goroutine.
+	rng   *rand.Rand
+	batch *obs.Hist
 }
 
 // enqueue adds p to the link, blocking while the bounded buffer is full
@@ -499,15 +533,28 @@ func (l *link) run() {
 			continue
 		}
 
-		p := l.queue[0]
+		// Pop a batch of queued frames — head plus followers up to the
+		// batched-write cap — into the unacked window BEFORE writing: a
+		// write error then leaves every popped frame queued for
+		// retransmission on the next connection.
+		batch := []*pending{l.queue[0]}
+		total := l.queue[0].size
 		l.queue = l.queue[1:]
-		l.unacked = append(l.unacked, p)
+		if max := l.t.batchBytes; max > 0 {
+			for len(l.queue) > 0 && total+l.queue[0].size <= max {
+				batch = append(batch, l.queue[0])
+				total += l.queue[0].size
+				l.queue = l.queue[1:]
+			}
+		}
+		l.unacked = append(l.unacked, batch...)
 		conn := l.conn
 		l.mu.Unlock()
-		if !l.write(conn, p) {
+		l.batch.Record(int64(len(batch)))
+		if !l.writeBatch(conn, batch) {
 			continue
 		}
-		// The frame may have been pushed and acked before it entered
+		// Frames may have been pushed and acked before they entered
 		// the unacked window above; settle any ack total seen meanwhile.
 		l.mu.Lock()
 		l.drainAcksLocked()
@@ -538,6 +585,25 @@ func (l *link) write(conn net.Conn, p *pending) bool {
 	return true
 }
 
+// writeBatch coalesces the batch into one vectored write (writev via
+// net.Buffers; a plain Write when the batch is a single frame). On
+// error the connection is torn down and every frame stays in the
+// unacked window for retransmission.
+func (l *link) writeBatch(conn net.Conn, batch []*pending) bool {
+	if len(batch) == 1 {
+		return l.write(conn, batch[0])
+	}
+	bufs := make(net.Buffers, len(batch))
+	for i, p := range batch {
+		bufs[i] = *p.buf
+	}
+	if _, err := bufs.WriteTo(conn); err != nil {
+		l.dropConn(conn)
+		return false
+	}
+	return true
+}
+
 // watch blocks reading the (otherwise silent) return direction of conn
 // and retires the connection when it dies.
 func (l *link) watch(conn net.Conn) {
@@ -562,11 +628,16 @@ func (l *link) dial() (net.Conn, bool) {
 		if err == nil {
 			return conn, true
 		}
-		l.t.cfg.Backoff.Rank(l.from).RecordDuration(backoff)
+		// Jitter desynchronizes the reconnect herd: every link dialing a
+		// revived rank would otherwise retry on the same deterministic
+		// schedule. Sleep a uniform pick from [backoff/2, backoff] and
+		// record the delay actually slept.
+		sleep := backoff/2 + time.Duration(l.rng.Int63n(int64(backoff/2)+1))
+		l.t.cfg.Backoff.Rank(l.from).RecordDuration(sleep)
 		select {
 		case <-l.t.closed:
 			return nil, false
-		case <-l.t.clk.After(backoff):
+		case <-l.t.clk.After(sleep):
 		}
 		if backoff *= 2; backoff > l.t.cfg.DialBackoffMax {
 			backoff = l.t.cfg.DialBackoffMax

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"windar/internal/vclock"
+)
+
+func TestVecDeltaRoundTrip(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, cur vclock.Vec
+	}{
+		{"no-change", vclock.Vec{1, 2, 3}, vclock.Vec{1, 2, 3}},
+		{"one-change", vclock.Vec{1, 2, 3}, vclock.Vec{1, 7, 3}},
+		{"all-change", vclock.Vec{0, 0, 0, 0}, vclock.Vec{4, 3, 2, 1}},
+		{"negatives", vclock.Vec{-5, 0, 9}, vclock.Vec{-5, -1, 1 << 40}},
+		{"single-rank", vclock.Vec{3}, vclock.Vec{4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := AppendVecDelta(nil, tc.base, tc.cur)
+			if b[0] != VecDeltaMarker {
+				t.Fatalf("delta does not start with marker: % x", b)
+			}
+			if got := VecDeltaSize(tc.base, tc.cur); got != len(b) {
+				t.Fatalf("VecDeltaSize=%d, encoded %d bytes", got, len(b))
+			}
+			v, n, err := ReadVecDelta(b, tc.base)
+			if err != nil {
+				t.Fatalf("ReadVecDelta: %v", err)
+			}
+			if n != len(b) {
+				t.Fatalf("consumed %d of %d bytes", n, len(b))
+			}
+			if !v.Equal(tc.cur) {
+				t.Fatalf("reconstructed %v, want %v", v, tc.cur)
+			}
+			// Idempotence: absolute values mean applying the delta to the
+			// post-state reproduces the post-state.
+			v2, _, err := ReadVecDelta(b, tc.cur)
+			if err != nil {
+				t.Fatalf("re-apply: %v", err)
+			}
+			if !v2.Equal(tc.cur) {
+				t.Fatalf("re-apply gave %v, want %v", v2, tc.cur)
+			}
+		})
+	}
+}
+
+func TestVecDeltaDoesNotMutateBase(t *testing.T) {
+	base := vclock.Vec{1, 2, 3}
+	b := AppendVecDelta(nil, base, vclock.Vec{9, 2, 8})
+	v, _, err := ReadVecDelta(b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Equal(vclock.Vec{1, 2, 3}) {
+		t.Fatalf("base mutated to %v", base)
+	}
+	v[0] = 77
+	if base[0] == 77 {
+		t.Fatal("returned vector aliases the base")
+	}
+}
+
+func TestVecDeltaNoBase(t *testing.T) {
+	b := AppendVecDelta(nil, vclock.Vec{0, 0}, vclock.Vec{1, 0})
+	if _, _, err := ReadVecDelta(b, nil); !errors.Is(err, ErrNoDeltaBase) {
+		t.Fatalf("nil base: got %v, want ErrNoDeltaBase", err)
+	}
+	if _, _, _, err := ReadVecAny(b, nil); !errors.Is(err, ErrNoDeltaBase) {
+		t.Fatalf("ReadVecAny nil base: got %v, want ErrNoDeltaBase", err)
+	}
+}
+
+func TestVecDeltaRejectsMalformed(t *testing.T) {
+	base := vclock.Vec{0, 0, 0}
+	bad := [][]byte{
+		{},                              // empty
+		{VecDeltaMarker},                // missing count
+		{VecDeltaMarker, 9},             // count exceeds base length
+		{VecDeltaMarker, 1},             // truncated pair
+		{VecDeltaMarker, 1, 7, 2},       // index out of range
+		{VecDeltaMarker, 2, 1, 2, 1, 4}, // indices not strictly increasing
+		{VecDeltaMarker, 2, 1, 2, 0, 4}, // indices decreasing
+		{VecDeltaMarker, 1, 0},          // index without value
+		{0x01, 0x02},                    // not a delta at all
+	}
+	for i, b := range bad {
+		if _, _, err := ReadVecDelta(b, base); err == nil {
+			t.Errorf("case %d (% x): accepted malformed delta", i, b)
+		}
+	}
+}
+
+func TestReadVecAnyDispatch(t *testing.T) {
+	base := vclock.Vec{1, 2, 3}
+	cur := vclock.Vec{1, 5, 3}
+
+	full := AppendVec(nil, cur)
+	v, n, isDelta, err := ReadVecAny(full, base)
+	if err != nil || isDelta || n != len(full) || !v.Equal(cur) {
+		t.Fatalf("full dispatch: v=%v n=%d delta=%v err=%v", v, n, isDelta, err)
+	}
+	// Full vectors need no base.
+	if v, _, _, err := ReadVecAny(full, nil); err != nil || !v.Equal(cur) {
+		t.Fatalf("full without base: v=%v err=%v", v, err)
+	}
+
+	delta := AppendVecDelta(nil, base, cur)
+	v, n, isDelta, err = ReadVecAny(delta, base)
+	if err != nil || !isDelta || n != len(delta) || !v.Equal(cur) {
+		t.Fatalf("delta dispatch: v=%v n=%d delta=%v err=%v", v, n, isDelta, err)
+	}
+}
+
+func TestVecSizeMatchesAppendVec(t *testing.T) {
+	for _, v := range []vclock.Vec{{0}, {1, 2, 3}, {-9, 1 << 50, 0, 7}} {
+		if got, want := VecSize(v), len(AppendVec(nil, v)); got != want {
+			t.Errorf("VecSize(%v)=%d, AppendVec produced %d", v, got, want)
+		}
+	}
+}
+
+func TestVecDeltaSmallerWhenFewChanges(t *testing.T) {
+	// A 16-rank vector with one changed element: the delta must beat the
+	// full encoding — this is the entire point of wire format v2.
+	base := vclock.New(16)
+	for i := range base {
+		base[i] = int64(100 + i)
+	}
+	cur := base.Clone()
+	cur[5]++
+	if ds, fs := VecDeltaSize(base, cur), VecSize(cur); ds >= fs {
+		t.Fatalf("delta %d bytes >= full %d bytes", ds, fs)
+	}
+}

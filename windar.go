@@ -168,6 +168,18 @@ type Config struct {
 	JitterFraction float64
 	// Seed makes network jitter reproducible.
 	Seed int64
+	// PiggybackRefreshEvery tunes TDI's delta piggyback encoding: between
+	// full-vector sends to a destination, only changed depend_interval
+	// elements travel (wire format v2). 0 selects the default cadence
+	// (every 32nd send is full); 1 disables deltas entirely — every send
+	// carries the full vector, the paper's published protocol.
+	PiggybackRefreshEvery int
+	// SendBatchBytes bounds send-side frame batching: the transport
+	// coalesces queued envelopes into one link write up to this many
+	// bytes. 0 selects the transport default (64 KiB for TCP, no batching
+	// for the mem fabric, whose timing model the figures depend on);
+	// negative disables batching.
+	SendBatchBytes int64
 	// EventLoggerLatency is TEL's stable event-logger round trip.
 	EventLoggerLatency time.Duration
 	// StableWriteLatency is the checkpoint write latency.
@@ -207,9 +219,11 @@ func (c Config) internal() harness.Config {
 			JitterFraction: c.JitterFraction,
 			Seed:           c.Seed,
 		},
-		EventLoggerLatency: c.EventLoggerLatency,
-		StableWriteLatency: c.StableWriteLatency,
-		StallTimeout:       c.StallTimeout,
+		PiggybackRefreshEvery: c.PiggybackRefreshEvery,
+		SendBatchBytes:        c.SendBatchBytes,
+		EventLoggerLatency:    c.EventLoggerLatency,
+		StableWriteLatency:    c.StableWriteLatency,
+		StallTimeout:          c.StallTimeout,
 	}
 	if c.Mode == Blocking {
 		cfg.Mode = harness.Blocking
@@ -425,6 +439,20 @@ func Fig7Text(rows []OverheadRow) string { return experiments.Fig7Table(rows).St
 
 // Fig8Text renders the Fig. 8 series.
 func Fig8Text(rows []Fig8Row) string { return experiments.Fig8Table(rows).String() }
+
+// PigRow compares the v2 delta piggyback encoding against the paper's
+// full-vector baseline.
+type PigRow = experiments.PigRow
+
+// RunPiggybackCompare runs one TDI workload with and without delta
+// piggyback encoding and reports the per-message piggyback traffic both
+// ways.
+func RunPiggybackCompare(o ExperimentOptions) (PigRow, error) {
+	return experiments.RunPiggybackCompare(o)
+}
+
+// PigText renders the delta-vs-full piggyback comparison.
+func PigText(r PigRow) string { return experiments.PigTable(r).String() }
 
 // CkptRow is one cell of the checkpoint-interval tradeoff sweep (an
 // extension experiment beyond the paper's figures).

@@ -55,8 +55,23 @@ func TestPublicAPIWorkloadRun(t *testing.T) {
 	if stats.MsgsSent == 0 || stats.MsgsDelivered == 0 {
 		t.Fatalf("no traffic: %+v", stats)
 	}
-	if got := stats.AvgPiggybackIDs(); got != 4 {
-		t.Fatalf("TDI piggyback = %v, want 4", got)
+	// The delta encoding (on by default) can only shrink the piggyback
+	// below the full vector's n identifiers, never grow it.
+	if got := stats.AvgPiggybackIDs(); got <= 0 || got > 4 {
+		t.Fatalf("TDI piggyback = %v, want in (0, 4]", got)
+	}
+}
+
+func TestPublicAPIFullVectorPiggyback(t *testing.T) {
+	f, err := windar.WorkloadFactory("ring", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(4, windar.TDI)
+	cfg.PiggybackRefreshEvery = 1 // disable delta encoding: the paper's protocol
+	c := runToCompletion(t, cfg, f, nil)
+	if got := c.Stats().AvgPiggybackIDs(); got != 4 {
+		t.Fatalf("full-vector TDI piggyback = %v, want exactly 4", got)
 	}
 }
 
