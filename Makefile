@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint verify verify-tcp fuzz vet clean
+.PHONY: all build test race lint verify verify-tcp chaos fuzz vet clean
 
 all: build vet lint test
 
@@ -33,6 +33,12 @@ verify:
 # in-flight bytes instead of in-process queues.
 verify-tcp:
 	$(GO) run ./cmd/windar-verify -rounds 3 -procs 4 -transport tcp
+
+# Deterministic fault-schedule soak: fixed seed matrix on both
+# transports with the byte-for-byte replay check; a failure prints the
+# reproducing seed and command.
+chaos:
+	$(GO) run ./cmd/windar-chaos -seeds 1,2,3,4,5 -transports mem,tcp -stalls -replay -v
 
 # Wire-format fuzzers. `go test -fuzz` accepts exactly one target per
 # invocation, so each runs separately; FUZZTIME bounds each target.

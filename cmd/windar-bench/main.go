@@ -6,6 +6,7 @@
 //	windar-bench -fig 8          # blocking vs non-blocking accomplishment time
 //	windar-bench -fig pig        # only the delta-vs-full piggyback comparison
 //	windar-bench -fig obs        # per-protocol histogram quantiles -> BENCH_obs.json
+//	windar-bench -fig chaos      # fixed-seed fault-schedule soak -> BENCH_chaos.json
 //	windar-bench -fig all        # everything
 //
 // The sweep dimensions (benchmarks, process counts, problem size) mirror
@@ -23,7 +24,10 @@ import (
 	"time"
 
 	"windar"
+	"windar/internal/chaos"
+	"windar/internal/harness"
 	"windar/internal/obs"
+	"windar/internal/transport"
 )
 
 func main() {
@@ -36,6 +40,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "network jitter seed")
 		faultAfter = flag.Duration("fault-after", 10*time.Millisecond, "fig 8 / obs: failure injection delay")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs sweep: output path for the quantile report")
+		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "chaos soak: output path for the run report")
 		pigOut     = flag.String("pig-out", "BENCH_pig.json", "fig 6 / pig: output path for the delta-vs-full piggyback comparison")
 	)
 	flag.Parse()
@@ -55,12 +60,12 @@ func main() {
 
 	want := map[string]bool{}
 	if *fig == "all" {
-		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"] = true, true, true, true, true, true
+		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"] = true, true, true, true, true, true, true
 	} else {
 		want[*fig] = true
 	}
-	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] {
-		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs or all)", *fig)
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] {
+		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos or all)", *fig)
 	}
 
 	if want["6"] || want["7"] {
@@ -110,6 +115,62 @@ func main() {
 			fatal("obs sweep: %v", err)
 		}
 	}
+	if want["chaos"] {
+		if err := runChaosSoak(*seed, *chaosOut); err != nil {
+			fatal("chaos soak: %v", err)
+		}
+	}
+}
+
+// chaosReport is the BENCH_chaos.json payload: the fixed-seed soak
+// matrix and one log line per (seed, transport) cell.
+type chaosReport struct {
+	Seeds      []int64  `json:"seeds"`
+	Transports []string `json:"transports"`
+	Procs      int      `json:"procs"`
+	Protocol   string   `json:"protocol"`
+	Faults     int      `json:"faults"`
+	Replay     bool     `json:"replay"`
+	Runs       []string `json:"runs"`
+}
+
+// runChaosSoak runs a small fixed-seed deterministic fault-schedule
+// soak (with the byte-for-byte replay check) on both transports and
+// writes the report.
+func runChaosSoak(seed int64, path string) error {
+	rep := chaosReport{
+		Seeds:      []int64{seed, seed + 1, seed + 2},
+		Transports: []string{transport.Mem, transport.TCP},
+		Procs:      4,
+		Protocol:   string(harness.TDI),
+		Faults:     6,
+		Replay:     true,
+	}
+	err := chaos.Soak(chaos.SoakOptions{
+		Seeds:      rep.Seeds,
+		Transports: rep.Transports,
+		Run:        chaos.RunOptions{Procs: rep.Procs, Protocol: harness.TDI},
+		Faults:     rep.Faults,
+		Stalls:     true,
+		Replay:     rep.Replay,
+		Logf: func(format string, args ...any) {
+			line := fmt.Sprintf(format, args...)
+			rep.Runs = append(rep.Runs, line)
+			fmt.Println(line)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("chaos soak report written: %s (%d runs, all clean)\n", path, len(rep.Runs))
+	return nil
 }
 
 // obsRun is one protocol's latency-distribution measurement.

@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+# two simultaneous failures, then a crash during recovery
+kill 1 @2ms
+kill 2 @3ms
+recover 1 @8ms ; recover 2 @9ms
+kill 0 phase(1 collect-demands)
+recover 0 @30ms
+stall 3 @12ms
+unstall 3 @18ms
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Actions) != 8 {
+		t.Fatalf("got %d actions, want 8", len(s.Actions))
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	back, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("Parse(String): %v", err)
+	}
+	if got, want := back.String(), s.String(); got != want {
+		t.Fatalf("round trip mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	a := s.Actions[4]
+	if a.Op != OpKill || a.Rank != 0 || a.Phase != "collect-demands" || a.PhaseRank != 1 {
+		t.Fatalf("phase action parsed wrong: %+v", a)
+	}
+	if got := s.Actions[1].At; got != 3*time.Millisecond {
+		t.Fatalf("offset parsed wrong: %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"explode 1 @2ms",             // unknown op
+		"kill x @2ms",                // bad rank
+		"kill 1",                     // missing trigger
+		"kill 1 2ms",                 // bad trigger syntax
+		"kill 1 @-2ms",               // negative offset
+		"kill 1 phase(2 teleport)",   // unknown event
+		"kill 1 phase(z rollback)",   // bad trigger rank
+		"kill 1 phase(2 rollback",    // unterminated
+		"kill 1 phase(2 rollback x)", // too many fields
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	s, err := Parse("kill 5 @1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err == nil {
+		t.Fatal("rank 5 in a 4-rank cluster: want error")
+	}
+	s, err = Parse("kill 1 phase(7 rollback)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err == nil {
+		t.Fatal("trigger rank 7 in a 4-rank cluster: want error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	o := GenOptions{N: 4, Faults: 12, Stalls: true}
+	a := Generate(42, o).String()
+	b := Generate(42, o).String()
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := Generate(43, o).String(); c == a {
+		t.Fatalf("different seeds produced the same schedule:\n%s", a)
+	}
+}
+
+// TestGenerateLegal replays generated schedules against a model of the
+// liveness state and checks every invariant Generate promises.
+func TestGenerateLegal(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, GenOptions{N: 4, Faults: 10, Stalls: true})
+		if err := s.Validate(4); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		alive := []bool{true, true, true, true}
+		stalled := make([]bool, 4)
+		live := 4
+		last := time.Duration(-1)
+		for i, a := range s.Actions {
+			if a.Phase != "" {
+				t.Fatalf("seed %d action #%d: generated schedules must be timed-only", seed, i)
+			}
+			if a.At <= last {
+				t.Fatalf("seed %d action #%d: offsets not strictly increasing", seed, i)
+			}
+			last = a.At
+			switch a.Op {
+			case OpKill:
+				if !alive[a.Rank] {
+					t.Fatalf("seed %d action #%d: kill of dead rank %d", seed, i, a.Rank)
+				}
+				if live < 2 {
+					t.Fatalf("seed %d action #%d: kill would leave no live rank", seed, i)
+				}
+				alive[a.Rank] = false
+				live--
+			case OpRecover:
+				if alive[a.Rank] {
+					t.Fatalf("seed %d action #%d: recover of live rank %d", seed, i, a.Rank)
+				}
+				alive[a.Rank] = true
+				live++
+			case OpStall:
+				if stalled[a.Rank] {
+					t.Fatalf("seed %d action #%d: stall of stalled rank %d", seed, i, a.Rank)
+				}
+				stalled[a.Rank] = true
+			case OpUnstall:
+				if !stalled[a.Rank] {
+					t.Fatalf("seed %d action #%d: unstall of unstalled rank %d", seed, i, a.Rank)
+				}
+				stalled[a.Rank] = false
+			}
+		}
+		for r := 0; r < 4; r++ {
+			if !alive[r] {
+				t.Fatalf("seed %d: rank %d left dead at end of schedule", seed, r)
+			}
+			if stalled[r] {
+				t.Fatalf("seed %d: rank %d left stalled at end of schedule", seed, r)
+			}
+		}
+	}
+}
+
+func TestGenerateStallsGated(t *testing.T) {
+	s := Generate(7, GenOptions{N: 4, Faults: 20})
+	if strings.Contains(s.String(), "stall") {
+		t.Fatalf("Stalls=false schedule contains stall actions:\n%s", s)
+	}
+}

@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GenOptions shapes Generate.
+type GenOptions struct {
+	// N is the cluster size. Required.
+	N int
+	// Faults is the number of randomly drawn actions before the closing
+	// recover/unstall tail. Default 8.
+	Faults int
+	// Spacing is the mean gap between consecutive timed actions; each
+	// gap is drawn uniformly from [Spacing/2, 3*Spacing/2). Default 3ms.
+	Spacing time.Duration
+	// Stalls includes transport stall/unstall actions alongside
+	// kill/recover.
+	Stalls bool
+}
+
+// Generate derives a legal schedule from the seed: every action is
+// timed (so execution order is fully deterministic), a rank is killed
+// only while live and recovered only while dead, at least one rank
+// stays alive at all times, and the closing tail recovers every dead
+// rank and unstalls every stalled one — the run always ends with full
+// membership. The same (seed, options) pair always yields the same
+// schedule.
+func Generate(seed int64, o GenOptions) Schedule {
+	if o.Faults == 0 {
+		o.Faults = 8
+	}
+	if o.Spacing == 0 {
+		o.Spacing = 3 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	alive := make([]bool, o.N)
+	stalled := make([]bool, o.N)
+	for i := range alive {
+		alive[i] = true
+	}
+	liveCount := o.N
+
+	var s Schedule
+	at := time.Duration(0)
+	gap := func() time.Duration {
+		return o.Spacing/2 + time.Duration(rng.Int63n(int64(o.Spacing)))
+	}
+	// pick returns a random index i with sel(i) true, or -1.
+	pick := func(sel func(int) bool) int {
+		var eligible []int
+		for i := 0; i < o.N; i++ {
+			if sel(i) {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) == 0 {
+			return -1
+		}
+		return eligible[rng.Intn(len(eligible))]
+	}
+
+	for len(s.Actions) < o.Faults {
+		at += gap()
+		// Weighted op choice among the currently legal verbs; the draw
+		// consumes rng state in a fixed order so the schedule is a pure
+		// function of the seed.
+		type cand struct {
+			op     Op
+			weight int
+		}
+		var cands []cand
+		if liveCount >= 2 {
+			cands = append(cands, cand{OpKill, 3})
+		}
+		if liveCount < o.N {
+			cands = append(cands, cand{OpRecover, 3})
+		}
+		if o.Stalls {
+			hasUnstalled, hasStalled := false, false
+			for i := 0; i < o.N; i++ {
+				if stalled[i] {
+					hasStalled = true
+				} else {
+					hasUnstalled = true
+				}
+			}
+			if hasUnstalled {
+				cands = append(cands, cand{OpStall, 1})
+			}
+			if hasStalled {
+				cands = append(cands, cand{OpUnstall, 1})
+			}
+		}
+		total := 0
+		for _, c := range cands {
+			total += c.weight
+		}
+		draw := rng.Intn(total)
+		var op Op
+		for _, c := range cands {
+			if draw < c.weight {
+				op = c.op
+				break
+			}
+			draw -= c.weight
+		}
+		var rank int
+		switch op {
+		case OpKill:
+			rank = pick(func(i int) bool { return alive[i] })
+			alive[rank] = false
+			liveCount--
+		case OpRecover:
+			rank = pick(func(i int) bool { return !alive[i] })
+			alive[rank] = true
+			liveCount++
+		case OpStall:
+			rank = pick(func(i int) bool { return !stalled[i] })
+			stalled[rank] = true
+		case OpUnstall:
+			rank = pick(func(i int) bool { return stalled[i] })
+			stalled[rank] = false
+		}
+		s.Actions = append(s.Actions, Action{Op: op, Rank: rank, At: at})
+	}
+
+	// Closing tail: restore full membership and delivery so the run can
+	// complete and the baseline comparison is meaningful.
+	for i := 0; i < o.N; i++ {
+		if !alive[i] {
+			at += gap()
+			s.Actions = append(s.Actions, Action{Op: OpRecover, Rank: i, At: at})
+		}
+	}
+	for i := 0; i < o.N; i++ {
+		if stalled[i] {
+			at += gap()
+			s.Actions = append(s.Actions, Action{Op: OpUnstall, Rank: i, At: at})
+		}
+	}
+	return s
+}

@@ -1,0 +1,269 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"windar/internal/fabric"
+	"windar/internal/harness"
+	"windar/internal/trace"
+	"windar/internal/transport"
+	"windar/internal/workload"
+)
+
+// RunOptions configures one chaos run.
+type RunOptions struct {
+	// Schedule is the fault sequence to execute.
+	Schedule Schedule
+	// Transport selects the substrate; "" means transport.Mem.
+	Transport transport.Kind
+	// Procs is the cluster size. Required.
+	Procs int
+	// App names the synthetic workload (workload.ByName): "ring",
+	// "halo", "masterworker" or "pairs". Default "ring".
+	App string
+	// AppSteps is the application step count. Default 40.
+	AppSteps int
+	// Protocol defaults to TDI.
+	Protocol harness.ProtocolKind
+	// CheckpointEvery defaults to 3.
+	CheckpointEvery int
+	// Seed feeds the mem fabric's jitter model so network timing is tied
+	// to the schedule seed.
+	Seed int64
+	// StallTimeout arms the harness's stall watchdog: a regression that
+	// hangs a delivery wait panics with a state dump instead of wedging
+	// the soak. 0 disables it.
+	StallTimeout time.Duration
+}
+
+func (o *RunOptions) fill() {
+	if o.App == "" {
+		o.App = "ring"
+	}
+	if o.AppSteps == 0 {
+		o.AppSteps = 40
+	}
+	if o.Protocol == "" {
+		o.Protocol = harness.TDI
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 3
+	}
+}
+
+// RunResult is one chaos run's evidence.
+type RunResult struct {
+	// Log is the engine's timestamp-free action log (schedule order).
+	Log []string
+	// States holds every rank's final application snapshot.
+	States [][]byte
+	// Problems aggregates trace validation and invariant violations
+	// (including the rollback-response pairing rule). Empty on a clean
+	// run.
+	Problems []trace.Problem
+}
+
+// RunSchedule executes one schedule against a fresh cluster and
+// validates the run: the full trace passes Validate and
+// CheckInvariants, and the final per-rank application states are
+// returned for baseline comparison.
+func RunSchedule(o RunOptions) (*RunResult, error) {
+	o.fill()
+	if err := o.Schedule.Validate(o.Procs); err != nil {
+		return nil, err
+	}
+	factory, err := workload.ByName(o.App, o.AppSteps)
+	if err != nil {
+		return nil, err
+	}
+	rec := &trace.Recorder{}
+	eng := NewEngine(o.Schedule, rec)
+	cfg := harness.Config{
+		N:               o.Procs,
+		Protocol:        o.Protocol,
+		CheckpointEvery: o.CheckpointEvery,
+		Transport:       o.Transport,
+		Fabric:          fabric.Config{BaseLatency: 20 * time.Microsecond, JitterFraction: 0.2, Seed: o.Seed},
+		Observer:        eng,
+		StallTimeout:    o.StallTimeout,
+	}
+	c, err := harness.NewCluster(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	eng.Start(c)
+	eng.Wait()
+	c.Wait()
+
+	res := &RunResult{Log: eng.Log(), States: make([][]byte, o.Procs)}
+	for rank := 0; rank < o.Procs; rank++ {
+		res.States[rank] = c.AppSnapshot(rank)
+	}
+	res.Problems = append(res.Problems, rec.Validate(true)...)
+	res.Problems = append(res.Problems, rec.CheckInvariants()...)
+	return res, nil
+}
+
+// Baseline runs the same workload fault-free (on the mem transport; the
+// application's final state is transport-independent) and returns the
+// per-rank final snapshots every chaos run must reproduce.
+func Baseline(o RunOptions) ([][]byte, error) {
+	o.fill()
+	factory, err := workload.ByName(o.App, o.AppSteps)
+	if err != nil {
+		return nil, err
+	}
+	cfg := harness.Config{
+		N:               o.Procs,
+		Protocol:        o.Protocol,
+		CheckpointEvery: o.CheckpointEvery,
+		Fabric:          fabric.Config{BaseLatency: 20 * time.Microsecond},
+		StallTimeout:    o.StallTimeout,
+	}
+	c, err := harness.NewCluster(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	c.Wait()
+	states := make([][]byte, o.Procs)
+	for rank := 0; rank < o.Procs; rank++ {
+		states[rank] = c.AppSnapshot(rank)
+	}
+	return states, nil
+}
+
+// SoakOptions configures a seed-matrix soak.
+type SoakOptions struct {
+	// Seeds lists the schedules to run (one Generate per seed, unless
+	// Schedule pins an explicit one for every seed).
+	Seeds []int64
+	// Transports lists the substrates to cover; default {mem}.
+	Transports []transport.Kind
+	// Run carries the per-run knobs (Procs, App, Protocol, ...). Its
+	// Schedule and Seed fields are filled per run.
+	Run RunOptions
+	// Faults, Spacing and Stalls shape Generate (ignored when Schedule
+	// is set).
+	Faults  int
+	Spacing time.Duration
+	// Stalls includes transport stall/unstall actions.
+	Stalls bool
+	// Schedule, when non-nil, replaces generation: every seed runs this
+	// exact schedule (the seed still feeds network jitter).
+	Schedule *Schedule
+	// Replay runs every (seed, transport) cell twice and requires the
+	// two action logs to match byte-for-byte and the final states to
+	// agree — the determinism acceptance check.
+	Replay bool
+	// Logf, when non-nil, receives one progress line per run.
+	Logf func(format string, args ...any)
+}
+
+// Soak runs the seed x transport matrix. It returns nil when every run
+// completes with baseline-identical application state and a clean
+// trace; otherwise the error names the first failing seed and transport
+// and carries a windar-chaos reproduction command.
+func Soak(o SoakOptions) error {
+	if len(o.Transports) == 0 {
+		o.Transports = []transport.Kind{transport.Mem}
+	}
+	o.Run.fill()
+	base, err := Baseline(o.Run)
+	if err != nil {
+		return fmt.Errorf("chaos: baseline: %w", err)
+	}
+	for _, tk := range o.Transports {
+		for _, seed := range o.Seeds {
+			if err := o.runCell(tk, seed, base); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runCell executes one (transport, seed) cell, including the optional
+// determinism replay.
+func (o *SoakOptions) runCell(tk transport.Kind, seed int64, base [][]byte) error {
+	ro := o.Run
+	ro.Transport = tk
+	ro.Seed = seed
+	if o.Schedule != nil {
+		ro.Schedule = *o.Schedule
+	} else {
+		ro.Schedule = Generate(seed, GenOptions{
+			N: ro.Procs, Faults: o.Faults, Spacing: o.Spacing, Stalls: o.Stalls,
+		})
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("chaos: seed %d transport %s: %s\nreproduce: %s",
+			seed, tk, fmt.Sprintf(format, args...), o.repro(tk, seed))
+	}
+	res, err := RunSchedule(ro)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if len(res.Problems) > 0 {
+		return fail("trace violations: %v", res.Problems)
+	}
+	if err := sameStates(base, res.States); err != nil {
+		return fail("final state diverged from fault-free baseline: %v", err)
+	}
+	if o.Replay {
+		res2, err := RunSchedule(ro)
+		if err != nil {
+			return fail("replay: %v", err)
+		}
+		if a, b := strings.Join(res.Log, "\n"), strings.Join(res2.Log, "\n"); a != b {
+			return fail("replay action log diverged:\nrun 1:\n%s\nrun 2:\n%s", a, b)
+		}
+		if err := sameStates(res.States, res2.States); err != nil {
+			return fail("replay state diverged: %v", err)
+		}
+	}
+	if o.Logf != nil {
+		o.Logf("chaos: seed %d transport %s: ok (%d actions, %d ranks)",
+			seed, tk, len(ro.Schedule.Actions), ro.Procs)
+	}
+	return nil
+}
+
+// repro renders the windar-chaos invocation that replays one cell.
+func (o *SoakOptions) repro(tk transport.Kind, seed int64) string {
+	cmd := fmt.Sprintf("go run ./cmd/windar-chaos -seeds %d -transports %s -procs %d -app %s -steps %d -protocol %s",
+		seed, tk, o.Run.Procs, o.Run.App, o.Run.AppSteps, o.Run.Protocol)
+	if o.Faults != 0 {
+		cmd += fmt.Sprintf(" -faults %d", o.Faults)
+	}
+	if o.Stalls {
+		cmd += " -stalls"
+	}
+	if o.Schedule != nil {
+		cmd += fmt.Sprintf(" -schedule %q", strings.ReplaceAll(o.Schedule.String(), "\n", "; "))
+	}
+	return cmd
+}
+
+// sameStates compares two per-rank snapshot sets.
+func sameStates(want, got [][]byte) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("rank count %d vs %d", len(want), len(got))
+	}
+	for rank := range want {
+		if !bytes.Equal(want[rank], got[rank]) {
+			return fmt.Errorf("rank %d: %x vs %x", rank, want[rank], got[rank])
+		}
+	}
+	return nil
+}

@@ -367,6 +367,23 @@ func (t *TDI) BeginRecovery(expectResponses int) { t.pinFull = true }
 // OnRecoveryData implements proto.Protocol.
 func (t *TDI) OnRecoveryData(from int, data []byte) error { return nil }
 
+// OnResponderLost implements proto.Protocol. TDI collects nothing during
+// recovery, so a responder's death costs it nothing.
+func (t *TDI) OnResponderLost(peer int) {}
+
+// OnPeerRollback implements proto.Protocol. The peer's new incarnation
+// reconstructs its receive-side delta bases from its checkpoint, which may
+// not match the send-side cache accumulated against the previous
+// incarnation — drop the cache so the next send to the peer carries a full
+// vector and restarts the delta chain from a shared base.
+func (t *TDI) OnPeerRollback(peer int, ckptDelivered int64) {
+	if peer < 0 || peer >= t.n {
+		return
+	}
+	t.sent[peer] = nil
+	t.sinceFull[peer] = 0
+}
+
 // OnPeerCheckpoint implements proto.Protocol. TDI keeps no per-peer
 // history, so there is nothing to prune — the flat vector is the whole
 // point.

@@ -240,6 +240,27 @@ func (f *Fabric) Revive(rank int) {
 	r.mu.Unlock()
 }
 
+// Stall suspends delivery into rank: messages park at the links as
+// during a dead window, but the rank's inbox and receivers stay
+// attached — a transient partition in front of the rank, not a crash.
+// Independent of Kill/Revive; pair every Stall with an Unstall.
+func (f *Fabric) Stall(rank int) {
+	r := f.ranks[rank]
+	r.mu.Lock()
+	r.stalled = true
+	r.mu.Unlock()
+}
+
+// Unstall resumes delivery into rank, releasing parked messages in
+// per-link FIFO order.
+func (f *Fabric) Unstall(rank int) {
+	r := f.ranks[rank]
+	r.mu.Lock()
+	r.stalled = false
+	r.aliveCond.Broadcast()
+	r.mu.Unlock()
+}
+
 // Alive reports whether rank is currently alive.
 func (f *Fabric) Alive(rank int) bool {
 	r := f.ranks[rank]
@@ -374,11 +395,11 @@ func (l *link) delayFor(size int64) time.Duration {
 }
 
 // deliver hands it to the destination, parking while the destination is
-// dead. Returns false when the fabric shut down.
+// dead or stalled. Returns false when the fabric shut down.
 func (l *link) deliver(it *item) bool {
 	r := l.f.ranks[l.to]
 	r.mu.Lock()
-	for !r.alive {
+	for !r.alive || r.stalled {
 		select {
 		case <-l.f.closed:
 			r.mu.Unlock()
@@ -407,6 +428,7 @@ func (l *link) deliver(it *item) bool {
 type rankState struct {
 	mu        sync.Mutex
 	alive     bool
+	stalled   bool // delivery suspended (Stall), independent of alive
 	aliveCond *sync.Cond
 	box       *inboxT
 }

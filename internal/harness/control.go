@@ -35,26 +35,35 @@ func decodeRollback(b []byte) (int64, vclock.Vec, error) {
 	return count, vec, nil
 }
 
-// encodeResponse packs a RESPONSE payload: how many of the failed rank's
-// messages this responder has delivered (for repetitive-send
-// suppression, line 48) plus the protocol's recovery contribution.
-func encodeResponse(deliveredFromFailed int64, recoveryData []byte) []byte {
-	buf := binary.AppendVarint(nil, deliveredFromFailed)
+// encodeResponse packs a RESPONSE payload: which incarnation's ROLLBACK
+// it answers, how many of the failed rank's messages this responder has
+// delivered (for repetitive-send suppression, line 48), plus the
+// protocol's recovery contribution. The echoed incarnation lets the
+// recoverer tell a fresh answer from a stale one addressed to a
+// predecessor that died mid-collection.
+func encodeResponse(ackIncarnation int32, deliveredFromFailed int64, recoveryData []byte) []byte {
+	buf := binary.AppendVarint(nil, int64(ackIncarnation))
+	buf = binary.AppendVarint(buf, deliveredFromFailed)
 	buf = binary.AppendUvarint(buf, uint64(len(recoveryData)))
 	return append(buf, recoveryData...)
 }
 
 // decodeResponse unpacks encodeResponse.
-func decodeResponse(b []byte) (int64, []byte, error) {
+func decodeResponse(b []byte) (int32, int64, []byte, error) {
+	ack, k := binary.Varint(b)
+	if k <= 0 {
+		return 0, 0, nil, fmt.Errorf("harness: bad RESPONSE incarnation")
+	}
+	b = b[k:]
 	count, n := binary.Varint(b)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("harness: bad RESPONSE payload")
+		return 0, 0, nil, fmt.Errorf("harness: bad RESPONSE payload")
 	}
 	l, m := binary.Uvarint(b[n:])
 	if m <= 0 || uint64(len(b)-n-m) < l {
-		return 0, nil, fmt.Errorf("harness: bad RESPONSE recovery data")
+		return 0, 0, nil, fmt.Errorf("harness: bad RESPONSE recovery data")
 	}
-	return count, b[n+m : n+m+int(l)], nil
+	return int32(ack), count, b[n+m : n+m+int(l)], nil
 }
 
 // encodeCkptAdvance packs a CHECKPOINT_ADVANCE payload: the number of the
@@ -96,6 +105,7 @@ func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 		}
 		if env.From < 0 || env.From >= r.n || env.To != r.id {
 			r.c.coll.Rank(r.id).IngestRejected()
+			r.c.observer().OnIngestRejected(r.id, "envelope")
 			continue
 		}
 		switch env.Kind {
@@ -109,6 +119,7 @@ func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 			r.handleCkptAdvance(env)
 		default:
 			r.c.coll.Rank(r.id).IngestRejected()
+			r.c.observer().OnIngestRejected(r.id, "envelope")
 		}
 	}
 }
@@ -124,10 +135,20 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 		// A corrupt ROLLBACK cannot be served; the recovering rank's
 		// stall report will name the missing RESPONSE.
 		r.c.coll.Rank(r.id).IngestRejected()
+		r.c.observer().OnIngestRejected(r.id, "rollback")
 		return
 	}
 
 	r.mu.Lock()
+	// The rollback invalidates any suppression bound learned from the
+	// failed rank's previous incarnation: its delivered-from-us count has
+	// rolled back to lastDeliver[r.id], and a higher bound from a stale
+	// RESPONSE would suppress regenerated sends the restored log may not
+	// cover — with two overlapping recoveries, a permanent stall.
+	if r.rollbackLastSendIndex[failed] > lastDeliver[r.id] {
+		r.rollbackLastSendIndex[failed] = lastDeliver[r.id]
+	}
+	r.prot.OnPeerRollback(failed, ckptDelivered)
 	deliveredFromFailed := r.lastDeliverIndex[failed]
 	recData := r.prot.RecoveryData(failed, ckptDelivered)
 	items := r.log.ItemsFor(failed, lastDeliver[r.id])
@@ -139,7 +160,7 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 	resp := &wire.Envelope{
 		Kind: wire.KindResponse, From: r.id, To: failed,
 		Incarnation: r.incarnation,
-		Payload:     encodeResponse(deliveredFromFailed, recData),
+		Payload:     encodeResponse(env.Incarnation, deliveredFromFailed, recData),
 	}
 	if err := r.c.tr.Send(resp, transportSendOpts(false, r.killed)); err != nil {
 		return
@@ -162,11 +183,14 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 }
 
 // handleResponse absorbs a RESPONSE during this rank's own rolling
-// forward (lines 52-53).
+// forward (lines 52-53). Any response is absorbed — counted, late from a
+// revived peer, or stale toward a dead predecessor incarnation — but only
+// the first from each awaited live peer decrements the expectation.
 func (r *rankRuntime) handleResponse(env *wire.Envelope) {
-	count, recData, err := decodeResponse(env.Payload)
+	ackInc, count, recData, err := decodeResponse(env.Payload)
 	if err != nil {
 		r.c.coll.Rank(r.id).IngestRejected()
+		r.c.observer().OnIngestRejected(r.id, "response")
 		return
 	}
 	r.mu.Lock()
@@ -175,17 +199,26 @@ func (r *rankRuntime) handleResponse(env *wire.Envelope) {
 	}
 	if err := r.prot.OnRecoveryData(env.From, recData); err != nil {
 		r.c.coll.Rank(r.id).IngestRejected()
+		r.c.observer().OnIngestRejected(r.id, "response")
 		r.mu.Unlock()
 		return
 	}
-	if r.respExpect > 0 {
+	if r.respAwait != nil && env.From < len(r.respAwait) && r.respAwait[env.From] {
+		r.respAwait[env.From] = false
 		r.respExpect--
-		if r.respExpect == 0 {
+		if r.respExpect == 0 && r.collectPending {
+			r.collectPending = false
 			r.c.emitPhase(r.id, PhaseCollectDemands, r.c.clk.Now().Sub(r.collectStart))
 		}
 	}
+	if ackInc == r.incarnation {
+		// This incarnation's own ROLLBACK was served: a revival of the
+		// responder no longer needs the replay.
+		r.c.rollbackServed(r.id, env.From, r.incarnation)
+	}
 	r.cond.Broadcast() // replay constraints may have been relaxed
 	r.mu.Unlock()
+	r.c.observer().OnResponse(r.id, env.From)
 }
 
 // handleCkptAdvance releases log items the peer's new checkpoint made
@@ -194,6 +227,7 @@ func (r *rankRuntime) handleCkptAdvance(env *wire.Envelope) {
 	count, total, err := decodeCkptAdvance(env.Payload)
 	if err != nil {
 		r.c.coll.Rank(r.id).IngestRejected()
+		r.c.observer().OnIngestRejected(r.id, "ckpt-advance")
 		return
 	}
 	r.mu.Lock()

@@ -27,6 +27,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"windar/internal/app"
@@ -125,6 +126,18 @@ type Observer interface {
 	// Phase* constant) of duration d.
 	OnRecoveryPhase(rank int, phase string, d time.Duration)
 	OnRecoveryComplete(rank int, d time.Duration)
+	// OnRollback reports rank broadcasting a ROLLBACK expecting
+	// expect RESPONSEs — the peers live at broadcast time, not n-1.
+	OnRollback(rank, expect int)
+	// OnResponse reports rank absorbing a RESPONSE from from (counted or
+	// late; the trace pairing rule deduplicates responders).
+	OnResponse(rank, from int)
+	// OnIngestRejected reports rank dropping hostile input: a control
+	// message whose payload failed to decode ("rollback", "response",
+	// "ckpt-advance"), an envelope with an out-of-range rank or unknown
+	// kind ("envelope"), or an app message whose piggyback failed to
+	// decode ("piggyback").
+	OnIngestRejected(rank int, kind string)
 }
 
 // Config describes one cluster run.
@@ -195,10 +208,28 @@ type Cluster struct {
 	ranksMu  chanMutex
 	ranks    []*rankRuntime
 	finished []bool
-	failedAt []int64 // delivered count at kill time, -1 when alive
+	failedAt []int64 // high-water delivered count across kills, -1 before any
 	waitCh   chan struct{}
 
+	// pendingMu guards pendingRec: one entry per recovery still
+	// collecting demands, so a rank that revives mid-collection can be
+	// served the ROLLBACK it missed while dead. pendingMu is a leaf lock —
+	// it is taken under rank mutexes and must never wrap another lock.
+	pendingMu  sync.Mutex
+	pendingRec map[int]*pendingRollback
+
 	closed chan struct{}
+}
+
+// pendingRollback records one incarnation's outstanding ROLLBACK: the
+// exact broadcast payload and the peers that have not yet served it.
+// Peers dead at broadcast time stay in awaiting; when one revives, the
+// cluster replays the ROLLBACK to it and it answers with a late RESPONSE
+// plus its log resends.
+type pendingRollback struct {
+	incarnation int32
+	payload     []byte
+	awaiting    map[int]bool
 }
 
 // chanMutex is a tiny mutex built on a channel so Cluster.Wait can select
@@ -252,6 +283,7 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 	for i := range c.failedAt {
 		c.failedAt[i] = -1
 	}
+	c.pendingRec = make(map[int]*pendingRollback)
 	c.waitCh = make(chan struct{}, 1)
 	if cfg.Protocol == TEL {
 		c.telLog = tel.NewLogger(cfg.N, cfg.Clock, cfg.EventLoggerLatency)
@@ -295,6 +327,9 @@ func newTransport(cfg Config) (transport.Transport, error) {
 // Transport exposes the cluster's communication substrate (tests,
 // diagnostics, trace headers).
 func (c *Cluster) Transport() transport.Transport { return c.tr }
+
+// N returns the number of ranks.
+func (c *Cluster) N() int { return c.cfg.N }
 
 // newProtocol builds a protocol instance bound to runtime r.
 func (c *Cluster) newProtocol(r *rankRuntime) (proto.Protocol, error) {
@@ -502,3 +537,6 @@ func (nopObserver) OnKill(int)                                 {}
 func (nopObserver) OnRecover(int, int)                         {}
 func (nopObserver) OnRecoveryPhase(int, string, time.Duration) {}
 func (nopObserver) OnRecoveryComplete(int, time.Duration)      {}
+func (nopObserver) OnRollback(int, int)                        {}
+func (nopObserver) OnResponse(int, int)                        {}
+func (nopObserver) OnIngestRejected(int, string)               {}

@@ -56,12 +56,16 @@ type rankRuntime struct {
 	recoveryTarget int64
 
 	// Recovery-phase span bookkeeping (guarded by mu like the flags
-	// above; respExpect/collectStart are written before start() launches
-	// the goroutines).
-	respExpect    int       // RESPONSEs outstanding for collect-demands
-	collectStart  time.Time // ROLLBACK broadcast time
-	firstResentAt time.Time // first replayed delivery while recovering
-	recoveredAt   time.Time // roll-forward completion; zeroed at next checkpoint
+	// above; respExpect/respAwait/collectStart are written before start()
+	// launches the goroutines). respAwait marks the peers counted into
+	// respExpect — those live at ROLLBACK time — so duplicate or late
+	// RESPONSEs and responder deaths each adjust the count exactly once.
+	respExpect     int       // counted RESPONSEs still outstanding
+	respAwait      []bool    // per-peer: counted and not yet accounted for
+	collectPending bool      // collect-demands span not yet emitted
+	collectStart   time.Time // ROLLBACK broadcast time
+	firstResentAt  time.Time // first replayed delivery while recovering
+	recoveredAt    time.Time // roll-forward completion; zeroed at next checkpoint
 
 	// deliverLat is this rank's deliver-latency histogram (nil when
 	// observability is off; checked before taking the extra clock read).
@@ -378,6 +382,7 @@ func (r *rankRuntime) noteIngestErrLocked(src int, sendIndex int64, err error) {
 	r.lastPigErrIdx[src] = sendIndex
 	r.lastIngestErr = err
 	r.c.coll.Rank(r.id).IngestRejected()
+	r.c.observer().OnIngestRejected(r.id, "piggyback")
 }
 
 // deliverLocked removes env from queue B and delivers it to the
@@ -413,10 +418,46 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 			r.c.emitPhase(r.id, PhaseRollForward, d)
 			if !r.firstResentAt.IsZero() {
 				r.c.emitPhase(r.id, PhaseReplayLogged, now.Sub(r.firstResentAt))
+			} else {
+				// The roll was fed entirely by regenerated (non-resent)
+				// sends; emit the zero span so every completed recovery
+				// reports all four phases.
+				r.c.emitPhase(r.id, PhaseReplayLogged, 0)
 			}
+			if r.collectPending {
+				// Awaited peers died and revived without this incarnation
+				// ever seeing respExpect hit zero; cap the span at
+				// roll-forward completion.
+				r.collectPending = false
+				r.c.emitPhase(r.id, PhaseCollectDemands, now.Sub(r.collectStart))
+			}
+			// Demand collection is over; revivals no longer need the
+			// ROLLBACK replayed (resends would be duplicates anyway).
+			r.c.clearRollback(r.id, r.incarnation)
 		}
 	}
 	return env.Payload
+}
+
+// noteResponderLost marks an awaited responder as dead: its RESPONSE to
+// this incarnation's ROLLBACK can no longer arrive, so the collection
+// phase must stop counting it (if the peer revives, the replayed ROLLBACK
+// produces an uncounted late RESPONSE instead). No-op unless peer was
+// live at ROLLBACK time and unaccounted for.
+func (r *rankRuntime) noteResponderLost(peer int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.respAwait == nil || peer < 0 || peer >= len(r.respAwait) || !r.respAwait[peer] {
+		return
+	}
+	r.respAwait[peer] = false
+	r.respExpect--
+	r.prot.OnResponderLost(peer)
+	if r.respExpect == 0 && r.collectPending {
+		r.collectPending = false
+		r.c.emitPhase(r.id, PhaseCollectDemands, r.c.clk.Now().Sub(r.collectStart))
+	}
+	r.cond.Broadcast() // a PWD hold on pending responses may have lifted
 }
 
 // enqueueApp inserts an arriving application message into queue B,

@@ -2,7 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
+
+	"windar/internal/transport"
+	"windar/internal/wire"
 )
 
 // Kill injects a failure: rank's volatile state (receiving queue, sender
@@ -32,9 +36,31 @@ func (c *Cluster) Kill(rank int) error {
 	r.mu.Unlock()
 
 	c.ranksMu.Lock()
-	c.failedAt[rank] = pre
+	// High-water, not overwrite: a crash during roll-forward reads a
+	// deliveredCount below the previous failure point, but the incarnation
+	// replays deterministically through the same prefix, so the original
+	// target still bounds the roll.
+	if pre > c.failedAt[rank] {
+		c.failedAt[rank] = pre
+	}
 	c.finished[rank] = false
+	others := append([]*rankRuntime(nil), c.ranks...)
 	c.ranksMu.Unlock()
+
+	// A crashed recoverer's demand collection dies with it; its next
+	// incarnation re-registers a fresh ROLLBACK.
+	c.dropRollback(rank)
+
+	// Any rank still collecting demands must stop waiting for this one:
+	// its RESPONSE will never arrive from the dead incarnation. If the
+	// rank revives, the replayed ROLLBACK yields an uncounted late
+	// RESPONSE instead.
+	for p, o := range others {
+		if p != rank && o != nil && !o.isKilled() {
+			o.noteResponderLost(rank)
+		}
+	}
+
 	c.observer().OnKill(rank)
 	return nil
 }
@@ -85,27 +111,59 @@ func (c *Cluster) Recover(rank int) error {
 	// collect-demands spans the ROLLBACK broadcast (which start fires
 	// before the application resumes) to the last peer RESPONSE.
 	r.collectStart = r.recoveryStart
-	r.respExpect = c.cfg.N - 1
+
+	// Only peers live right now can answer the ROLLBACK; a dead peer's
+	// RESPONSE arrives late — after it revives and serves the replayed
+	// ROLLBACK — and must not be waited for (the old N-1 count hung the
+	// collection phase forever whenever a peer was down).
 	c.ranksMu.Lock()
 	target := c.failedAt[rank]
+	r.respAwait = make([]bool, c.cfg.N)
+	r.respExpect = 0
+	for p, o := range c.ranks {
+		if p != rank && o != nil && !o.isKilled() {
+			r.respAwait[p] = true
+			r.respExpect++
+		}
+	}
 	c.ranksMu.Unlock()
 	r.recoveryTarget = target
 	r.recovering = target > r.deliveredCount
-	if !r.recovering {
-		// The failure lost no deliveries (it struck right after a
-		// checkpoint): rolling forward is trivially complete.
-		c.coll.Rank(rank).RecoveryDone(0)
-		c.observer().OnRecoveryComplete(rank, 0)
-		c.emitPhase(rank, PhaseRollForward, 0)
-	}
-	r.prot.BeginRecovery(c.cfg.N - 1)
+	r.collectPending = r.recovering
+	r.prot.BeginRecovery(r.respExpect)
 
 	c.ranksMu.Lock()
 	c.ranks[rank] = r
 	c.ranksMu.Unlock()
 
+	payload := encodeRollback(r.deliveredCount, r.lastDeliverIndex.Clone())
+	if r.recovering {
+		c.registerRollback(rank, r.incarnation, payload)
+	}
+	c.observer().OnRollback(rank, r.respExpect)
+	if !r.recovering {
+		// The failure lost no deliveries (it struck right after a
+		// checkpoint): rolling forward is trivially complete. All four
+		// phase spans are emitted at zero duration so phase summaries
+		// stay symmetric across runs.
+		c.coll.Rank(rank).RecoveryDone(0)
+		c.observer().OnRecoveryComplete(rank, 0)
+		for _, phase := range RecoveryPhases {
+			c.emitPhase(rank, phase, 0)
+		}
+	} else if r.respExpect == 0 {
+		// No live peer to collect from (every other rank is down): the
+		// collection phase is empty and the roll proceeds on replayed
+		// ROLLBACKs alone.
+		r.collectPending = false
+		c.emitPhase(rank, PhaseCollectDemands, 0)
+	}
+
 	c.tr.Revive(rank)
-	r.start(fromStep, encodeRollback(r.deliveredCount, r.lastDeliverIndex.Clone()))
+	r.start(fromStep, payload)
+	// Serve this incarnation any ROLLBACK it slept through: peers still
+	// collecting demands get their late RESPONSE and log resends.
+	c.replayPendingRollbacks(rank)
 	c.observer().OnRecover(rank, fromStep)
 	return nil
 }
@@ -120,4 +178,80 @@ func (c *Cluster) KillAndRecover(rank int, detectDelay time.Duration) error {
 		c.clk.Sleep(detectDelay)
 	}
 	return c.Recover(rank)
+}
+
+// registerRollback records an incarnation's outstanding ROLLBACK so ranks
+// that revive mid-collection can be served it (every peer starts in
+// awaiting — dead ones must answer after they come back).
+func (c *Cluster) registerRollback(rank int, inc int32, payload []byte) {
+	awaiting := make(map[int]bool, c.cfg.N-1)
+	for p := 0; p < c.cfg.N; p++ {
+		if p != rank {
+			awaiting[p] = true
+		}
+	}
+	c.pendingMu.Lock()
+	c.pendingRec[rank] = &pendingRollback{incarnation: inc, payload: payload, awaiting: awaiting}
+	c.pendingMu.Unlock()
+}
+
+// rollbackServed marks responder's RESPONSE to recoverer's current
+// incarnation as received; once served, a revival of responder no longer
+// replays the ROLLBACK to it.
+func (c *Cluster) rollbackServed(recoverer, responder int, inc int32) {
+	c.pendingMu.Lock()
+	if pr := c.pendingRec[recoverer]; pr != nil && pr.incarnation == inc {
+		delete(pr.awaiting, responder)
+	}
+	c.pendingMu.Unlock()
+}
+
+// clearRollback drops rank's outstanding ROLLBACK once its roll-forward
+// completed (only for the incarnation that registered it — a newer
+// incarnation's entry must survive).
+func (c *Cluster) clearRollback(rank int, inc int32) {
+	c.pendingMu.Lock()
+	if pr := c.pendingRec[rank]; pr != nil && pr.incarnation == inc {
+		delete(c.pendingRec, rank)
+	}
+	c.pendingMu.Unlock()
+}
+
+// dropRollback unconditionally discards rank's outstanding ROLLBACK (its
+// incarnation died; the next one registers afresh).
+func (c *Cluster) dropRollback(rank int) {
+	c.pendingMu.Lock()
+	delete(c.pendingRec, rank)
+	c.pendingMu.Unlock()
+}
+
+// replayPendingRollbacks re-sends to the just-revived rank every ROLLBACK
+// it has not yet served. The original broadcast to it died in its dead
+// window; without the replay a recoverer could wait forever for log
+// resends only this rank holds.
+func (c *Cluster) replayPendingRollbacks(revived int) {
+	c.pendingMu.Lock()
+	var envs []*wire.Envelope
+	for rank, pr := range c.pendingRec {
+		if rank == revived || !pr.awaiting[revived] {
+			continue
+		}
+		envs = append(envs, &wire.Envelope{
+			Kind:        wire.KindRollback,
+			From:        rank,
+			To:          revived,
+			Incarnation: pr.incarnation,
+			Payload:     append([]byte(nil), pr.payload...),
+		})
+	}
+	c.pendingMu.Unlock()
+	sort.Slice(envs, func(i, j int) bool { return envs[i].From < envs[j].From })
+	for _, env := range envs {
+		c.coll.Rank(env.From).ControlMsg()
+		if err := c.tr.Send(env, transport.SendOpts{}); err != nil {
+			// The recoverer died between the snapshot and the send; its
+			// next incarnation re-registers and re-broadcasts.
+			continue
+		}
+	}
 }

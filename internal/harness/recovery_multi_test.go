@@ -1,0 +1,294 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"windar/internal/app"
+	"windar/internal/transport"
+	"windar/internal/wire"
+)
+
+// pushApp is a one-way stream: rank 0 only sends, rank 1 only receives.
+// Rank 0's deliveredCount therefore stays zero forever, so any failure
+// of rank 0 strikes "right after a checkpoint" — the trivial recovery
+// path — no matter when the kill lands.
+type pushApp struct {
+	rank, steps int
+	sum         uint64
+}
+
+func (a *pushApp) Steps() int {
+	if a.rank > 1 {
+		return 0
+	}
+	return a.steps
+}
+
+func (a *pushApp) Step(env app.Env, s int) {
+	if a.rank == 0 {
+		env.Send(1, 0, u64(uint64(s)*13+7))
+		return
+	}
+	data, _ := env.Recv(0, 0)
+	a.sum = a.sum*31 + du64(data)
+}
+
+func (a *pushApp) Snapshot() []byte { return u64(a.sum) }
+
+func (a *pushApp) Restore(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("pushApp: bad snapshot length %d", len(b))
+	}
+	a.sum = du64(b)
+	return nil
+}
+
+func pushFactory(steps int) app.Factory {
+	return func(rank, n int) app.App {
+		return &pushApp{rank: rank, steps: steps}
+	}
+}
+
+// captureObs records recovery-phase spans and ingest rejections.
+type captureObs struct {
+	nopObserver
+	mu        sync.Mutex
+	phases    map[int][]string         // rank -> phase names in emit order
+	phaseDur  map[string]time.Duration // rank/phase -> span duration (last emit)
+	completes map[int]time.Duration
+	rejected  map[string]int // kind -> count
+}
+
+func newCaptureObs() *captureObs {
+	return &captureObs{
+		phases:    map[int][]string{},
+		phaseDur:  map[string]time.Duration{},
+		completes: map[int]time.Duration{},
+		rejected:  map[string]int{},
+	}
+}
+
+func (o *captureObs) OnRecoveryPhase(rank int, phase string, d time.Duration) {
+	o.mu.Lock()
+	o.phases[rank] = append(o.phases[rank], phase)
+	o.phaseDur[fmt.Sprintf("%d/%s", rank, phase)] = d
+	o.mu.Unlock()
+}
+
+func (o *captureObs) OnRecoveryComplete(rank int, d time.Duration) {
+	o.mu.Lock()
+	o.completes[rank] = d
+	o.mu.Unlock()
+}
+
+func (o *captureObs) OnIngestRejected(rank int, kind string) {
+	o.mu.Lock()
+	o.rejected[kind]++
+	o.mu.Unlock()
+}
+
+// TestRecoverWithDeadPeer is the live-rank counting regression: a rank
+// recovering while another rank is still down must count only live
+// peers in its RESPONSE expectation. The old n-1 count waited on the
+// dead peer forever, hanging collection (and tripping the stall
+// watchdog) on every protocol.
+func TestRecoverWithDeadPeer(t *testing.T) {
+	for _, p := range allProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			clean := run(t, testConfig(4, p), ringFactory(60), nil)
+			faulty := run(t, testConfig(4, p), ringFactory(60), func(c *Cluster) {
+				time.Sleep(2 * time.Millisecond)
+				if err := c.Kill(1); err != nil {
+					t.Errorf("Kill(1): %v", err)
+				}
+				if err := c.Kill(2); err != nil {
+					t.Errorf("Kill(2): %v", err)
+				}
+				time.Sleep(time.Millisecond)
+				// Rank 1 recovers while rank 2 is still dead: its
+				// expectation must be the two live peers, not three.
+				if err := c.Recover(1); err != nil {
+					t.Errorf("Recover(1): %v", err)
+				}
+				time.Sleep(2 * time.Millisecond)
+				if err := c.Recover(2); err != nil {
+					t.Errorf("Recover(2): %v", err)
+				}
+			})
+			assertSameStates(t, clean, faulty, "dead-peer recovery")
+		})
+	}
+}
+
+// TestTrivialRecoveryEmitsAllPhases pins the zero-delivery recovery
+// path: when the failure lost no deliveries, all four phase spans are
+// still emitted — at zero duration — so phase summaries stay symmetric
+// across runs.
+func TestTrivialRecoveryEmitsAllPhases(t *testing.T) {
+	obs := newCaptureObs()
+	cfg := testConfig(3, TDI)
+	cfg.Observer = obs
+	clean := run(t, testConfig(3, TDI), pushFactory(50), nil)
+	faulty := run(t, cfg, pushFactory(50), func(c *Cluster) {
+		time.Sleep(2 * time.Millisecond)
+		if err := c.KillAndRecover(0, time.Millisecond); err != nil {
+			t.Errorf("KillAndRecover(0): %v", err)
+		}
+	})
+	assertSameStates(t, clean, faulty, "trivial recovery")
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if got, want := len(obs.phases[0]), len(RecoveryPhases); got != want {
+		t.Fatalf("rank 0 emitted %d phases %v, want all %d", got, obs.phases[0], want)
+	}
+	for i, phase := range RecoveryPhases {
+		if obs.phases[0][i] != phase {
+			t.Errorf("phase #%d = %q, want %q", i, obs.phases[0][i], phase)
+		}
+		if d := obs.phaseDur[fmt.Sprintf("0/%s", phase)]; d != 0 {
+			t.Errorf("trivial recovery phase %q duration %v, want 0", phase, d)
+		}
+	}
+	if d, ok := obs.completes[0]; !ok || d != 0 {
+		t.Errorf("trivial recovery complete duration %v (emitted=%v), want 0", d, ok)
+	}
+}
+
+// TestCorruptControlRejected injects undecodable ROLLBACK and RESPONSE
+// envelopes: each must bump the ingest_rejected counter and emit the
+// observer event with the control kind, not crash the rank.
+func TestCorruptControlRejected(t *testing.T) {
+	obs := newCaptureObs()
+	cfg := testConfig(3, TDI)
+	cfg.Observer = obs
+	c, err := NewCluster(cfg, sinkFactory(2))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for _, kind := range []wire.Kind{wire.KindRollback, wire.KindResponse} {
+		env := &wire.Envelope{Kind: kind, From: 1, To: 0, Payload: []byte{0xFF}}
+		if err := c.tr.Send(env, transport.SendOpts{}); err != nil {
+			t.Fatalf("inject: %v", err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Metrics().Total().IngestRejected < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("corrupt control messages never counted as rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i <= 2; i++ {
+		env := &wire.Envelope{
+			Kind: wire.KindApp, From: 2, To: 0,
+			SendIndex: int64(i), Tag: 0, Piggyback: validPig(TDI, 3),
+			Payload: u64(uint64(i)),
+		}
+		if err := c.tr.Send(env, transport.SendOpts{}); err != nil {
+			t.Fatalf("inject valid %d: %v", i, err)
+		}
+	}
+	c.Wait()
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.rejected["rollback"] != 1 {
+		t.Errorf("rollback rejections observed = %d, want 1", obs.rejected["rollback"])
+	}
+	if obs.rejected["response"] != 1 {
+		t.Errorf("response rejections observed = %d, want 1", obs.rejected["response"])
+	}
+}
+
+// TestConcurrentKillRecover fails two distinct ranks from two
+// goroutines racing each other, on both transports — exercising the
+// mutual suppression-bound clamping and the per-incarnation pending
+// ROLLBACK registry under the race detector.
+func TestConcurrentKillRecover(t *testing.T) {
+	for _, tk := range []transport.Kind{transport.Mem, transport.TCP} {
+		tk := tk
+		t.Run(tk, func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(5, TDI)
+			cfg.Transport = tk
+			clean := run(t, cfg, ringFactory(60), nil)
+			for trial := 0; trial < 3; trial++ {
+				faulty := run(t, cfg, ringFactory(60), func(c *Cluster) {
+					time.Sleep(2 * time.Millisecond)
+					var wg sync.WaitGroup
+					for _, victim := range []int{1, 3} {
+						victim := victim
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if err := c.KillAndRecover(victim, time.Millisecond); err != nil {
+								t.Errorf("KillAndRecover(%d): %v", victim, err)
+							}
+						}()
+					}
+					wg.Wait()
+				})
+				assertSameStates(t, clean, faulty, fmt.Sprintf("%s trial %d", tk, trial))
+			}
+		})
+	}
+}
+
+// TestKillPeerDuringCollect kills a responder immediately after a
+// recovery begins, while the recoverer's ROLLBACK is (most likely)
+// still being answered; the recoverer must drop the dead peer from its
+// expectation and complete. The deterministic phase-triggered variant
+// lives in internal/chaos.
+func TestKillPeerDuringCollect(t *testing.T) {
+	clean := run(t, testConfig(4, TDI), ringFactory(60), nil)
+	faulty := run(t, testConfig(4, TDI), ringFactory(60), func(c *Cluster) {
+		time.Sleep(2 * time.Millisecond)
+		if err := c.Kill(1); err != nil {
+			t.Errorf("Kill(1): %v", err)
+		}
+		if err := c.Recover(1); err != nil {
+			t.Errorf("Recover(1): %v", err)
+		}
+		if err := c.Kill(2); err != nil { // racing rank 1's collection
+			t.Errorf("Kill(2): %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := c.Recover(2); err != nil {
+			t.Errorf("Recover(2): %v", err)
+		}
+	})
+	assertSameStates(t, clean, faulty, "kill-during-collect")
+}
+
+// TestKillRecovererMidRecovery crashes the recovering rank again right
+// after its recovery starts: the second incarnation must re-register a
+// fresh ROLLBACK and the stale exchange must not wedge anyone.
+func TestKillRecovererMidRecovery(t *testing.T) {
+	clean := run(t, testConfig(4, TDI), ringFactory(60), nil)
+	faulty := run(t, testConfig(4, TDI), ringFactory(60), func(c *Cluster) {
+		time.Sleep(2 * time.Millisecond)
+		if err := c.Kill(1); err != nil {
+			t.Errorf("Kill(1): %v", err)
+		}
+		if err := c.Recover(1); err != nil {
+			t.Errorf("Recover(1): %v", err)
+		}
+		if err := c.Kill(1); err != nil { // crash mid-recovery
+			t.Errorf("re-Kill(1): %v", err)
+		}
+		time.Sleep(time.Millisecond)
+		if err := c.Recover(1); err != nil {
+			t.Errorf("re-Recover(1): %v", err)
+		}
+	})
+	assertSameStates(t, clean, faulty, "kill-recoverer")
+}

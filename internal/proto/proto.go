@@ -87,11 +87,30 @@ type Protocol interface {
 
 	// BeginRecovery tells the protocol its rank is an incarnation about
 	// to roll forward; expectResponses is the number of RESPONSE
-	// messages that will eventually arrive (n-1).
+	// messages that will eventually arrive — the peers that were live
+	// when the ROLLBACK was broadcast, not n-1. Dead peers contribute a
+	// late RESPONSE after they revive, which OnRecoveryData must accept
+	// without having counted it in expectResponses.
 	BeginRecovery(expectResponses int)
 
 	// OnRecoveryData merges one RESPONSE's protocol payload.
 	OnRecoveryData(from int, data []byte) error
+
+	// OnResponderLost tells a recovering protocol that peer — counted in
+	// BeginRecovery's expectResponses — died before its RESPONSE arrived.
+	// The protocol must stop waiting for that contribution; if the peer
+	// revives it serves the replayed ROLLBACK and its data arrives
+	// through OnRecoveryData as an uncounted late response. A no-op
+	// outside recovery.
+	OnResponderLost(peer int)
+
+	// OnPeerRollback tells the protocol that peer began a recovery whose
+	// checkpoint recorded ckptDelivered deliveries. Any per-peer state
+	// derived from the peer's previous incarnation — delta piggyback
+	// bases, estimates of what the peer already knows — is stale and must
+	// be reset, otherwise two overlapping recoveries corrupt each other's
+	// suppression bounds.
+	OnPeerRollback(peer int, ckptDelivered int64)
 
 	// OnPeerCheckpoint notifies the protocol that peer took a checkpoint
 	// covering its first deliveredCount deliveries, so history at or

@@ -39,10 +39,14 @@ type TAG struct {
 	knownTo      []map[agraph.NodeID]struct{} // per-destination estimate
 	ownDelivered int64
 
-	// Recovery (PWD replay) state.
+	// Recovery (PWD replay) state. respSeen records which peers have
+	// already been accounted against pendingResponses — by RESPONSE
+	// arrival or by death — so a peer that responds, dies, and responds
+	// again from its next incarnation is counted exactly once.
 	pendingResponses int
 	recorded         map[int64]determinant.D // deliverIndex -> determinant
 	recoveryBase     int64
+	respSeen         map[int]bool
 
 	// Piggyback pre-validation memo: Deliverable runs on every probe of
 	// a held FIFO head, so the bytes are checked once per (source, send
@@ -232,11 +236,14 @@ func (t *TAG) RecoveryData(failed int, ckptDeliveredCount int64) []byte {
 	return agraph.AppendNodes(nil, nodes)
 }
 
-// BeginRecovery implements proto.Protocol.
+// BeginRecovery implements proto.Protocol. expectResponses counts only
+// the peers live at ROLLBACK time; dead peers' records arrive later as
+// uncounted late responses (or never, if they hold nothing new).
 func (t *TAG) BeginRecovery(expectResponses int) {
 	t.pendingResponses = expectResponses
 	t.recorded = make(map[int64]determinant.D)
 	t.recoveryBase = t.ownDelivered
+	t.respSeen = make(map[int]bool)
 }
 
 // OnRecoveryData implements proto.Protocol: merge one survivor's record.
@@ -259,10 +266,41 @@ func (t *TAG) OnRecoveryData(from int, data []byte) error {
 			t.recorded[nd.Det.DeliverIndex] = nd.Det
 		}
 	}
+	// A duplicate or late RESPONSE (the peer answered a previous
+	// incarnation's ROLLBACK, or revived and served the replayed one)
+	// still merges above but must not decrement the count twice.
+	if !t.respSeen[from] {
+		t.respSeen[from] = true
+		if t.pendingResponses > 0 {
+			t.pendingResponses--
+		}
+	}
+	return nil
+}
+
+// OnResponderLost implements proto.Protocol: a peer counted in
+// BeginRecovery died before responding. Its record arrives later (if it
+// revives) as an uncounted late response; stop holding delivery for it.
+func (t *TAG) OnResponderLost(peer int) {
+	if t.recorded == nil || t.respSeen[peer] {
+		return
+	}
+	t.respSeen[peer] = true
 	if t.pendingResponses > 0 {
 		t.pendingResponses--
 	}
-	return nil
+}
+
+// OnPeerRollback implements proto.Protocol: the peer's new incarnation
+// restarts from its checkpoint, which records none of the known-set
+// estimate accumulated against the old incarnation (estimates are
+// deliberately not checkpointed — see Snapshot). Reset it so future
+// piggybacks re-carry whatever the new incarnation may have lost.
+func (t *TAG) OnPeerRollback(peer int, ckptDelivered int64) {
+	if peer < 0 || peer >= t.n {
+		return
+	}
+	t.knownTo[peer] = make(map[agraph.NodeID]struct{})
 }
 
 // OnPeerCheckpoint implements proto.Protocol: events at or before the

@@ -40,10 +40,13 @@ type TEL struct {
 	inFlight     bool
 	pendingFlush []determinant.D
 
-	// Recovery (PWD replay) state.
+	// Recovery (PWD replay) state. respSeen records which peers have
+	// already been accounted against pendingResponses — by RESPONSE
+	// arrival or by death — so a peer is counted exactly once.
 	pendingResponses int
 	recorded         map[int64]determinant.D
 	recoveryBase     int64
+	respSeen         map[int]bool
 
 	// Piggyback pre-validation memo: Deliverable runs on every probe of
 	// a held FIFO head, so the bytes are checked once per (source, send
@@ -302,6 +305,7 @@ func (t *TEL) BeginRecovery(expectResponses int) {
 	t.pendingResponses = expectResponses
 	t.recorded = make(map[int64]determinant.D)
 	t.recoveryBase = t.ownDelivered
+	t.respSeen = make(map[int]bool)
 	if t.logger != nil {
 		for _, d := range t.logger.FetchFor(t.rank, t.recoveryBase) {
 			t.recorded[d.DeliverIndex] = d
@@ -323,11 +327,36 @@ func (t *TEL) OnRecoveryData(from int, data []byte) error {
 			t.recorded[d.DeliverIndex] = d
 		}
 	}
-	if t.pendingResponses > 0 {
-		t.pendingResponses--
+	// A duplicate or late RESPONSE still merges above but must not
+	// decrement the count twice.
+	if !t.respSeen[from] {
+		t.respSeen[from] = true
+		if t.pendingResponses > 0 {
+			t.pendingResponses--
+		}
 	}
 	return nil
 }
+
+// OnResponderLost implements proto.Protocol: a peer counted in
+// BeginRecovery died before responding; stop holding delivery for it.
+// Whatever unstable determinants it held for us are lost with it — the
+// same loss a PWD protocol already accepts for simultaneous failures —
+// and anything it had flushed is in the event logger we already read.
+func (t *TEL) OnResponderLost(peer int) {
+	if t.recorded == nil || t.respSeen[peer] {
+		return
+	}
+	t.respSeen[peer] = true
+	if t.pendingResponses > 0 {
+		t.pendingResponses--
+	}
+}
+
+// OnPeerRollback implements proto.Protocol. TEL keeps no per-peer
+// send-side estimate (every unstable determinant rides on every send), so
+// nothing needs resetting when a peer rolls back.
+func (t *TEL) OnPeerRollback(peer int, ckptDelivered int64) {}
 
 // OnPeerCheckpoint implements proto.Protocol: determinants covered by the
 // peer's checkpoint can never be replayed; drop them locally and at the

@@ -1,6 +1,9 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // CheckInvariants replays the recorded events through a per-rank state
 // machine and verifies the protocol-level invariants every windar run
@@ -18,7 +21,12 @@ import "fmt"
 //     happened only after the rank had delivered at least that many
 //     messages;
 //   - checkpoint-count: a checkpoint's recorded deliveredCount equals
-//     the delivery count replayed from the trace.
+//     the delivery count replayed from the trace;
+//   - rollback-response: every ROLLBACK eventually pairs with the
+//     RESPONSEs it expected from live peers — a recovery that never
+//     completed must not still be waiting on a peer that died (each
+//     awaited peer's death shrinks the expectation, exactly as the
+//     harness adjusts it).
 //
 // Failure semantics mirror Validate: a killed rank's events are ignored
 // until its EvRecover (a dying incarnation can record a final straggler
@@ -33,6 +41,7 @@ func (r *Recorder) CheckInvariants() []Problem {
 	for _, e := range events {
 		c.feed(e)
 	}
+	c.finish()
 	return c.problems
 }
 
@@ -58,7 +67,35 @@ func CheckEvents(events []Event) []Problem {
 	for _, e := range events {
 		c.feed(e)
 	}
+	c.finish()
 	return c.problems
+}
+
+// rbPending is one outstanding ROLLBACK being audited: how many
+// RESPONSEs the recoverer still expects, which peers have responded, and
+// whether the recovery completed (late responses may then still be in
+// flight when the trace ends, which is not a violation). A key in
+// awaited pins a peer as no longer eligible to shrink the expectation:
+// it was dead at broadcast time (never counted) or already shrunk it by
+// dying once.
+type rbPending struct {
+	seq       int
+	expect    int
+	awaited   map[int]bool
+	responded map[int]bool
+	completed bool
+}
+
+func (p *rbPending) clone() *rbPending {
+	n := &rbPending{seq: p.seq, expect: p.expect, completed: p.completed,
+		awaited: make(map[int]bool, len(p.awaited)), responded: make(map[int]bool, len(p.responded))}
+	for k, v := range p.awaited {
+		n.awaited[k] = v
+	}
+	for k, v := range p.responded {
+		n.responded[k] = v
+	}
+	return n
 }
 
 // checker is the streaming form of CheckEvents: a pure forward state
@@ -69,10 +106,12 @@ type checker struct {
 	state    map[int]*rankCheck
 	ckpt     map[int]*rankCheck // last checkpoint snapshot per rank
 	dead     map[int]bool
+	rb       map[int]*rbPending // outstanding ROLLBACK per recovering rank
 }
 
 func newChecker() *checker {
-	return &checker{state: map[int]*rankCheck{}, ckpt: map[int]*rankCheck{}, dead: map[int]bool{}}
+	return &checker{state: map[int]*rankCheck{}, ckpt: map[int]*rankCheck{},
+		dead: map[int]bool{}, rb: map[int]*rbPending{}}
 }
 
 func (c *checker) get(rank int) *rankCheck {
@@ -130,6 +169,21 @@ func (c *checker) feed(e Event) {
 		c.ckpt[e.Rank] = s.clone()
 	case EvKill:
 		c.dead[e.Rank] = true
+		// A crashed recoverer's collection dies with it; its next
+		// incarnation records a fresh EvRollback.
+		delete(c.rb, e.Rank)
+		// Any pending collection awaiting the dead rank stops counting
+		// it, mirroring the harness's responder-lost adjustment. A rank
+		// already pinned in awaited (dead at broadcast, or shrunk by an
+		// earlier death) must not shrink the expectation again.
+		for _, p := range c.rb {
+			if _, pinned := p.awaited[e.Rank]; !pinned && !p.responded[e.Rank] {
+				p.awaited[e.Rank] = false
+				if p.expect > 0 {
+					p.expect--
+				}
+			}
+		}
 	case EvRecover:
 		c.dead[e.Rank] = false
 		if snap := c.ckpt[e.Rank]; snap != nil {
@@ -137,6 +191,51 @@ func (c *checker) feed(e Event) {
 		} else {
 			c.state[e.Rank] = &rankCheck{lastFrom: map[int]int64{}}
 		}
+	case EvRollback:
+		// Supersedes any prior pending entry for the rank (per
+		// incarnation). awaited records which peers the expectation may
+		// shrink by when they die: any rank not known dead at broadcast
+		// time (the checker does not know N, so membership is decided at
+		// kill time — a rank dead now was not counted by the harness and
+		// must not shrink the expectation on its next death).
+		p := &rbPending{seq: e.Seq, expect: int(e.Count),
+			awaited: map[int]bool{}, responded: map[int]bool{}}
+		for rank, d := range c.dead {
+			if d {
+				p.awaited[rank] = false // pin: dead at broadcast, never awaited
+			}
+		}
+		c.rb[e.Rank] = p
+	case EvResponse:
+		if p := c.rb[e.Rank]; p != nil {
+			p.responded[e.Peer] = true
+		}
+	case EvRecoveryComplete:
+		if p := c.rb[e.Rank]; p != nil {
+			p.completed = true
+		}
+	}
+}
+
+// finish reports rollback-response violations: a ROLLBACK whose recovery
+// never completed and whose adjusted expectation was never met is a
+// collection phase that would have hung the run.
+func (c *checker) finish() {
+	ranks := make([]int, 0, len(c.rb))
+	for rank := range c.rb {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		p := c.rb[rank]
+		if p.completed || len(p.responded) >= p.expect {
+			continue
+		}
+		c.problems = append(c.problems, Problem{
+			Rule: "rollback-response",
+			Detail: fmt.Sprintf("rank %d ROLLBACK (seq %d) expected %d RESPONSEs, got %d and never completed recovery",
+				rank, p.seq, p.expect, len(p.responded)),
+		})
 	}
 }
 
@@ -146,6 +245,7 @@ func (c *checker) clone() *checker {
 		state:    make(map[int]*rankCheck, len(c.state)),
 		ckpt:     make(map[int]*rankCheck, len(c.ckpt)),
 		dead:     make(map[int]bool, len(c.dead)),
+		rb:       make(map[int]*rbPending, len(c.rb)),
 	}
 	for k, s := range c.state {
 		n.state[k] = s.clone()
@@ -155,6 +255,9 @@ func (c *checker) clone() *checker {
 	}
 	for k, d := range c.dead {
 		n.dead[k] = d
+	}
+	for k, p := range c.rb {
+		n.rb[k] = p.clone()
 	}
 	return n
 }

@@ -229,3 +229,125 @@ func TestExportDemandRoundTrip(t *testing.T) {
 		t.Fatalf("demand round trip: got %d, %d", events[0].Demand, events[1].Demand)
 	}
 }
+
+// TestRollbackResponsePaired is the clean case for the pairing rule: a
+// ROLLBACK expecting two RESPONSEs gets both and completes.
+func TestRollbackResponsePaired(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnResponse(1, 0)
+	r.OnResponse(1, 2)
+	r.OnRecoveryComplete(1, 0)
+	if problems := r.CheckInvariants(); len(problems) > 0 {
+		t.Fatalf("paired rollback flagged: %v", problems)
+	}
+}
+
+// TestRollbackResponseMissing flags a collection phase that would have
+// hung: two RESPONSEs expected, one arrived, recovery never completed.
+func TestRollbackResponseMissing(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnResponse(1, 0)
+	if !rulesOf(r.CheckInvariants())["rollback-response"] {
+		t.Fatalf("unpaired rollback not flagged")
+	}
+}
+
+// TestRollbackResponseCompletedExempt pins the completion exemption: a
+// recovery that completed (late responses may still be in flight when
+// the trace ends) is never a violation, whatever the response count.
+func TestRollbackResponseCompletedExempt(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnResponse(1, 0)
+	r.OnRecoveryComplete(1, 0)
+	if problems := r.CheckInvariants(); len(problems) > 0 {
+		t.Fatalf("completed recovery flagged: %v", problems)
+	}
+}
+
+// TestRollbackResponseResponderDeathShrinks mirrors the harness's
+// responder-lost adjustment: an awaited peer dying shrinks the
+// expectation, so the surviving RESPONSE alone satisfies the rule.
+func TestRollbackResponseResponderDeathShrinks(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnResponse(1, 0)
+	r.OnKill(2) // awaited responder dies before answering
+	if problems := r.CheckInvariants(); len(problems) > 0 {
+		t.Fatalf("death-shrunk collection flagged: %v", problems)
+	}
+}
+
+// TestRollbackResponseDeadAtBroadcastPinned covers the pin semantics: a
+// peer already dead at broadcast time was never counted, so its later
+// kill-revive-kill cycle must not shrink the expectation below what the
+// live peers owe.
+func TestRollbackResponseDeadAtBroadcastPinned(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(2) // dead before the broadcast
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 1) // expects only rank 0
+	r.OnRecover(2, 0)
+	r.OnRollback(2, 2)
+	r.OnKill(2) // its death must not shrink rank 1's expectation again
+	if !rulesOf(r.CheckInvariants())["rollback-response"] {
+		t.Fatalf("pinned dead-at-broadcast peer shrank the expectation")
+	}
+}
+
+// TestRollbackResponseSupersededByKill pins that a recoverer crashing
+// mid-collection discards its pending audit: the next incarnation's
+// fresh ROLLBACK is the one that must pair.
+func TestRollbackResponseSupersededByKill(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnKill(1) // crashes mid-collection
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnResponse(1, 0)
+	r.OnResponse(1, 2)
+	r.OnRecoveryComplete(1, 0)
+	if problems := r.CheckInvariants(); len(problems) > 0 {
+		t.Fatalf("superseded rollback flagged: %v", problems)
+	}
+}
+
+// TestRollbackResponseRoundTrip drives the v3 kinds through Export ->
+// Import and asserts the pairing verdict survives serialization.
+func TestRollbackResponseRoundTrip(t *testing.T) {
+	r := &Recorder{}
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	r.OnRollback(1, 2)
+	r.OnResponse(1, 0)
+	r.OnIngestRejected(1, "response")
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	imported, err := Import(&buf)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if !rulesOf(imported.CheckInvariants())["rollback-response"] {
+		t.Fatalf("pairing verdict lost in round trip")
+	}
+	events := imported.Events()
+	last := events[len(events)-1]
+	if last.Kind != EvIngestRejected || last.Phase != "response" {
+		t.Fatalf("ingest-rejected event lost: %+v", last)
+	}
+}

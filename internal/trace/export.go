@@ -38,9 +38,11 @@ type jsonHeader struct {
 // headerVersion is the current header-line format version. Version 2
 // added recovery-phase span events (kind "recovery-phase" with phase
 // and dur fields) and the header's dropped count for traces written by
-// bounded recorders; files with version 1 headers, or none, still
-// import.
-const headerVersion = 2
+// bounded recorders. Version 3 added the recovery-exchange events
+// (kinds "rollback", "response", "ingest-rejected") that back the
+// rollback-response pairing rule; files with older headers, or none,
+// still import.
+const headerVersion = 3
 
 var kindNames = map[EventKind]string{
 	EvSend:             "send",
@@ -50,6 +52,9 @@ var kindNames = map[EventKind]string{
 	EvRecover:          "recover",
 	EvRecoveryComplete: "recovery-complete",
 	EvRecoveryPhase:    "recovery-phase",
+	EvRollback:         "rollback",
+	EvResponse:         "response",
+	EvIngestRejected:   "ingest-rejected",
 }
 
 var kindValues = func() map[string]EventKind {

@@ -38,6 +38,17 @@ const (
 	// it (harness.Phase* constants) and Dur is its length in
 	// nanoseconds. Introduced with trace header version 2.
 	EvRecoveryPhase
+	// EvRollback is a recovering rank broadcasting its ROLLBACK; Count
+	// carries the number of RESPONSEs it expects (the peers live at
+	// broadcast time). Introduced with trace header version 3.
+	EvRollback
+	// EvResponse is a recovering rank absorbing a RESPONSE from Peer
+	// (counted or late). Introduced with trace header version 3.
+	EvResponse
+	// EvIngestRejected is a rank dropping a corrupt control payload;
+	// Phase carries the control kind ("rollback", "response",
+	// "ckpt-advance"). Introduced with trace header version 3.
+	EvIngestRejected
 )
 
 // Event is one recorded harness event. Fields are used as relevant for
@@ -49,10 +60,10 @@ type Event struct {
 	SendIndex    int64  // send / deliver
 	DeliverIndex int64  // deliver
 	Step         int    // checkpoint / recover
-	Count        int64  // checkpoint deliveredCount
+	Count        int64  // checkpoint deliveredCount; rollback expected RESPONSEs
 	Demand       int64  // deliver: protocol delivery demand, -1 if none
 	Resent       bool   // send
-	Phase        string // recovery-phase span name
+	Phase        string // recovery-phase span name; rejected control kind (ingest-rejected)
 	Dur          int64  // recovery-phase span length, nanoseconds
 	Seq          int    // global arrival order in the recorder
 }
@@ -146,6 +157,24 @@ func (r *Recorder) OnRecoveryPhase(rank int, phase string, d time.Duration) {
 // OnRecoveryComplete implements harness.Observer.
 func (r *Recorder) OnRecoveryComplete(rank int, d time.Duration) {
 	r.add(Event{Kind: EvRecoveryComplete, Rank: rank})
+}
+
+// OnRollback implements harness.Observer. expect is the number of
+// RESPONSEs the recoverer will wait for — the peers live at broadcast
+// time; the rollback-response pairing rule audits it offline.
+func (r *Recorder) OnRollback(rank, expect int) {
+	r.add(Event{Kind: EvRollback, Rank: rank, Count: int64(expect)})
+}
+
+// OnResponse implements harness.Observer.
+func (r *Recorder) OnResponse(rank, from int) {
+	r.add(Event{Kind: EvResponse, Rank: rank, Peer: from})
+}
+
+// OnIngestRejected implements harness.Observer. kind names the control
+// payload that failed to decode.
+func (r *Recorder) OnIngestRejected(rank int, kind string) {
+	r.add(Event{Kind: EvIngestRejected, Rank: rank, Phase: kind})
 }
 
 // Events returns a copy of the retained events in arrival order. On a

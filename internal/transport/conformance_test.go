@@ -423,3 +423,93 @@ func TestCloseUnblocksEverything(t *testing.T) {
 		}
 	})
 }
+
+// TestStallParksDelivery: both implementations satisfy the optional
+// Staller capability — while a rank is stalled, accepted messages stay
+// in flight and its inbox receives nothing; Unstall releases them in
+// FIFO order with no loss.
+func TestStallParksDelivery(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		st, ok := tr.(transport.Staller)
+		if !ok {
+			t.Fatalf("%s transport does not implement Staller", tr.Kind())
+		}
+		st.Stall(1)
+		for i := 0; i < 3; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		in := tr.Inbox(1)
+		got := make(chan *wire.Envelope, 3)
+		go func() {
+			for {
+				env, ok := in.Recv()
+				if !ok {
+					return
+				}
+				got <- env
+			}
+		}()
+		select {
+		case env := <-got:
+			t.Fatalf("stalled rank delivered message %d", env.SendIndex)
+		case <-time.After(50 * time.Millisecond):
+		}
+		if tr.InFlight() == 0 {
+			t.Fatal("stalled messages not counted as in flight")
+		}
+		st.Unstall(1)
+		for i := 0; i < 3; i++ {
+			select {
+			case env := <-got:
+				if env.SendIndex != int64(i) {
+					t.Fatalf("post-stall delivery out of order: got %d, want %d", env.SendIndex, i)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("message %d never delivered after Unstall", i)
+			}
+		}
+	})
+}
+
+// TestStallSurvivesKill: a kill during a stall loses only inboxed
+// state; stalled-parked messages reach the next incarnation after
+// Unstall, and the stall itself is independent of Revive.
+func TestStallSurvivesKill(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		st := tr.(transport.Staller)
+		st.Stall(1)
+		for i := 0; i < 3; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		time.Sleep(20 * time.Millisecond) // let the messages park at the stall
+		tr.Kill(1)
+		tr.Revive(1)
+		in := tr.Inbox(1)
+		got := make(chan *wire.Envelope, 3)
+		go func() {
+			for {
+				env, ok := in.Recv()
+				if !ok {
+					return
+				}
+				got <- env
+			}
+		}()
+		select {
+		case env := <-got:
+			t.Fatalf("still-stalled revived rank delivered message %d", env.SendIndex)
+		case <-time.After(50 * time.Millisecond):
+		}
+		st.Unstall(1)
+		for i := 0; i < 3; i++ {
+			select {
+			case env := <-got:
+				if env.SendIndex != int64(i) {
+					t.Fatalf("post-kill stalled delivery out of order: got %d, want %d", env.SendIndex, i)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("parked message %d never reached the new incarnation", i)
+			}
+		}
+	})
+}

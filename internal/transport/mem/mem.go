@@ -18,7 +18,10 @@ type Transport struct {
 	fab *fabric.Fabric
 }
 
-var _ transport.Transport = (*Transport)(nil)
+var (
+	_ transport.Transport = (*Transport)(nil)
+	_ transport.Staller   = (*Transport)(nil)
+)
 
 // New builds a mem transport over a fresh fabric configured by cfg.
 func New(cfg fabric.Config) *Transport {
@@ -49,6 +52,12 @@ func (t *Transport) Kill(rank int) { t.fab.Kill(rank) }
 
 // Revive implements transport.Transport.
 func (t *Transport) Revive(rank int) { t.fab.Revive(rank) }
+
+// Stall implements transport.Staller.
+func (t *Transport) Stall(rank int) { t.fab.Stall(rank) }
+
+// Unstall implements transport.Staller.
+func (t *Transport) Unstall(rank int) { t.fab.Unstall(rank) }
 
 // Alive implements transport.Transport.
 func (t *Transport) Alive(rank int) bool { return t.fab.Alive(rank) }

@@ -114,7 +114,10 @@ type Transport struct {
 	closed    chan struct{}
 }
 
-var _ transport.Transport = (*Transport)(nil)
+var (
+	_ transport.Transport = (*Transport)(nil)
+	_ transport.Staller   = (*Transport)(nil)
+)
 
 // New builds the transport: one loopback listener per rank, links
 // created eagerly but dialed lazily on first use.
@@ -233,6 +236,7 @@ func (t *Transport) Kill(rank int) {
 	r.box = newInbox()
 	conns := r.conns
 	r.conns = map[net.Conn]struct{}{}
+	r.stallCond.Broadcast() // stalled receive loops re-check box identity
 	r.mu.Unlock()
 	old.closeBox()
 	for conn := range conns {
@@ -259,6 +263,25 @@ func (t *Transport) Revive(rank int) {
 		l.cond.Broadcast()
 		l.mu.Unlock()
 	}
+}
+
+// Stall implements transport.Staller: inbound receive loops hold
+// frames unacked until Unstall, so parked messages survive kills via
+// sender-side retransmission exactly like dead-window traffic.
+func (t *Transport) Stall(rank int) {
+	r := t.ranks[rank]
+	r.mu.Lock()
+	r.stalled = true
+	r.mu.Unlock()
+}
+
+// Unstall implements transport.Staller.
+func (t *Transport) Unstall(rank int) {
+	r := t.ranks[rank]
+	r.mu.Lock()
+	r.stalled = false
+	r.stallCond.Broadcast()
+	r.mu.Unlock()
 }
 
 // Alive implements transport.Transport.
@@ -298,6 +321,7 @@ func (t *Transport) Close() {
 			conns := r.conns
 			r.conns = map[net.Conn]struct{}{}
 			box := r.box
+			r.stallCond.Broadcast()
 			r.mu.Unlock()
 			box.closeBox()
 			for conn := range conns {
@@ -368,7 +392,14 @@ func (t *Transport) serveConn(rank int, conn net.Conn) {
 			return
 		}
 		r.mu.Lock()
-		if r.box != box {
+		// A stalled rank parks the frame unacked: the receive loop holds
+		// it here, so InFlight counts it and Unstall releases it in
+		// stream order. Box identity is re-checked after every wake — a
+		// Kill during the stall closes this connection's incarnation.
+		for r.stalled && r.box == box && !t.isClosed() {
+			r.stallCond.Wait()
+		}
+		if r.box != box || t.isClosed() {
 			// The incarnation this connection fed was killed; the frame
 			// stays unacked and reaches the next incarnation via
 			// retransmission on a fresh connection.
@@ -699,14 +730,17 @@ func (l *link) recycleLocked() {
 
 // rankState is the destination-side view of one rank.
 type rankState struct {
-	alive atomic.Bool
-	mu    sync.Mutex
-	box   *inbox
-	conns map[net.Conn]struct{} // inbound conns feeding the current incarnation
+	alive     atomic.Bool
+	mu        sync.Mutex
+	stalled   bool       // delivery suspended (Stall), independent of alive
+	stallCond *sync.Cond // on mu; broadcast on Unstall / Kill / Close
+	box       *inbox
+	conns     map[net.Conn]struct{} // inbound conns feeding the current incarnation
 }
 
 func newRankState() *rankState {
 	r := &rankState{box: newInbox(), conns: map[net.Conn]struct{}{}}
+	r.stallCond = sync.NewCond(&r.mu)
 	r.alive.Store(true)
 	return r
 }
