@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint verify verify-tcp chaos fuzz vet clean
+.PHONY: all build test race lint alloc-gate verify verify-tcp chaos fuzz vet clean
 
 all: build vet lint test
 
@@ -19,10 +19,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Protocol-aware static analysis (cmd/windar-lint): directclock,
-# locksend, nilmetrics, piggyback. Exit 1 on any finding.
+# Protocol-aware static analysis (cmd/windar-lint): the full
+# eight-analyzer suite including hotpath, which checks //windar:hotpath
+# functions against the compiler's escape analysis. Exit 1 on any
+# finding.
 lint:
-	$(GO) run ./cmd/windar-lint ./...
+	$(GO) run ./cmd/windar-lint -hotpath ./...
+
+# Hot-path allocation gate: measure allocs/op on the annotated paths and
+# fail on any regression against the committed BENCH_alloc.json. Re-run
+# `go run ./cmd/windar-bench -fig alloc` to re-baseline after a
+# deliberate change.
+alloc-gate:
+	$(GO) run ./cmd/windar-bench -fig alloc -alloc-check
 
 # Randomized fault-injection soak with trace export/import and offline
 # invariant audit on every round.

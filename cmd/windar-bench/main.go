@@ -7,7 +7,12 @@
 //	windar-bench -fig pig        # only the delta-vs-full piggyback comparison
 //	windar-bench -fig obs        # per-protocol histogram quantiles -> BENCH_obs.json
 //	windar-bench -fig chaos      # fixed-seed fault-schedule soak -> BENCH_chaos.json
+//	windar-bench -fig alloc      # hot-path allocs/op -> BENCH_alloc.json
 //	windar-bench -fig all        # everything
+//
+// -fig alloc rewrites the committed baseline; with -alloc-check it
+// instead compares the measurements against the baseline and exits
+// non-zero on a regression (the CI allocation gate).
 //
 // The sweep dimensions (benchmarks, process counts, problem size) mirror
 // the paper's: LU/BT/SP at 4-32 processes. Expect the shapes, not the
@@ -42,6 +47,8 @@ func main() {
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs sweep: output path for the quantile report")
 		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "chaos soak: output path for the run report")
 		pigOut     = flag.String("pig-out", "BENCH_pig.json", "fig 6 / pig: output path for the delta-vs-full piggyback comparison")
+		allocOut   = flag.String("alloc-out", "BENCH_alloc.json", "alloc: baseline path (written, or compared with -alloc-check)")
+		allocCheck = flag.Bool("alloc-check", false, "alloc: compare measurements against the committed baseline instead of rewriting it")
 	)
 	flag.Parse()
 
@@ -60,12 +67,12 @@ func main() {
 
 	want := map[string]bool{}
 	if *fig == "all" {
-		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"] = true, true, true, true, true, true, true
+		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"], want["alloc"] = true, true, true, true, true, true, true, true
 	} else {
 		want[*fig] = true
 	}
-	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] {
-		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos or all)", *fig)
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] && !want["alloc"] {
+		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos, alloc or all)", *fig)
 	}
 
 	if want["6"] || want["7"] {
@@ -120,6 +127,75 @@ func main() {
 			fatal("chaos soak: %v", err)
 		}
 	}
+	if want["alloc"] {
+		if err := runAllocGate(*allocCheck, *allocOut); err != nil {
+			fatal("alloc gate: %v", err)
+		}
+	}
+}
+
+// allocReport is the BENCH_alloc.json payload: steady-state heap
+// allocations per operation for each //windar:hotpath probe.
+type allocReport struct {
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+// allocTolerance absorbs AllocsPerRun jitter (a stray background
+// allocation landing inside the measured window) while still failing on
+// any real per-op regression, which costs at least 1.0.
+const allocTolerance = 0.5
+
+// runAllocGate measures the hot-path allocation probes. Without check it
+// writes the baseline to path; with check it loads the committed
+// baseline from path and fails on any probe measuring above baseline
+// plus allocTolerance, or on a probe-set mismatch (a renamed or removed
+// probe must be re-baselined deliberately).
+func runAllocGate(check bool, path string) error {
+	rep := allocReport{AllocsPerOp: map[string]float64{}}
+	for _, p := range harness.AllocProbes() {
+		rep.AllocsPerOp[p.Name] = p.F()
+		fmt.Printf("alloc %-20s %.2f allocs/op\n", p.Name, rep.AllocsPerOp[p.Name])
+	}
+	if !check {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("alloc baseline written: %s (%d probes)\n", path, len(rep.AllocsPerOp))
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base allocReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var failures []string
+	for name, got := range rep.AllocsPerOp {
+		want, ok := base.AllocsPerOp[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("probe %s missing from baseline %s (re-run windar-bench -fig alloc to re-baseline)", name, path))
+			continue
+		}
+		if got > want+allocTolerance {
+			failures = append(failures, fmt.Sprintf("probe %s regressed: %.2f allocs/op, baseline %.2f", name, got, want))
+		}
+	}
+	for name := range base.AllocsPerOp {
+		if _, ok := rep.AllocsPerOp[name]; !ok {
+			failures = append(failures, fmt.Sprintf("baseline probe %s no longer measured (re-run windar-bench -fig alloc to re-baseline)", name))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("alloc gate passed: %d probes within %.1f of baseline %s\n", len(rep.AllocsPerOp), allocTolerance, path)
+	return nil
 }
 
 // chaosReport is the BENCH_chaos.json payload: the fixed-seed soak

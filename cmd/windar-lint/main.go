@@ -2,16 +2,30 @@
 // analysis suite (internal/lint) over package patterns:
 //
 //	go run ./cmd/windar-lint ./...
+//	go run ./cmd/windar-lint -hotpath -json ./...
 //
 // Analyzers: directclock (no wall-clock access outside internal/clock),
+// errdrop (wire decode errors must be consumed), goleak (goroutines
+// need a stop path), lockorder (no cyclic mutex-acquisition order),
 // locksend (no blocking operations under a sync.Mutex), nilmetrics
 // (*metrics.Rank parameters must be nil-checked), piggyback (KindApp
-// envelopes must carry the protocol piggyback). Exit status 1 when any
-// diagnostic is reported, 2 on loading errors. Suppress a single line
-// with `//windar:allow <analyzer>` plus a reason.
+// envelopes must carry the protocol piggyback), and hotpath
+// (//windar:hotpath functions must not allocate). hotpath invokes the
+// compiler's escape analysis (go build -gcflags=-m) and is skipped by
+// default; enable it with -hotpath or name it in -only.
+//
+// -json replaces the plain file:line:col lines with a JSON array of
+// diagnostics ({"analyzer","message","file","line","col"}) on stdout
+// for tooling.
+//
+// Exit status 1 when any diagnostic is reported, 2 on loading errors.
+// Suppress a single line with `//windar:allow <analyzer>` plus a
+// reason; see the internal/lint package documentation for the
+// directive grammar.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +36,10 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default all; hotpath still needs -hotpath unless named here)")
+		hotpath = flag.Bool("hotpath", false, "include the hotpath analyzer (runs the compiler's escape analysis)")
+		asJSON  = flag.Bool("json", false, "emit diagnostics as a JSON array instead of plain lines")
 	)
 	flag.Parse()
 
@@ -34,18 +50,24 @@ func main() {
 		return
 	}
 
-	analyzers := lint.Analyzers()
+	var analyzers []*lint.Analyzer
 	if *only != "" {
 		byName := map[string]*lint.Analyzer{}
-		for _, a := range analyzers {
+		for _, a := range lint.Analyzers() {
 			byName[a.Name] = a
 		}
-		analyzers = analyzers[:0]
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[name]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "windar-lint: unknown analyzer %q\n", name)
 				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	} else {
+		for _, a := range lint.Analyzers() {
+			if a.NeedsEscape && !*hotpath {
+				continue
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -55,19 +77,27 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(patterns...)
+	diags, err := lint.RunAnalyzers(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "windar-lint: %v\n", err)
 		os.Exit(2)
 	}
-	bad := false
-	for _, pkg := range pkgs {
-		for _, d := range lint.RunPackage(pkg, analyzers) {
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "windar-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(d)
-			bad = true
 		}
 	}
-	if bad {
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -158,22 +158,37 @@ func (t *TDI) DependInterval() vclock.Vec { return t.dependInterval.Clone() }
 // PiggybackForSend implements proto.Protocol: the piggyback is the
 // current depend_interval vector (Algorithm 1 line 11) — delta-encoded
 // against the last vector sent to dest when that is smaller and the
-// refresh cadence permits, the full n-element vector otherwise.
+// refresh cadence permits, the full n-element vector otherwise. The
+// result is retained by the sender log, so it is a fresh allocation;
+// callers that own a reusable buffer (the allocation probes, a future
+// log-owned arena) use AppendPiggybackForSend directly.
 func (t *TDI) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
+	return t.AppendPiggybackForSend(make([]byte, 0, wire.VecSize(t.dependInterval)), dest)
+}
+
+// AppendPiggybackForSend appends the piggyback for the next message to
+// dest onto buf and returns the extended slice plus the piggybacked
+// integer count (the Fig. 5 unit). It is the allocation-free core of
+// PiggybackForSend: with a buffer of steady-state capacity the whole
+// encode — size probing, delta selection, per-destination cache update —
+// performs zero heap allocations.
+//
+//windar:hotpath
+func (t *TDI) AppendPiggybackForSend(buf []byte, dest int) ([]byte, int) {
 	start := t.clk.Now()
-	var pig []byte
+	mark := len(buf)
 	ids := t.n
 	delta := false
 	if !t.pinFull && t.refreshEvery > 1 &&
 		t.sent[dest] != nil && t.sinceFull[dest] < t.refreshEvery-1 {
 		if ds := wire.VecDeltaSize(t.sent[dest], t.dependInterval); ds < wire.VecSize(t.dependInterval) {
-			pig = wire.AppendVecDelta(make([]byte, 0, ds), t.sent[dest], t.dependInterval)
+			buf = wire.AppendVecDelta(buf, t.sent[dest], t.dependInterval)
 			ids = 2*wire.VecChanged(t.sent[dest], t.dependInterval) + 1
 			delta = true
 		}
 	}
-	if pig == nil {
-		pig = wire.AppendVec(make([]byte, 0, 4*t.n), t.dependInterval)
+	if !delta {
+		buf = wire.AppendVec(buf, t.dependInterval)
 	}
 	if delta {
 		t.sinceFull[dest]++
@@ -187,33 +202,38 @@ func (t *TDI) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
 	}
 	t.m.SendTracking(t.clk.Now().Sub(start))
 	if delta {
-		t.m.PigDelta(len(pig))
+		t.m.PigDelta(len(buf) - mark)
 	} else {
 		t.m.PigFull()
 	}
-	return pig, ids
+	return buf, ids
 }
 
 // decodePig reconstructs env's full depend_interval vector: a v1 full
 // vector directly, a v2 delta applied to the per-source base committed
 // at the previous delivery on that channel. The result is memoized per
 // (source, send index) so the repeated Deliverable probes on a held
-// FIFO head decode once.
+// FIFO head decode once; the memo vector doubles as the decode scratch,
+// so the steady-state decode reuses its storage and allocates nothing.
+// Callers never retain the returned vector past their own call (the
+// merge copies it), which is what makes the reuse safe.
+//
+//windar:hotpath
 func (t *TDI) decodePig(env *wire.Envelope) (vclock.Vec, error) {
 	src := env.From
 	if src < 0 || src >= t.n {
-		return nil, fmt.Errorf("core: rank %d: piggyback from out-of-range rank %d", t.rank, src)
+		return nil, t.errPigSource(src)
 	}
 	if t.memoIdx[src] == env.SendIndex && (t.memoVec[src] != nil || t.memoErr[src] != nil) {
 		return t.memoVec[src], t.memoErr[src]
 	}
-	v, _, _, err := wire.ReadVecAny(env.Piggyback, t.recv[src])
+	v, _, _, err := wire.ReadVecAnyInto(t.memoVec[src], env.Piggyback, t.recv[src])
 	if err != nil {
 		v = nil
-		err = fmt.Errorf("core: rank %d: bad TDI piggyback from %d: %w", t.rank, src, err)
+		err = t.errPigDecode(src, err)
 	} else if len(v) != t.n {
+		err = t.errPigLength(src, len(v))
 		v = nil
-		err = fmt.Errorf("core: rank %d: piggyback length %d from %d, want %d", t.rank, len(v), src, t.n)
 	}
 	t.memoIdx[src] = env.SendIndex
 	t.memoVec[src] = v
@@ -221,10 +241,32 @@ func (t *TDI) decodePig(env *wire.Envelope) (vclock.Vec, error) {
 	return v, err
 }
 
+// The cold-path error constructors live outside the annotated spans:
+// fmt's boxing allocates, and these only run on hostile or broken input.
+// noinline keeps that boxing attributed here rather than inline-expanded
+// into the hot callers' escape-analysis spans.
+
+//go:noinline
+func (t *TDI) errPigSource(src int) error {
+	return fmt.Errorf("core: rank %d: piggyback from out-of-range rank %d", t.rank, src)
+}
+
+//go:noinline
+func (t *TDI) errPigDecode(src int, err error) error {
+	return fmt.Errorf("core: rank %d: bad TDI piggyback from %d: %w", t.rank, src, err)
+}
+
+//go:noinline
+func (t *TDI) errPigLength(src, got int) error {
+	return fmt.Errorf("core: rank %d: piggyback length %d from %d, want %d", t.rank, got, src, t.n)
+}
+
 // Deliverable implements proto.Protocol: line 17 of Algorithm 1. The
 // message may be delivered once this rank's own interval index has reached
 // the piggybacked requirement. A malformed piggyback is reported as an
 // error (treated as Hold by the harness), never a panic.
+//
+//windar:hotpath
 func (t *TDI) Deliverable(env *wire.Envelope, deliveredCount int64) (proto.Verdict, error) {
 	pig, err := t.decodePig(env)
 	if err != nil {
@@ -240,6 +282,8 @@ func (t *TDI) Deliverable(env *wire.Envelope, deliveredCount int64) (proto.Verdi
 // is advanced by exactly one (this delivery); the rest is merged from the
 // piggyback. The reconstructed vector also becomes the delta base for the
 // next message on this channel.
+//
+//windar:hotpath
 func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	start := t.clk.Now()
 	pig, err := t.decodePig(env)
@@ -248,8 +292,7 @@ func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	}
 	t.dependInterval[t.rank]++
 	if t.dependInterval[t.rank] != deliverIndex {
-		return fmt.Errorf("core: rank %d: interval index %d diverged from deliver index %d",
-			t.rank, t.dependInterval[t.rank], deliverIndex)
+		return t.errIndexDiverged(deliverIndex)
 	}
 	t.dependInterval.MergeExcept(pig, t.rank)
 	src := env.From
@@ -262,12 +305,23 @@ func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	return nil
 }
 
+// errIndexDiverged is OnDeliver's cold-path error constructor, kept out
+// of the annotated span (fmt boxing allocates).
+//
+//go:noinline
+func (t *TDI) errIndexDiverged(deliverIndex int64) error {
+	return fmt.Errorf("core: rank %d: interval index %d diverged from deliver index %d",
+		t.rank, t.dependInterval[t.rank], deliverIndex)
+}
+
 // DeliveryDemand implements proto.Demander: the piggybacked
 // depend_interval element for this rank is exactly the delivery count
 // Algorithm 1 line 17 requires before env may be delivered. It feeds the
 // trace recorder so the offline invariant checker can re-verify the
 // comparison on every recorded delivery. Deltas carry absolute values,
 // so re-decoding against the post-delivery base is exact.
+//
+//windar:hotpath
 func (t *TDI) DeliveryDemand(env *wire.Envelope) (int64, bool) {
 	pig, err := t.decodePig(env)
 	if err != nil || t.rank >= len(pig) {

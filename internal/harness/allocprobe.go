@@ -1,0 +1,190 @@
+// Allocation probes for the zero-alloc hot paths. Each probe drives one
+// //windar:hotpath-annotated path in a steady state and measures its
+// allocations per operation with testing.AllocsPerRun; windar-bench
+// -fig alloc turns the results into BENCH_alloc.json and CI gates on
+// them. The probes live in this package because the delivery-scan probe
+// needs an (un-started) rank runtime; the codec and protocol probes ride
+// along so the whole budget is measured in one place.
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"windar/internal/app"
+	"windar/internal/core"
+	"windar/internal/obs"
+	"windar/internal/wire"
+)
+
+// AllocProbe measures one hot path's steady-state heap allocations.
+type AllocProbe struct {
+	// Name keys the path in BENCH_alloc.json.
+	Name string
+	// F returns allocations per operation (testing.AllocsPerRun).
+	F func() float64
+}
+
+// allocProbeRuns amortizes one-time warm-up allocations (decode scratch,
+// delta bases) far below the gate's 0.5 tolerance.
+const allocProbeRuns = 200
+
+// AllocProbes returns the hot-path probe set in a stable order.
+func AllocProbes() []AllocProbe {
+	return []AllocProbe{
+		{Name: "delivery_scan", F: probeDeliveryScan},
+		{Name: "pig_encode_delta", F: probePigEncodeDelta},
+		{Name: "pig_encode_full", F: probePigEncodeFull},
+		{Name: "pig_decode", F: probePigDecode},
+		{Name: "hist_record", F: probeHistRecord},
+		{Name: "frame_append", F: probeFrameAppend},
+		{Name: "frame_read", F: probeFrameRead},
+	}
+}
+
+// probeApp is the trivial application the delivery probe's cluster is
+// built around; its loops never run because the cluster is not started.
+type probeApp struct{}
+
+func (probeApp) Steps() int           { return 1 }
+func (probeApp) Step(app.Env, int)    {}
+func (probeApp) Snapshot() []byte     { return nil }
+func (probeApp) Restore([]byte) error { return nil }
+
+// probeDeliveryScan measures one full delivery: the FIFO-head scan
+// (findDeliverableLocked, including the TDI Deliverable probe and
+// piggyback decode) plus deliverLocked's counter, protocol and observer
+// updates. The cluster is never started, so the runtime's queues are
+// driven directly under its lock, exactly as the receiver loop would.
+func probeDeliveryScan() float64 {
+	c, err := NewCluster(Config{N: 2}, func(rank, n int) app.App { return probeApp{} })
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	r, err := c.newRuntime(0, 0)
+	if err != nil {
+		panic(err)
+	}
+	// A zero-state peer sender: every piggyback demands 0 deliveries, so
+	// each queued message is immediately deliverable in FIFO order.
+	sender := core.New(1, 2, nil, nil)
+	for i := int64(1); i <= allocProbeRuns+4; i++ {
+		pig, _ := sender.PiggybackForSend(0, i)
+		r.recvQ[1] = append(r.recvQ[1], &wire.Envelope{
+			Kind: wire.KindApp, From: 1, To: 0, SendIndex: i, Piggyback: pig,
+		})
+	}
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		r.mu.Lock()
+		env := r.findDeliverableLocked(app.AnySource, app.AnyTag)
+		if env == nil {
+			r.mu.Unlock()
+			panic("allocprobe: queued message not deliverable")
+		}
+		r.deliverLocked(env)
+		r.mu.Unlock()
+	})
+}
+
+// probePigEncodeDelta measures AppendPiggybackForSend on the delta path
+// (default refresh cadence, reused buffer).
+func probePigEncodeDelta() float64 {
+	t := core.New(0, 32, nil, nil)
+	buf := make([]byte, 0, 256)
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		buf, _ = t.AppendPiggybackForSend(buf[:0], 1)
+	})
+}
+
+// probePigEncodeFull measures the full-vector encode (refresh cadence 1
+// disables deltas — the Fig. 6 baseline).
+func probePigEncodeFull() float64 {
+	t := core.New(0, 32, nil, nil)
+	t.SetRefreshEvery(1)
+	buf := make([]byte, 0, 256)
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		buf, _ = t.AppendPiggybackForSend(buf[:0], 1)
+	})
+}
+
+// probePigDecode measures the receive-side piggyback decode (Deliverable
+// on a fresh send index: a memo miss decoding a delta into the reused
+// scratch vector).
+func probePigDecode() float64 {
+	recv := core.New(0, 32, nil, nil)
+	sender := core.New(1, 32, nil, nil)
+	full, _ := sender.PiggybackForSend(0, 1)
+	if err := recv.OnDeliver(&wire.Envelope{
+		Kind: wire.KindApp, From: 1, To: 0, SendIndex: 1, Piggyback: full,
+	}, 1); err != nil {
+		panic(err)
+	}
+	delta, _ := sender.PiggybackForSend(0, 2)
+	env := &wire.Envelope{Kind: wire.KindApp, From: 1, To: 0, Piggyback: delta}
+	idx := int64(2)
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		env.SendIndex = idx
+		idx++
+		if _, err := recv.Deliverable(env, 1); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// probeHistRecord measures one histogram observation.
+func probeHistRecord() float64 {
+	var h obs.Hist
+	v := int64(0)
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		h.Record(v)
+		v += 997
+	})
+}
+
+// probeFrameAppend measures framing one envelope into a reused buffer.
+func probeFrameAppend() float64 {
+	env := &wire.Envelope{
+		Kind: wire.KindApp, From: 1, To: 0, SendIndex: 7,
+		Piggyback: []byte{0x00, 0x00}, Payload: []byte("payload-bytes"),
+	}
+	buf := make([]byte, 0, 256)
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		buf = wire.AppendFrame(buf[:0], env)
+	})
+}
+
+// loopReader replays one byte sequence forever, so the frame-read probe
+// never hits EOF.
+type loopReader struct {
+	b   []byte
+	off int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.b) {
+		l.off = 0
+	}
+	n := copy(p, l.b[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// probeFrameRead measures FrameReader.Read. Its budget is not zero: the
+// decoded envelope and its piggyback/payload copies are fresh
+// allocations by contract (the inbox retains them past the next Read) —
+// the probe exists to pin that budget, not to drive it to zero.
+func probeFrameRead() float64 {
+	frame := wire.AppendFrame(nil, &wire.Envelope{
+		Kind: wire.KindApp, From: 1, To: 0, SendIndex: 7,
+		Piggyback: []byte{0x00, 0x00}, Payload: []byte("payload-bytes"),
+	})
+	fr := wire.NewFrameReader(&loopReader{b: frame})
+	return testing.AllocsPerRun(allocProbeRuns, func() {
+		if _, err := fr.Read(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+var _ io.Reader = (*loopReader)(nil)

@@ -487,12 +487,16 @@ func (c *Cluster) Close() {
 	c.tr.Close()
 }
 
+// nopObs is the prebuilt no-op observer interface value, so observer()
+// on the delivery hot path never constructs an interface.
+var nopObs Observer = nopObserver{}
+
 // observer returns the configured observer or a no-op.
 func (c *Cluster) observer() Observer {
 	if c.cfg.Observer != nil {
 		return c.cfg.Observer
 	}
-	return nopObserver{}
+	return nopObs
 }
 
 // emitPhase records one completed recovery-phase span into its obs

@@ -334,7 +334,10 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 }
 
 // findDeliverableLocked returns the first deliverable queued message
-// matching (source, tag), or nil.
+// matching (source, tag), or nil. It is the delivery scan the blocked
+// receiver re-runs on every wakeup, so it must not heap-allocate.
+//
+//windar:hotpath
 func (r *rankRuntime) findDeliverableLocked(source int, tag int32) *wire.Envelope {
 	scan := func(src int) *wire.Envelope {
 		q := r.recvQ[src]
@@ -360,7 +363,7 @@ func (r *rankRuntime) findDeliverableLocked(source int, tag int32) *wire.Envelop
 	}
 	if source != app.AnySource {
 		if source < 0 || source >= r.n {
-			panic(fmt.Sprintf("harness: rank %d Recv from invalid source %d", r.id, source))
+			r.panicInvalidSource(source)
 		}
 		return scan(source)
 	}
@@ -385,15 +388,34 @@ func (r *rankRuntime) noteIngestErrLocked(src int, sendIndex int64, err error) {
 	r.c.observer().OnIngestRejected(r.id, "piggyback")
 }
 
+// panicInvalidSource and panicDeliveryRejected format their messages
+// outside the annotated spans below: fmt boxing allocates, and both are
+// fatal programming-error paths. noinline keeps the boxing attributed
+// here under escape analysis.
+//
+//go:noinline
+func (r *rankRuntime) panicInvalidSource(source int) {
+	panic(fmt.Sprintf("harness: rank %d Recv from invalid source %d", r.id, source))
+}
+
+//go:noinline
+func (r *rankRuntime) panicDeliveryRejected(err error) {
+	panic(fmt.Sprintf("harness: rank %d: protocol rejected delivery: %v", r.id, err))
+}
+
 // deliverLocked removes env from queue B and delivers it to the
-// application, updating counters and protocol state (lines 20-26).
+// application, updating counters and protocol state (lines 20-26). Like
+// the scan above it runs once per delivered message under the rank lock
+// and must not heap-allocate on the failure-free path.
+//
+//windar:hotpath
 func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 	src := env.From
 	r.recvQ[src] = r.recvQ[src][1:]
 	r.lastDeliverIndex[src]++
 	r.deliveredCount++
 	if err := r.prot.OnDeliver(env, r.deliveredCount); err != nil {
-		panic(fmt.Sprintf("harness: rank %d: protocol rejected delivery: %v", r.id, err))
+		r.panicDeliveryRejected(err)
 	}
 	m := r.c.coll.Rank(r.id)
 	m.MsgDelivered()

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// modulePattern is the -gcflags target pattern covering every package of
+// this module; the hotpath analyzer applies -m to it when Run drives the
+// compiler over the repository itself.
+const modulePattern = "windar/..."
+
+// EscapeDiag is one compiler escape-analysis finding: a value at Pos
+// that the compiler moved to or allocated on the heap.
+type EscapeDiag struct {
+	Pos     token.Position
+	Message string
+}
+
+// EscapeDiagnostics compiles the given packages with escape-analysis
+// diagnostics enabled (go build -gcflags=<gcflagsTarget>=-m, run in dir)
+// and returns every heap allocation the compiler reports: "escapes to
+// heap" and "moved to heap" lines. Inlining notes, "does not escape"
+// proofs and "leaking param" flow facts are filtered out — they describe
+// no allocation in the reported function. File positions are returned
+// absolute.
+//
+// The go build cache replays compiler diagnostics on cached rebuilds, so
+// repeated invocations are cheap and need no cache busting.
+func EscapeDiagnostics(dir, gcflagsTarget string, packages ...string) ([]EscapeDiag, error) {
+	args := append([]string{"build", "-gcflags=" + gcflagsTarget + "=-m"}, packages...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []EscapeDiag
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		d, ok := parseEscapeLine(absDir, line)
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// parseEscapeLine parses one `file.go:line:col: message` compiler line,
+// keeping only heap-allocation diagnostics.
+func parseEscapeLine(absDir, line string) (EscapeDiag, bool) {
+	line = strings.TrimSpace(line)
+	// Package group headers ("# windar/internal/wire") and indented
+	// explanation lines carry no position.
+	if line == "" || strings.HasPrefix(line, "#") {
+		return EscapeDiag{}, false
+	}
+	if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+		return EscapeDiag{}, false
+	}
+	// file:line:col: message — the file part may itself contain colons on
+	// other platforms, but not here; split the three leading fields.
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return EscapeDiag{}, false
+	}
+	ln, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return EscapeDiag{}, false
+	}
+	file := parts[0]
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(absDir, file)
+	}
+	return EscapeDiag{
+		Pos:     token.Position{Filename: file, Line: ln, Column: col},
+		Message: strings.TrimSpace(parts[3]),
+	}, true
+}
+
+// AttachEscapes distributes escape diagnostics onto the packages whose
+// directories contain them, filling Package.Escapes for the hotpath
+// analyzer.
+func AttachEscapes(pkgs []*Package, escs []EscapeDiag) {
+	byDir := map[string]*Package{}
+	for _, pkg := range pkgs {
+		if abs, err := filepath.Abs(pkg.Dir); err == nil {
+			byDir[abs] = pkg
+		}
+	}
+	for _, e := range escs {
+		if pkg := byDir[filepath.Dir(e.Pos.Filename)]; pkg != nil {
+			pkg.Escapes = append(pkg.Escapes, e)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markerLines returns the 1-based line numbers of file containing marker.
+func markerLines(t *testing.T, file, marker string) []int {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			out = append(out, i+1)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no %q markers in %s", marker, file)
+	}
+	return out
+}
+
+// TestEscapeDiagnostics drives the real compiler over the self-contained
+// escapemod fixture module and asserts the driver surfaces exactly the
+// boxing allocation in Box, positioned absolutely at the marked line.
+func TestEscapeDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the compiler")
+	}
+	dir := filepath.Join("testdata", "escapemod")
+	escs, err := EscapeDiagnostics(dir, "escapemod", "escapemod")
+	if err != nil {
+		t.Fatalf("EscapeDiagnostics: %v", err)
+	}
+	src := filepath.Join(dir, "escapemod.go")
+	want := markerLines(t, src, "ESCAPE-HERE")[0]
+	absSrc, err := filepath.Abs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, e := range escs {
+		if e.Pos.Filename == absSrc && e.Pos.Line == want && strings.Contains(e.Message, "escapes to heap") {
+			hit = true
+			continue
+		}
+		t.Errorf("unexpected escape diagnostic: %s:%d: %s", e.Pos.Filename, e.Pos.Line, e.Message)
+	}
+	if !hit {
+		t.Errorf("no escape diagnostic at %s:%d (Box's boxing return)", src, want)
+	}
+}
+
+// TestAttachEscapes checks that diagnostics land on the package whose
+// directory contains them and foreign ones are discarded.
+func TestAttachEscapes(t *testing.T) {
+	pkgDir := filepath.Join("testdata", "escapemod")
+	absFile, err := filepath.Abs(filepath.Join(pkgDir, "escapemod.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Dir: pkgDir}
+	foreign := EscapeDiag{Pos: token.Position{Filename: "/elsewhere/file.go", Line: 3}, Message: "x escapes to heap"}
+	local := EscapeDiag{Pos: token.Position{Filename: absFile, Line: 9}, Message: "v escapes to heap"}
+	AttachEscapes([]*Package{pkg}, []EscapeDiag{foreign, local})
+	if len(pkg.Escapes) != 1 || pkg.Escapes[0].Message != "v escapes to heap" {
+		t.Errorf("AttachEscapes kept %+v, want only the in-package diagnostic", pkg.Escapes)
+	}
+}

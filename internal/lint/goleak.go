@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak reports goroutines spawned in the harness and transport layers
+// without a detectable stop path. Every long-lived goroutine in those
+// packages must be stoppable — the chaos soaks kill and revive ranks
+// hundreds of times per run, and an unstoppable receiver or sender loop
+// accumulates until the process dies. Accepted stop evidence, searched
+// through same-package callees a few levels deep:
+//
+//   - a receive from a struct{}-typed channel (done/closed/killed
+//     channels, context.Done());
+//   - a sync.WaitGroup.Done call;
+//   - a return/break guarded by a checked bool or error result
+//     (`env, ok := in.Recv(); if !ok { return }`, checked Accept/Read
+//     errors).
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flag goroutines spawned in harness/transport without a registered stop path",
+	Run:  runGoLeak,
+}
+
+// goleakScope lists the import path prefixes the analyzer patrols.
+var goleakScope = []string{
+	"windar/internal/harness",
+	"windar/internal/transport",
+	fixturePathPrefix + "goleak",
+}
+
+// stopSearchDepth bounds the transitive callee search for stop evidence.
+const stopSearchDepth = 4
+
+func runGoLeak(pass *Pass) {
+	inScope := false
+	for _, prefix := range goleakScope {
+		if strings.HasPrefix(pass.Pkg.Path, prefix) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return
+	}
+	idx := declIndex(pass.Pkg)
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(pass, idx, g.Call)
+			if body == nil {
+				// Unresolvable target (interface method, other package):
+				// nothing to inspect, nothing to report.
+				return true
+			}
+			if !hasStopPath(pass, idx, body, map[*ast.BlockStmt]bool{}, stopSearchDepth) {
+				pass.Reportf(g.Pos(), "goroutine has no detectable stop path (done-channel receive, WaitGroup.Done, or checked-return); wire one or annotate //windar:allow goleak")
+			}
+			return true
+		})
+	}
+}
+
+// declIndex maps each function object declared in pkg to its body.
+func declIndex(pkg *Package) map[types.Object]*ast.BlockStmt {
+	idx := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.TypesInfo.Defs[fd.Name]; obj != nil {
+					idx[obj] = fd.Body
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// spawnedBody resolves the body of the function a go statement launches:
+// a literal directly, a same-package function or method through its
+// declaration.
+func spawnedBody(pass *Pass, idx map[types.Object]*ast.BlockStmt, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := pass.Pkg.TypesInfo.Uses[fun]; obj != nil {
+			return idx[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Pkg.TypesInfo.Uses[fun.Sel]; obj != nil {
+			return idx[obj]
+		}
+	}
+	return nil
+}
+
+// hasStopPath reports whether body (or a same-package callee within
+// depth) contains stop evidence.
+func hasStopPath(pass *Pass, idx map[types.Object]*ast.BlockStmt, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) bool {
+	if seen[body] {
+		return false
+	}
+	seen[body] = true
+	info := pass.Pkg.TypesInfo
+
+	// Bool/error variables bound from multi-value assignments; a
+	// return/break conditioned on one of them is stop evidence.
+	checked := map[types.Object]bool{}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isDoneChan(info, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "sync" && typeName(signatureRecv(fn)) == "WaitGroup" && fn.Name() == "Done" {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			recordChecked(info, checked, n)
+		case *ast.IfStmt:
+			// The init clause binds before the condition evaluates
+			// (`if _, err := conn.Read(b); err != nil`), but ast.Inspect
+			// visits the IfStmt node before its children — record the
+			// binding here or the condition check misses it.
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				recordChecked(info, checked, init)
+			}
+			if !condUsesChecked(info, n.Cond, checked) {
+				return true
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.ReturnStmt, *ast.BranchStmt:
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	if depth == 0 {
+		return false
+	}
+	// Recurse into same-package callees.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj = info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = info.Uses[fun.Sel]
+		}
+		if callee := idx[obj]; callee != nil && hasStopPath(pass, idx, callee, seen, depth-1) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// recordChecked adds the bool/error variable a multi-value assignment
+// binds (its last left-hand operand) to the checked set.
+func recordChecked(info *types.Info, checked map[types.Object]bool, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 || len(n.Lhs) < 2 {
+		return
+	}
+	if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+		if obj := info.Defs[id]; obj != nil && isBoolOrError(obj.Type()) {
+			checked[obj] = true
+		}
+	}
+}
+
+// isDoneChan reports whether expr is a channel of empty structs — the
+// shape of every done/closed/killed channel and of context.Done().
+func isDoneChan(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isBoolOrError reports whether t is bool or error.
+func isBoolOrError(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	return false
+}
+
+// condUsesChecked reports whether cond mentions one of the checked
+// bool/error variables.
+func condUsesChecked(info *types.Info, cond ast.Expr, checked map[types.Object]bool) bool {
+	uses := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && checked[info.Uses[id]] {
+			uses = true
+		}
+		return !uses
+	})
+	return uses
+}
+
+// signatureRecv returns fn's receiver type, or nil.
+func signatureRecv(fn *types.Func) types.Type {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	return recv.Type()
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "go/ast"
+
+// HotPath reports heap allocations the compiler's escape analysis found
+// inside functions annotated //windar:hotpath — the delivery scan,
+// piggyback encode/decode, histogram record and frame reader paths whose
+// zero-allocation property the ROADMAP's throughput milestone rests on.
+// The diagnostics come from the compiler itself (go build -gcflags=-m,
+// see EscapeDiagnostics), so the check tracks the real optimizer, not a
+// source-level approximation. A justified steady-state allocation (an
+// amortized buffer growth, a result the caller retains by contract) is
+// suppressed on its line with //windar:allow hotpath and a reason.
+var HotPath = &Analyzer{
+	Name:        "hotpath",
+	Doc:         "forbid compiler-reported heap escapes inside //windar:hotpath annotated functions",
+	Run:         runHotPath,
+	NeedsEscape: true,
+}
+
+func runHotPath(pass *Pass) {
+	funcs := hotpathFuncs(pass.Pkg)
+	if len(funcs) == 0 || len(pass.Pkg.Escapes) == 0 {
+		return
+	}
+	type span struct {
+		file       string
+		start, end int
+		name       string
+	}
+	spans := make([]span, 0, len(funcs))
+	for _, fd := range funcs {
+		start := pass.Pkg.Fset.Position(fd.Pos())
+		end := pass.Pkg.Fset.Position(fd.End())
+		spans = append(spans, span{file: start.Filename, start: start.Line, end: end.Line, name: funcName(fd)})
+	}
+	for _, esc := range pass.Pkg.Escapes {
+		for _, s := range spans {
+			if esc.Pos.Filename == s.file && esc.Pos.Line >= s.start && esc.Pos.Line <= s.end {
+				pass.ReportPosition(esc.Pos, "heap allocation on hot path %s: %s", s.name, esc.Message)
+				break
+			}
+		}
+	}
+}
+
+// funcName renders a function declaration's name with its receiver type.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

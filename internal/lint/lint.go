@@ -7,6 +7,14 @@
 //
 //   - directclock: all time must flow through the injectable clock.Clock
 //     so fault-injection timing stays reproducible;
+//   - errdrop: every error returned by a wire decode primitive must be
+//     consumed — the ingest path treats undecodable bytes as hostile;
+//   - goleak: goroutines spawned in the harness and transports must have
+//     a detectable stop path (done channel, WaitGroup, checked return);
+//   - hotpath: functions annotated //windar:hotpath must not heap-allocate,
+//     checked against the compiler's own escape analysis (-gcflags=-m);
+//   - lockorder: mutex acquisition order must be acyclic across the
+//     harness/fabric/transport/obs lock graph;
 //   - locksend: no blocking channel/fabric operation while a sync.Mutex
 //     is held (the classic harness/fabric deadlock shape);
 //   - nilmetrics: *metrics.Rank parameters are documented nilable and
@@ -15,10 +23,26 @@
 //     piggyback; constructing one without it breaks delivery control.
 //
 // Run all analyzers over package patterns with Run, or over a single
-// loaded package with RunPackage. The escape hatch for a genuine
-// wall-clock measurement or a provably safe send is a line comment:
+// loaded package with RunPackage.
 //
-//	//windar:allow directclock — measuring real elapsed time
+// # Comment directives
+//
+// The suite understands two line directives, written with no space after
+// "//" (the Go pragma convention):
+//
+//	//windar:allow name[,name...] [— reason]
+//	//windar:hotpath
+//
+// An allow directive suppresses the named analyzers' diagnostics on its
+// own line; the trailing free-form reason is for the human reader and is
+// expected on every use. A hotpath directive on a function declaration's
+// doc comment marks the function as part of the zero-allocation hot path,
+// enrolling it in the hotpath analyzer's escape check:
+//
+//	t := clk.Now() //windar:allow directclock — measuring real elapsed time
+//
+//	//windar:hotpath
+//	func (h *Hist) Record(v int64) { ... }
 package lint
 
 import (
@@ -32,7 +56,9 @@ import (
 
 // Analyzer is one static check. It mirrors the x/tools analysis.Analyzer
 // shape so the passes can be ported onto the real framework if the
-// dependency ever becomes available.
+// dependency ever becomes available. Exactly one of Run and RunModule is
+// set: Run sees one package at a time, RunModule sees every loaded
+// package at once (for cross-package properties like lock ordering).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and allow comments.
 	Name string
@@ -40,6 +66,12 @@ type Analyzer struct {
 	Doc string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects every package of the load at once.
+	RunModule func(mp *ModulePass)
+	// NeedsEscape marks analyzers that consume compiler escape-analysis
+	// diagnostics (Package.Escapes); Run attaches them via the escape
+	// driver before such an analyzer executes.
+	NeedsEscape bool
 }
 
 // Pass carries one analyzer's execution over one package.
@@ -52,18 +84,48 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPosition(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// ReportPosition records a diagnostic at an already-resolved position
+// (used by the hotpath analyzer, whose findings originate in compiler
+// output rather than syntax).
+func (p *Pass) ReportPosition(pos token.Position, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries one module-level analyzer's execution over every
+// loaded package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos, resolved through pkg's file set.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	mp.diags = append(mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+
+	// File/Line/Col mirror Pos for the JSON encoding (-json output).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
 }
 
 // String formats the diagnostic as path:line:col: analyzer: message.
@@ -73,30 +135,74 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DirectClock, LockSend, NilMetrics, Piggyback}
+	return []*Analyzer{DirectClock, ErrDrop, GoLeak, HotPath, LockOrder, LockSend, NilMetrics, Piggyback}
 }
 
-// allowRe matches the suppression comment: //windar:allow name[,name...]
-// with an optional trailing reason.
-var allowRe = regexp.MustCompile(`//windar:allow\s+([a-z,]+)`)
+// directiveRe matches the suite's comment directives: //windar:allow
+// with its analyzer list, and //windar:hotpath.
+var directiveRe = regexp.MustCompile(`^//windar:(allow|hotpath)\b[ \t]*([a-z,]*)`)
 
-// allowedLines maps file:line to the analyzer names suppressed there.
-func allowedLines(pkg *Package) map[string]map[string]bool {
-	out := map[string]map[string]bool{}
+// directives is the parsed directive set of one package: allow maps
+// file:line to the analyzer names suppressed there, hotpath records the
+// file:line of every hotpath directive.
+type directives struct {
+	allow   map[string]map[string]bool
+	hotpath map[string]bool
+}
+
+// parseDirectives scans every comment of pkg once and returns the
+// directive set. It is the single implementation of the comment grammar
+// documented in the package doc; every analyzer and the suppression
+// filter share it.
+func parseDirectives(pkg *Package) directives {
+	d := directives{allow: map[string]map[string]bool{}, hotpath: map[string]bool{}}
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
+				m := directiveRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				if out[key] == nil {
-					out[key] = map[string]bool{}
+				switch m[1] {
+				case "allow":
+					if d.allow[key] == nil {
+						d.allow[key] = map[string]bool{}
+					}
+					for _, name := range strings.Split(m[2], ",") {
+						if name != "" {
+							d.allow[key][name] = true
+						}
+					}
+				case "hotpath":
+					d.hotpath[key] = true
 				}
-				for _, name := range strings.Split(m[1], ",") {
-					out[key][name] = true
+			}
+		}
+	}
+	return d
+}
+
+// hotpathFuncs returns every function declaration in pkg annotated with
+// a //windar:hotpath directive in its doc comment.
+func hotpathFuncs(pkg *Package) []*ast.FuncDecl {
+	dirs := parseDirectives(pkg)
+	if len(dirs.hotpath) == 0 {
+		return nil
+	}
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if dirs.hotpath[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] {
+					out = append(out, fd)
+					break
 				}
 			}
 		}
@@ -106,19 +212,46 @@ func allowedLines(pkg *Package) map[string]map[string]bool {
 
 // RunPackage executes the analyzers over one loaded package, applying
 // //windar:allow suppressions, and returns the surviving diagnostics
-// sorted by position.
+// sorted by position. Module-level analyzers see just this package.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	allowed := allowedLines(pkg)
+	return RunPackages([]*Package{pkg}, analyzers)
+}
+
+// RunPackages executes the analyzers over every loaded package: Run
+// analyzers per package, RunModule analyzers once over the whole set.
+// //windar:allow suppressions are applied and the surviving diagnostics
+// returned sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	allowed := map[string]map[string]bool{}
+	for _, pkg := range pkgs {
+		for key, names := range parseDirectives(pkg).allow {
+			allowed[key] = names
+		}
+	}
 	var diags []Diagnostic
+	keep := func(d Diagnostic) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if allowed[key][d.Analyzer] {
+			return
+		}
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+		diags = append(diags, d)
+	}
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg}
-		a.Run(pass)
-		for _, d := range pass.diags {
-			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-			if allowed[key][a.Name] {
-				continue
+		if a.RunModule != nil {
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs}
+			a.RunModule(mp)
+			for _, d := range mp.diags {
+				keep(d)
 			}
-			diags = append(diags, d)
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				keep(d)
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -134,17 +267,45 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// Run loads the packages matching patterns and executes the full suite.
+// Run loads the packages matching patterns and executes the full suite,
+// including the escape driver for the hotpath analyzer.
 func Run(patterns []string) ([]Diagnostic, error) {
+	return RunAnalyzers(patterns, Analyzers())
+}
+
+// RunAnalyzers loads the packages matching patterns and executes the
+// given analyzers. When any analyzer needs escape diagnostics, the
+// compiler is invoked once (go build -gcflags=-m) over the loaded
+// non-main packages and its output attached before analysis.
+func RunAnalyzers(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := Load(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, RunPackage(pkg, Analyzers())...)
+	needEscape := false
+	for _, a := range analyzers {
+		if a.NeedsEscape {
+			needEscape = true
+		}
 	}
-	return diags, nil
+	if needEscape {
+		var targets []string
+		for _, pkg := range pkgs {
+			// Main packages are excluded: `go build` would try to link
+			// them into executables; no hot path lives in a main anyway.
+			if pkg.Types.Name() != "main" {
+				targets = append(targets, pkg.Path)
+			}
+		}
+		if len(targets) > 0 {
+			escs, err := EscapeDiagnostics(".", modulePattern, targets...)
+			if err != nil {
+				return nil, err
+			}
+			AttachEscapes(pkgs, escs)
+		}
+	}
+	return RunPackages(pkgs, analyzers), nil
 }
 
 // funcsOf yields every function body in the file: declarations and

@@ -1,8 +1,19 @@
 package lint
 
-import "testing"
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestDirectClockFixture(t *testing.T) { RunFixture(t, DirectClock, "directclock") }
+
+func TestErrDropFixture(t *testing.T) { RunFixture(t, ErrDrop, "errdrop") }
+
+func TestGoLeakFixture(t *testing.T) { RunFixture(t, GoLeak, "goleak") }
+
+func TestLockOrderFixture(t *testing.T) { RunFixture(t, LockOrder, "lockorder") }
 
 func TestLockSendFixture(t *testing.T) { RunFixture(t, LockSend, "locksend") }
 
@@ -11,6 +22,31 @@ func TestNilMetricsFixture(t *testing.T) { RunFixture(t, NilMetrics, "nilmetrics
 func TestNilObsFixture(t *testing.T) { RunFixture(t, NilMetrics, "nilobs") }
 
 func TestPiggybackFixture(t *testing.T) { RunFixture(t, Piggyback, "piggyback") }
+
+// TestHotPathFixture exercises the hotpath analyzer with synthetic
+// escape diagnostics injected at the fixture's ESCAPE-HERE markers: the
+// one inside Annotated must be reported, the one outside any annotated
+// span ignored, and the one on a //windar:allow hotpath line suppressed.
+func TestHotPathFixture(t *testing.T) {
+	pkg, err := loadFixture("hotpath")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	src := filepath.Join("testdata", "src", "hotpath", "hotpath.go")
+	for _, line := range markerLines(t, src, "ESCAPE-HERE") {
+		pkg.Escapes = append(pkg.Escapes, EscapeDiag{
+			Pos:     token.Position{Filename: src, Line: line},
+			Message: "synthetic value escapes to heap",
+		})
+	}
+	diags := RunPackage(pkg, []*Analyzer{HotPath})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly 1 (inside Annotated)", len(diags), diags)
+	}
+	if msg := diags[0].Message; !strings.Contains(msg, "heap allocation on hot path Annotated") {
+		t.Errorf("diagnostic %q does not name the annotated function", msg)
+	}
+}
 
 // TestSuiteCleanOnTree is the enforcement test: the repository itself
 // must stay free of suite diagnostics (modulo //windar:allow lines),
@@ -29,11 +65,12 @@ func TestSuiteCleanOnTree(t *testing.T) {
 	}
 }
 
-// TestAnalyzersHaveDocs keeps the -list output usable.
+// TestAnalyzersHaveDocs keeps the -list output usable and enforces the
+// framework contract: exactly one of Run and RunModule per analyzer.
 func TestAnalyzersHaveDocs(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil) == (a.RunModule == nil) {
 			t.Errorf("analyzer %+v incomplete", a)
 		}
 		if seen[a.Name] {

@@ -29,6 +29,10 @@ type Package struct {
 	Types *types.Package
 	// TypesInfo records uses, selections and expression types.
 	TypesInfo *types.Info
+	// Escapes holds compiler escape-analysis diagnostics for this
+	// package's files, attached by AttachEscapes when the hotpath
+	// analyzer is in the run.
+	Escapes []EscapeDiag
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.

@@ -1,0 +1,16 @@
+// Package escapemod is a self-contained module the escape-driver test
+// compiles for real: EscapeDiagnostics must surface the boxing
+// allocation in Box and nothing from Stays.
+package escapemod
+
+// Box converts its argument to an interface, forcing it to the heap;
+// the compiler reports "v escapes to heap" on the return line.
+func Box(v int) any {
+	return v // ESCAPE-HERE
+}
+
+// Stays keeps everything on the stack.
+func Stays(v int) int {
+	w := v + 1
+	return w
+}

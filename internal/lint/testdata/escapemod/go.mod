@@ -1,0 +1,3 @@
+module escapemod
+
+go 1.22

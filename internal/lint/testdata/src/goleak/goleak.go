@@ -1,0 +1,115 @@
+// Package goleak is the analyzer fixture: goroutines without stop
+// evidence must be flagged; done-channel receives, WaitGroup.Done,
+// checked bool/error returns (including the if-init form) and evidence
+// found through same-package callees must not.
+package goleak
+
+import "sync"
+
+type src struct{ ch chan int }
+
+func (s *src) Recv() (int, bool) {
+	v, ok := <-s.ch
+	return v, ok
+}
+
+func (s *src) loop() {
+	for {
+		_ = s.ch
+	}
+}
+
+func spin(s *src) {
+	for {
+		_ = s.ch
+	}
+}
+
+func badLiteral(s *src) {
+	go func() { // want "no detectable stop path"
+		for {
+			_ = s.ch
+		}
+	}()
+}
+
+func badNamed(s *src) {
+	go spin(s) // want "no detectable stop path"
+}
+
+func badMethod(s *src) {
+	go s.loop() // want "no detectable stop path"
+}
+
+func goodDone(s *src, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-s.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func goodWaitGroup(s *src, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = s.ch
+		}
+	}()
+}
+
+func goodCheckedOk(s *src) {
+	go func() {
+		for {
+			v, ok := s.Recv()
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+type reader struct{}
+
+func (r *reader) Read(p []byte) (int, error) { return len(p), nil }
+
+// goodCheckedErrInit is the link.watch shape: the checked error is bound
+// in the if statement's init clause, not a standalone assignment.
+func goodCheckedErrInit(r *reader) {
+	go func() {
+		var b [1]byte
+		for {
+			if _, err := r.Read(b[:]); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func step(done chan struct{}) bool {
+	select {
+	case <-done:
+		return false
+	default:
+		return true
+	}
+}
+
+// goodTransitive finds its stop evidence one call deep.
+func goodTransitive(done chan struct{}) {
+	go func() {
+		for {
+			step(done)
+		}
+	}()
+}
+
+func allowed(s *src) {
+	go spin(s) //windar:allow goleak (process-lifetime pump, stops at exit)
+}

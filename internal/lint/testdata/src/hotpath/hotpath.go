@@ -1,0 +1,34 @@
+// Package hotpath is the analyzer fixture. The hotpath analyzer reads
+// compiler escape diagnostics, so the test injects synthetic EscapeDiag
+// entries at the lines marked ESCAPE-HERE below and asserts that only
+// the one inside an annotated, un-allowed span is reported.
+package hotpath
+
+// Annotated is on the hot path: an escape inside it must be reported.
+//
+//windar:hotpath
+func Annotated(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i // ESCAPE-HERE
+	}
+	return s
+}
+
+// Unannotated allocates freely; escapes here are not diagnostics.
+func Unannotated(n int) *int {
+	v := n // ESCAPE-HERE
+	return &v
+}
+
+// AnnotatedAllowed demonstrates a justified steady-state allocation
+// suppressed on its line.
+//
+//windar:hotpath
+func AnnotatedAllowed(n int) []int {
+	buf := make([]int, 0, n) //windar:allow hotpath (result retained by the caller by contract) ESCAPE-HERE
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}

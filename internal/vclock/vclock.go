@@ -14,13 +14,31 @@ import (
 type Vec []int64
 
 // New returns a zeroed vector for an n-process system.
+//
+// New and Clone are marked noinline so their allocation stays attributed
+// here under escape analysis: //windar:hotpath callers reach them only on
+// amortized resize/first-use paths, and inlining would charge the make to
+// the caller's zero-alloc span.
+//
+//go:noinline
 func New(n int) Vec { return make(Vec, n) }
 
 // Clone returns an independent copy of v.
+//
+//go:noinline
 func (v Vec) Clone() Vec {
 	c := make(Vec, len(v))
 	copy(c, v)
 	return c
+}
+
+// panicLenMismatch keeps the message formatting out of the callers:
+// Sprintf boxing allocates, and inlining it would charge that to hot-path
+// spans that only reach it on a fatal programming error.
+//
+//go:noinline
+func panicLenMismatch(a, b int) {
+	panic(fmt.Sprintf("vclock: length mismatch %d != %d", a, b))
 }
 
 // CopyFrom overwrites v with the contents of src. It panics if the lengths
@@ -28,7 +46,7 @@ func (v Vec) Clone() Vec {
 // a programming error.
 func (v Vec) CopyFrom(src Vec) {
 	if len(v) != len(src) {
-		panic(fmt.Sprintf("vclock: length mismatch %d != %d", len(v), len(src)))
+		panicLenMismatch(len(v), len(src))
 	}
 	copy(v, src)
 }
@@ -40,7 +58,7 @@ func (v Vec) CopyFrom(src Vec) {
 // causal pasts.
 func (v Vec) Merge(o Vec) {
 	if len(v) != len(o) {
-		panic(fmt.Sprintf("vclock: length mismatch %d != %d", len(v), len(o)))
+		panicLenMismatch(len(v), len(o))
 	}
 	for i, x := range o {
 		if x > v[i] {
@@ -54,7 +72,7 @@ func (v Vec) Merge(o Vec) {
 // index is advanced only by its own deliveries, never by hearsay.
 func (v Vec) MergeExcept(o Vec, self int) {
 	if len(v) != len(o) {
-		panic(fmt.Sprintf("vclock: length mismatch %d != %d", len(v), len(o)))
+		panicLenMismatch(len(v), len(o))
 	}
 	for i, x := range o {
 		if i != self && x > v[i] {

@@ -41,6 +41,8 @@ var (
 // AppendFrame appends the framed encoding of e to buf and returns the
 // extended slice. Like AppendEncode it allocates nothing once buf has
 // steady-state capacity.
+//
+//windar:hotpath
 func AppendFrame(buf []byte, e *Envelope) []byte {
 	buf = append(buf, FrameMagic, FrameVersion)
 	buf = binary.AppendUvarint(buf, uint64(EncodedSize(e)))
@@ -48,6 +50,8 @@ func AppendFrame(buf []byte, e *Envelope) []byte {
 }
 
 // FrameSize returns the number of bytes AppendFrame would append for e.
+//
+//windar:hotpath
 func FrameSize(e *Envelope) int {
 	n := EncodedSize(e)
 	return 2 + uvarintLen(uint64(n)) + n
@@ -121,6 +125,11 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // Read parses the next frame. io.EOF is returned verbatim at a clean
 // frame boundary; a frame cut short mid-way surfaces as
 // io.ErrUnexpectedEOF.
+//
+// The decoded envelope itself is a fresh allocation by contract (the
+// inbox retains it past the next Read); only the body buffer is reused.
+//
+//windar:hotpath
 func (fr *FrameReader) Read() (*Envelope, error) {
 	magic, err := fr.r.ReadByte()
 	if err != nil {
@@ -134,23 +143,38 @@ func (fr *FrameReader) Read() (*Envelope, error) {
 		return nil, eofIsUnexpected(err)
 	}
 	if version != FrameVersion {
-		return nil, fmt.Errorf("%w: %d", ErrFrameVersion, version)
+		return nil, errFrameVersion(version)
 	}
 	l, err := binary.ReadUvarint(fr.r)
 	if err != nil {
 		return nil, eofIsUnexpected(err)
 	}
 	if l > MaxFrameBody {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, l)
+		return nil, errFrameTooLarge(l)
 	}
 	if uint64(cap(fr.buf)) < l {
-		fr.buf = make([]byte, l)
+		fr.buf = make([]byte, l) //windar:allow hotpath (amortized: grows to the stream's largest frame once, then reused)
 	}
 	body := fr.buf[:l]
 	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return nil, eofIsUnexpected(err)
 	}
 	return Decode(body)
+}
+
+// errFrameVersion and errFrameTooLarge format their errors outside the
+// annotated span: fmt boxing allocates, and these paths only run on a
+// corrupt or incompatible stream. noinline keeps the boxing attributed
+// here under escape analysis.
+//
+//go:noinline
+func errFrameVersion(version byte) error {
+	return fmt.Errorf("%w: %d", ErrFrameVersion, version)
+}
+
+//go:noinline
+func errFrameTooLarge(l uint64) error {
+	return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, l)
 }
 
 // eofIsUnexpected maps a bare EOF inside a frame to io.ErrUnexpectedEOF.

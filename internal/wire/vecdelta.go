@@ -46,9 +46,11 @@ var ErrBadDelta = errors.New("wire: malformed delta vector")
 // returns the extended slice. It panics on a length mismatch, because
 // mixing vectors from systems of different sizes is always a
 // programming error (matching vclock's contract).
+//
+//windar:hotpath
 func AppendVecDelta(buf []byte, base, cur vclock.Vec) []byte {
 	if len(base) != len(cur) {
-		panic(fmt.Sprintf("wire: delta base length %d != %d", len(base), len(cur)))
+		panicDeltaLen(len(base), len(cur))
 	}
 	changed := 0
 	for i := range cur {
@@ -67,7 +69,19 @@ func AppendVecDelta(buf []byte, base, cur vclock.Vec) []byte {
 	return buf
 }
 
+// panicDeltaLen lives outside the annotated spans: formatting the panic
+// message boxes its operands, an allocation the hot path never performs
+// but escape analysis would charge to the caller's line. noinline keeps
+// the attribution here.
+//
+//go:noinline
+func panicDeltaLen(base, cur int) {
+	panic(fmt.Sprintf("wire: delta base length %d != %d", base, cur))
+}
+
 // VecSize returns the number of bytes AppendVec would produce for v.
+//
+//windar:hotpath
 func VecSize(v vclock.Vec) int {
 	n := uvarintLen(uint64(len(v)))
 	for _, x := range v {
@@ -78,9 +92,11 @@ func VecSize(v vclock.Vec) int {
 
 // VecDeltaSize returns the number of bytes AppendVecDelta would produce
 // without allocating; the sender uses it to pick the smaller encoding.
+//
+//windar:hotpath
 func VecDeltaSize(base, cur vclock.Vec) int {
 	if len(base) != len(cur) {
-		panic(fmt.Sprintf("wire: delta base length %d != %d", len(base), len(cur)))
+		panicDeltaLen(len(base), len(cur))
 	}
 	changed := 0
 	n := 1 // marker
@@ -95,6 +111,8 @@ func VecDeltaSize(base, cur vclock.Vec) int {
 
 // VecChanged counts the elements that differ between base and cur — the
 // pair count a delta would carry.
+//
+//windar:hotpath
 func VecChanged(base, cur vclock.Vec) int {
 	changed := 0
 	for i := range cur {
@@ -111,6 +129,17 @@ func VecChanged(base, cur vclock.Vec) int {
 // the previous vector decoded on the same channel; nil base fails with
 // ErrNoDeltaBase.
 func ReadVecDelta(b []byte, base vclock.Vec) (vclock.Vec, int, error) {
+	return ReadVecDeltaInto(nil, b, base)
+}
+
+// ReadVecDeltaInto is ReadVecDelta decoding into dst: when dst has
+// base's length its storage is reused (the steady-state decode becomes
+// allocation-free), otherwise a fresh vector is allocated. dst must not
+// alias base. On error dst's contents are unspecified and the returned
+// vector is nil.
+//
+//windar:hotpath
+func ReadVecDeltaInto(dst vclock.Vec, b []byte, base vclock.Vec) (vclock.Vec, int, error) {
 	if len(b) == 0 || b[0] != VecDeltaMarker {
 		return nil, 0, ErrBadDelta
 	}
@@ -128,7 +157,13 @@ func ReadVecDelta(b []byte, base vclock.Vec) (vclock.Vec, int, error) {
 		// count; a larger claim is garbage, rejected before any work.
 		return nil, 0, ErrBadDelta
 	}
-	v := base.Clone()
+	var v vclock.Vec
+	if len(dst) == len(base) {
+		v = dst
+		v.CopyFrom(base)
+	} else {
+		v = base.Clone()
+	}
 	prev := -1
 	for j := uint64(0); j < count; j++ {
 		idx, m := binary.Uvarint(b[i:])
@@ -154,13 +189,21 @@ func ReadVecDelta(b []byte, base vclock.Vec) (vclock.Vec, int, error) {
 // base unused) or a v2 delta applied to base. isDelta reports which
 // layout was seen, so callers can account refresh cadence.
 func ReadVecAny(b []byte, base vclock.Vec) (v vclock.Vec, n int, isDelta bool, err error) {
+	return ReadVecAnyInto(nil, b, base)
+}
+
+// ReadVecAnyInto is ReadVecAny decoding into dst (see ReadVecDeltaInto
+// for the reuse contract; dst must not alias base).
+//
+//windar:hotpath
+func ReadVecAnyInto(dst vclock.Vec, b []byte, base vclock.Vec) (v vclock.Vec, n int, isDelta bool, err error) {
 	if len(b) == 0 {
 		return nil, 0, false, ErrTruncated
 	}
 	if b[0] == VecDeltaMarker {
-		v, n, err = ReadVecDelta(b, base)
+		v, n, err = ReadVecDeltaInto(dst, b, base)
 		return v, n, true, err
 	}
-	v, n, err = ReadVec(b)
+	v, n, err = ReadVecInto(dst, b)
 	return v, n, false, err
 }

@@ -95,6 +95,8 @@ func Encode(e *Envelope) []byte {
 // buffer (the framed stream writers, the transport retransmission pool)
 // pay no per-message allocation once the buffer has grown to a steady
 // size.
+//
+//windar:hotpath
 func AppendEncode(buf []byte, e *Envelope) []byte {
 	buf = append(buf, byte(e.Kind))
 	var flags byte
@@ -185,6 +187,8 @@ func Decode(b []byte) (*Envelope, error) {
 // EncodedSize returns the number of bytes Encode would produce without
 // allocating the buffer. The fabric uses it for transmission-time and
 // bandwidth accounting.
+//
+//windar:hotpath
 func EncodedSize(e *Envelope) int {
 	n := 2
 	n += varintLen(int64(e.From))
@@ -210,6 +214,8 @@ func uvarintLen(v uint64) int {
 // AppendVec appends a length-prefixed varint encoding of v to buf and
 // returns the extended slice. It is the shared piggyback primitive: TDI's
 // entire piggyback is one such vector.
+//
+//windar:hotpath
 func AppendVec(buf []byte, v vclock.Vec) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(v)))
 	for _, x := range v {
@@ -221,6 +227,16 @@ func AppendVec(buf []byte, v vclock.Vec) []byte {
 // ReadVec decodes a vector written by AppendVec from b, returning the
 // vector and the number of bytes consumed.
 func ReadVec(b []byte) (vclock.Vec, int, error) {
+	return ReadVecInto(nil, b)
+}
+
+// ReadVecInto is ReadVec decoding into dst: when dst already has the
+// encoded length its storage is reused, making the steady-state decode
+// allocation-free; otherwise a fresh vector is allocated. On error dst's
+// contents are unspecified and the returned vector is nil.
+//
+//windar:hotpath
+func ReadVecInto(dst vclock.Vec, b []byte) (vclock.Vec, int, error) {
 	l, n := binary.Uvarint(b)
 	if n <= 0 {
 		return nil, 0, ErrTruncated
@@ -229,7 +245,10 @@ func ReadVec(b []byte) (vclock.Vec, int, error) {
 	if l > uint64(len(b)) { // cheap sanity bound before allocating
 		return nil, 0, ErrTruncated
 	}
-	v := vclock.New(int(l))
+	v := dst
+	if uint64(len(v)) != l {
+		v = vclock.New(int(l))
+	}
 	for j := range v {
 		x, m := binary.Varint(b[i:])
 		if m <= 0 {
