@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint alloc-gate verify verify-tcp chaos fuzz vet clean
+.PHONY: all build test race lint alloc-gate verify verify-tcp chaos fuzz vet examples clean
 
 all: build vet lint test
 
@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 # Protocol-aware static analysis (cmd/windar-lint): the full
-# eight-analyzer suite including hotpath, which checks //windar:hotpath
+# nine-analyzer suite including hotpath, which checks //windar:hotpath
 # functions against the compiler's escape analysis. Exit 1 on any
 # finding.
 lint:
@@ -48,6 +48,18 @@ verify-tcp:
 # reproducing seed and command.
 chaos:
 	$(GO) run ./cmd/windar-chaos -seeds 1,2,3,4,5 -transports mem,tcp -stalls -replay -v
+
+# Embedder-facing smoke: vet the examples and the gateway demo, run the
+# library quickstarts end to end, and run the gateway's scatter-gather
+# with an injected worker failure (short mode: in-process, no listener).
+# These are the packages the pubapi analyzer holds to the public windar
+# surface — this target proves they actually work as embeddings.
+examples:
+	$(GO) vet ./examples/... ./cmd/windar-gateway/
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/interceptor
+	$(GO) run ./cmd/windar-gateway -demo -workers 2
+	$(GO) run ./cmd/windar-gateway -demo -workers 2 -transport tcp
 
 # Wire-format fuzzers. `go test -fuzz` accepts exactly one target per
 # invocation, so each runs separately; FUZZTIME bounds each target.

@@ -15,6 +15,7 @@ import (
 	"windar/internal/core"
 	"windar/internal/obs"
 	"windar/internal/wire"
+	"windar/layer"
 )
 
 // AllocProbe measures one hot path's steady-state heap allocations.
@@ -33,6 +34,7 @@ const allocProbeRuns = 200
 func AllocProbes() []AllocProbe {
 	return []AllocProbe{
 		{Name: "delivery_scan", F: probeDeliveryScan},
+		{Name: "delivery_scan_chain", F: probeDeliveryScanChain},
 		{Name: "pig_encode_delta", F: probePigEncodeDelta},
 		{Name: "pig_encode_full", F: probePigEncodeFull},
 		{Name: "pig_decode", F: probePigDecode},
@@ -53,11 +55,43 @@ func (probeApp) Restore([]byte) error { return nil }
 
 // probeDeliveryScan measures one full delivery: the FIFO-head scan
 // (findDeliverableLocked, including the TDI Deliverable probe and
-// piggyback decode) plus deliverLocked's counter, protocol and observer
-// updates. The cluster is never started, so the runtime's queues are
-// driven directly under its lock, exactly as the receiver loop would.
-func probeDeliveryScan() float64 {
-	c, err := NewCluster(Config{N: 2}, func(rank, n int) app.App { return probeApp{} })
+// piggyback decode) plus deliverLocked committing the message through
+// the handler chain (protocol ingest, counters, observer fan-out). The
+// cluster is never started, so the runtime's queues are driven directly
+// under its lock, exactly as the receiver loop would.
+func probeDeliveryScan() float64 { return deliveryScanAllocs(nil) }
+
+// probeCounter is the user interceptor of the chain probe: a
+// Forward-embedding layer counting deliveries with plain integer state —
+// the minimal well-behaved custom interceptor.
+type probeCounter struct {
+	layer.Forward
+	delivered int64
+}
+
+func (p *probeCounter) Deliver(m *layer.Msg) {
+	p.delivered++
+	p.Forward.Deliver(m)
+}
+
+// probeDeliveryScanChain is probeDeliveryScan with a user interceptor in
+// the stack: the layer contract promises that a well-behaved interceptor
+// adds zero allocations per delivered message, and this probe gates it.
+func probeDeliveryScanChain() float64 {
+	counter := &probeCounter{}
+	return deliveryScanAllocs([]layer.Interceptor{
+		layer.InterceptorFunc(func(next layer.Handler) layer.Handler {
+			counter.Next = next
+			return counter
+		}),
+	})
+}
+
+// deliveryScanAllocs drives the shared delivery probe with the given
+// user interceptors in the chain.
+func deliveryScanAllocs(interceptors []layer.Interceptor) float64 {
+	c, err := NewCluster(Config{N: 2, Interceptors: interceptors},
+		func(rank, n int) app.App { return probeApp{} })
 	if err != nil {
 		panic(err)
 	}

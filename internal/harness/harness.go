@@ -44,6 +44,7 @@ import (
 	"windar/internal/transport"
 	"windar/internal/transport/mem"
 	"windar/internal/transport/tcp"
+	"windar/layer"
 )
 
 // ProtocolKind selects the logging protocol.
@@ -150,8 +151,19 @@ type Config struct {
 	Mode Mode
 	// CheckpointEvery takes a checkpoint before every k-th application
 	// step (k > 0). 0 disables periodic checkpoints (recovery then
-	// restarts from the initial state).
+	// restarts from the initial state). Ignored when CheckpointPolicy is
+	// set.
 	CheckpointEvery int
+	// CheckpointPolicy, if non-nil, decides at which step boundaries each
+	// rank checkpoints, overriding CheckpointEvery. See
+	// layer.CheckpointPolicy for the calling contract.
+	CheckpointPolicy layer.CheckpointPolicy
+	// Interceptors are user-supplied chain layers, slotted between the
+	// harness's own layers (protocol piggyback, obs, observer fan-out)
+	// and the rank core, in order — the first interceptor is outermost
+	// among them. Each interceptor's Wrap runs once per rank incarnation;
+	// see the layer package documentation for the hot-path contract.
+	Interceptors []layer.Interceptor
 	// Transport selects the communication substrate: transport.Mem (the
 	// default, the in-process simulated fabric) or transport.TCP (real
 	// loopback connections with the framed wire format).
@@ -199,6 +211,11 @@ type Cluster struct {
 	coll    *metrics.Collector
 	telLog  *tel.Logger
 	factory app.Factory
+
+	// ckptPolicy is the resolved checkpoint policy (Config.CheckpointPolicy,
+	// or EveryKSteps derived from CheckpointEvery; nil disables periodic
+	// checkpoints).
+	ckptPolicy layer.CheckpointPolicy
 
 	// Observability families (nil handles when cfg.Obs is nil; records
 	// through them no-op).
@@ -268,6 +285,10 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 		ranksMu: make(chanMutex, 1),
 		ranks:   make([]*rankRuntime, cfg.N),
 		closed:  make(chan struct{}),
+	}
+	c.ckptPolicy = cfg.CheckpointPolicy
+	if c.ckptPolicy == nil && cfg.CheckpointEvery > 0 {
+		c.ckptPolicy = layer.EveryKSteps(cfg.CheckpointEvery)
 	}
 	c.coll.AttachObs(cfg.Obs)
 	c.deliverLat = cfg.Obs.Family("deliver_latency_ns",

@@ -13,6 +13,7 @@ import (
 	"windar/internal/proto"
 	"windar/internal/vclock"
 	"windar/internal/wire"
+	"windar/layer"
 )
 
 // killedPanic unwinds an application goroutine whose rank was killed. It
@@ -36,6 +37,23 @@ type rankRuntime struct {
 
 	prot proto.Protocol
 	log  *proto.Log
+
+	// chain is the handler/interceptor stack built once per incarnation
+	// (see chain.go); demander caches the protocol's optional Demander
+	// view so the deliver path never repeats the type assertion.
+	chain    layer.Handler
+	demander proto.Demander
+
+	// Per-message chain scratch. sendMsg is touched only by the app
+	// goroutine inside Send; delivMsg, delivEnv and recvStart only under
+	// mu on the deliver path. Reusing them keeps the chain allocation-free.
+	sendMsg   layer.Msg
+	delivMsg  layer.Msg
+	delivEnv  *wire.Envelope
+	recvStart time.Time
+	// sendSuppressed is coreHandler.Send's verdict for the message just
+	// pushed through the chain (valid until the next Send).
+	sendSuppressed bool
 
 	lastSendIndex         vclock.Vec // per destination (line 4)
 	lastDeliverIndex      vclock.Vec // per source (line 5)
@@ -114,6 +132,8 @@ func (c *Cluster) newRuntime(rank int, incarnation int32) (*rankRuntime, error) 
 		return nil, err
 	}
 	r.prot = p
+	r.demander, _ = p.(proto.Demander)
+	r.chain = r.buildChain(c.cfg.Interceptors)
 	r.theApp = c.factory(rank, c.cfg.N)
 	if r.theApp == nil {
 		return nil, fmt.Errorf("harness: factory returned nil app for rank %d", rank)
@@ -177,7 +197,7 @@ func (r *rankRuntime) appLoop(fromStep int) {
 	}()
 	total := r.theApp.Steps()
 	for s := fromStep; s < total; s++ {
-		if every := r.c.cfg.CheckpointEvery; every > 0 && s > 0 && s != fromStep && s%every == 0 {
+		if pol := r.c.ckptPolicy; pol != nil && s > 0 && s != fromStep && pol.ShouldCheckpoint(r.id, s) {
 			r.doCheckpoint(s)
 		}
 		r.theApp.Step(r, s)
@@ -202,9 +222,13 @@ func (r *rankRuntime) Rank() int { return r.id }
 // N implements app.Env.
 func (r *rankRuntime) N() int { return r.n }
 
-// Send implements app.Env: Algorithm 1 lines 8-12. The message is always
-// counted and logged; transmission is suppressed when the destination's
-// RESPONSE showed it already delivered it (line 10).
+// Send implements app.Env: Algorithm 1 lines 8-12, routed through the
+// handler chain — the protocol layer attaches the piggyback, the obs and
+// observer layers count and record the send, user interceptors may
+// transform the payload, and the core layer logs the message and decides
+// suppression (line 10: transmission is skipped when the destination's
+// RESPONSE showed it already delivered this index). The message is
+// always counted and logged; only the transmission is suppressed.
 func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	r.checkKilled()
 	if dest < 0 || dest >= r.n {
@@ -216,15 +240,16 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	r.mu.Lock()
 	r.lastSendIndex[dest]++
 	idx := r.lastSendIndex[dest]
-	pig, ids := r.prot.PiggybackForSend(dest, idx)
-	r.log.Append(proto.LogItem{Dest: dest, SendIndex: idx, Tag: tag, Piggyback: pig, Payload: payload})
-	m := r.c.coll.Rank(r.id)
-	m.LogAppended()
-	m.MsgSent(ids, len(pig), len(payload))
-	suppress := idx <= r.rollbackLastSendIndex[dest]
+	m := &r.sendMsg
+	m.Rank, m.Peer, m.Tag = r.id, dest, tag
+	m.SendIndex, m.DeliverIndex, m.Demand = idx, 0, -1
+	m.Piggyback, m.PiggybackIDs = nil, 0
+	m.Payload, m.Resent = payload, false
+	r.chain.Send(m)
+	pig, payload := m.Piggyback, m.Payload
+	suppress := r.sendSuppressed
 	r.mu.Unlock()
 
-	r.c.observer().OnSend(r.id, dest, idx, false)
 	if suppress {
 		return
 	}
@@ -312,6 +337,9 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 	start := r.c.clk.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// recvStart feeds the obs layer's deliver-latency histogram: the
+	// chain records Now()-recvStart when the delivery goes through.
+	r.recvStart = start
 	for {
 		// The kill check precedes the delivery scan: a killed rank must
 		// never deliver another message, or its failure point drifts past
@@ -320,11 +348,7 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 			panic(killedPanic{})
 		}
 		if env := r.findDeliverableLocked(source, tag); env != nil {
-			payload := r.deliverLocked(env)
-			if r.deliverLat != nil {
-				r.deliverLat.RecordDuration(r.c.clk.Now().Sub(start))
-			}
-			return payload, env.From
+			return r.deliverLocked(env), env.From
 		}
 		if st := r.c.cfg.StallTimeout; st > 0 && r.c.clk.Now().Sub(start) > st {
 			panic(r.stallReportLocked(source, tag))
@@ -403,8 +427,11 @@ func (r *rankRuntime) panicDeliveryRejected(err error) {
 	panic(fmt.Sprintf("harness: rank %d: protocol rejected delivery: %v", r.id, err))
 }
 
-// deliverLocked removes env from queue B and delivers it to the
-// application, updating counters and protocol state (lines 20-26). Like
+// deliverLocked removes env from queue B and commits it to the handler
+// chain (chain.go): the protocol layer folds the piggyback into protocol
+// state (lines 20-26), the obs and observer layers count and record the
+// delivery, user interceptors may transform the payload, and the payload
+// the chain leaves in the Msg is what Recv hands the application. Like
 // the scan above it runs once per delivered message under the rank lock
 // and must not heap-allocate on the failure-free path.
 //
@@ -414,18 +441,14 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 	r.recvQ[src] = r.recvQ[src][1:]
 	r.lastDeliverIndex[src]++
 	r.deliveredCount++
-	if err := r.prot.OnDeliver(env, r.deliveredCount); err != nil {
-		r.panicDeliveryRejected(err)
-	}
-	m := r.c.coll.Rank(r.id)
-	m.MsgDelivered()
-	demand := int64(-1)
-	if dm, ok := r.prot.(proto.Demander); ok {
-		if v, ok := dm.DeliveryDemand(env); ok {
-			demand = v
-		}
-	}
-	r.c.observer().OnDeliver(r.id, src, env.SendIndex, r.deliveredCount, demand)
+	m := &r.delivMsg
+	m.Rank, m.Peer, m.Tag = r.id, src, env.Tag
+	m.SendIndex, m.DeliverIndex, m.Demand = env.SendIndex, r.deliveredCount, -1
+	m.Piggyback, m.PiggybackIDs = env.Piggyback, 0
+	m.Payload, m.Resent = env.Payload, env.Resent
+	r.delivEnv = env
+	r.chain.Deliver(m)
+	payload := m.Payload
 	if r.recovering {
 		if env.Resent && r.firstResentAt.IsZero() {
 			r.firstResentAt = r.c.clk.Now()
@@ -434,7 +457,7 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 			r.recovering = false
 			now := r.c.clk.Now()
 			d := now.Sub(r.recoveryStart)
-			m.RecoveryDone(d)
+			r.c.coll.Rank(r.id).RecoveryDone(d)
 			r.recoveredAt = now
 			r.c.observer().OnRecoveryComplete(r.id, d)
 			r.c.emitPhase(r.id, PhaseRollForward, d)
@@ -458,7 +481,7 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 			r.c.clearRollback(r.id, r.incarnation)
 		}
 	}
-	return env.Payload
+	return payload
 }
 
 // noteResponderLost marks an awaited responder as dead: its RESPONSE to
@@ -559,7 +582,8 @@ func (r *rankRuntime) doCheckpoint(step int) {
 		// peers release the logs the replay consumed.
 		r.c.emitPhase(r.id, PhaseLogRelease, r.c.clk.Now().Sub(recoveredAt))
 	}
-	r.c.observer().OnCheckpoint(r.id, step, total)
+	info := layer.CheckpointInfo{Rank: r.id, Step: step, DeliveredCount: total}
+	r.chain.Checkpoint(&info)
 }
 
 // stallReportLocked builds a diagnostic for a delivery wait that exceeded

@@ -7,6 +7,7 @@ import (
 
 	"windar/internal/transport"
 	"windar/internal/wire"
+	"windar/layer"
 )
 
 // Kill injects a failure: rank's volatile state (receiving queue, sender
@@ -164,7 +165,8 @@ func (c *Cluster) Recover(rank int) error {
 	// Serve this incarnation any ROLLBACK it slept through: peers still
 	// collecting demands get their late RESPONSE and log resends.
 	c.replayPendingRollbacks(rank)
-	c.observer().OnRecover(rank, fromStep)
+	info := layer.RestoreInfo{Rank: rank, FromStep: fromStep, Incarnation: int(r.incarnation)}
+	r.chain.Restore(&info)
 	return nil
 }
 

@@ -20,24 +20,30 @@
 //   - nilmetrics: *metrics.Rank parameters are documented nilable and
 //     must be nil-checked before use;
 //   - piggyback: wire application envelopes must carry the protocol's
-//     piggyback; constructing one without it breaks delivery control.
+//     piggyback; constructing one without it breaks delivery control;
+//   - pubapi: examples and embedder demos (examples/, cmd/windar-gateway)
+//     must import only the public windar surface, never windar/internal.
 //
 // Run all analyzers over package patterns with Run, or over a single
 // loaded package with RunPackage.
 //
 // # Comment directives
 //
-// The suite understands two line directives, written with no space after
-// "//" (the Go pragma convention):
+// The suite understands three line directives, written with no space
+// after "//" (the Go pragma convention):
 //
 //	//windar:allow name[,name...] [— reason]
 //	//windar:hotpath
+//	//windar:pubapi
 //
 // An allow directive suppresses the named analyzers' diagnostics on its
 // own line; the trailing free-form reason is for the human reader and is
 // expected on every use. A hotpath directive on a function declaration's
 // doc comment marks the function as part of the zero-allocation hot path,
-// enrolling it in the hotpath analyzer's escape check:
+// enrolling it in the hotpath analyzer's escape check. A pubapi directive
+// anywhere in a file opts the whole package into the pubapi analyzer's
+// public-surface rule (examples/ and cmd/windar-gateway are enrolled by
+// import path automatically):
 //
 //	t := clk.Now() //windar:allow directclock — measuring real elapsed time
 //
@@ -135,19 +141,21 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DirectClock, ErrDrop, GoLeak, HotPath, LockOrder, LockSend, NilMetrics, Piggyback}
+	return []*Analyzer{DirectClock, ErrDrop, GoLeak, HotPath, LockOrder, LockSend, NilMetrics, Piggyback, PubAPI}
 }
 
 // directiveRe matches the suite's comment directives: //windar:allow
-// with its analyzer list, and //windar:hotpath.
-var directiveRe = regexp.MustCompile(`^//windar:(allow|hotpath)\b[ \t]*([a-z,]*)`)
+// with its analyzer list, //windar:hotpath, and //windar:pubapi.
+var directiveRe = regexp.MustCompile(`^//windar:(allow|hotpath|pubapi)\b[ \t]*([a-z,]*)`)
 
 // directives is the parsed directive set of one package: allow maps
 // file:line to the analyzer names suppressed there, hotpath records the
-// file:line of every hotpath directive.
+// file:line of every hotpath directive, pubapi the file:line of every
+// public-surface opt-in.
 type directives struct {
 	allow   map[string]map[string]bool
 	hotpath map[string]bool
+	pubapi  map[string]bool
 }
 
 // parseDirectives scans every comment of pkg once and returns the
@@ -155,7 +163,7 @@ type directives struct {
 // documented in the package doc; every analyzer and the suppression
 // filter share it.
 func parseDirectives(pkg *Package) directives {
-	d := directives{allow: map[string]map[string]bool{}, hotpath: map[string]bool{}}
+	d := directives{allow: map[string]map[string]bool{}, hotpath: map[string]bool{}, pubapi: map[string]bool{}}
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -177,6 +185,8 @@ func parseDirectives(pkg *Package) directives {
 					}
 				case "hotpath":
 					d.hotpath[key] = true
+				case "pubapi":
+					d.pubapi[key] = true
 				}
 			}
 		}

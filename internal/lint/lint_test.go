@@ -23,6 +23,28 @@ func TestNilObsFixture(t *testing.T) { RunFixture(t, NilMetrics, "nilobs") }
 
 func TestPiggybackFixture(t *testing.T) { RunFixture(t, Piggyback, "piggyback") }
 
+func TestPubAPIFixture(t *testing.T) { RunFixture(t, PubAPI, "pubapi") }
+
+// TestPubAPICleanFixture is the negative case: without the directive or
+// a public-only import path, internal imports are not flagged.
+func TestPubAPICleanFixture(t *testing.T) { RunFixture(t, PubAPI, "pubapiclean") }
+
+// TestPubAPIEnrollsByPath pins the automatic enrollment list: the
+// packages modeling embedders are held to the rule without a directive.
+func TestPubAPIEnrollsByPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"windar/examples/quickstart":  true,
+		"windar/examples/interceptor": true,
+		"windar/cmd/windar-gateway":   true,
+		"windar/cmd/windar-run":       false,
+		"windar/internal/harness":     false,
+	} {
+		if got := publicOnly(&Package{Path: path}); got != want {
+			t.Errorf("publicOnly(%s) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 // TestHotPathFixture exercises the hotpath analyzer with synthetic
 // escape diagnostics injected at the fixture's ESCAPE-HERE markers: the
 // one inside Annotated must be reported, the one outside any annotated

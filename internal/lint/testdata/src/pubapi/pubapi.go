@@ -1,0 +1,14 @@
+// Package pubapi is the analyzer fixture: a package enrolled in the
+// public-surface rule (here via the directive; examples/ and
+// cmd/windar-gateway enroll by import path) must compile against the
+// public windar API alone.
+//
+//windar:pubapi
+package pubapi
+
+import (
+	_ "windar"                  // the public facade: allowed
+	_ "windar/internal/core"    // want "public-surface package imports windar/internal/core"
+	_ "windar/internal/harness" // want "public-surface package imports windar/internal/harness"
+	_ "windar/layer"            // the public chain package: allowed
+)

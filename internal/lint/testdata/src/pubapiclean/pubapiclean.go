@@ -1,0 +1,10 @@
+// Package pubapiclean is the pubapi analyzer's negative fixture: a
+// package with no //windar:pubapi directive and no public-only import
+// path may import internals freely — the rule binds only embedder-facing
+// code.
+package pubapiclean
+
+import (
+	_ "windar/internal/core"
+	_ "windar/internal/harness"
+)

@@ -21,6 +21,31 @@
 // per rank, logs messages causally under the chosen protocol,
 // checkpoints to simulated stable storage, and recovers killed ranks by
 // rolling forward from their last checkpoint.
+//
+// # Embedding
+//
+// windar is designed to embed as a library: every message flows through
+// a composable handler/interceptor chain (package windar/layer), and
+// Config.Interceptors slots custom layers between the harness's own
+// concerns (protocol piggyback, metrics, trace/chaos observers) and the
+// application. An interceptor sees sends, deliveries, checkpoints and
+// restores, may transform payloads, and runs with zero per-message
+// allocation when it follows the layer contract. See cmd/windar-gateway
+// for an HTTP service fronting a causally-logged cluster, and
+// examples/interceptor for a minimal custom layer.
+//
+// # API stability
+//
+// The symbols exported here are the supported surface. Several are type
+// aliases that intentionally re-export an internal type wholesale —
+// Stats, TraceRecorder, ObsRegistry, Clock and FakeClock below, plus the
+// experiment row types — because their full method sets are the product
+// (counter snapshots, trace validation, histogram export, injectable
+// time). Each alias documents its own stability boundary: what embedders
+// may rely on, and what is an implementation detail that can change
+// between minor versions. Everything under internal/ that is not
+// re-exported here is out of bounds; the windar-lint pubapi analyzer
+// enforces that examples and shipped binaries respect the boundary.
 package windar
 
 import (
@@ -37,6 +62,7 @@ import (
 	"windar/internal/obs"
 	"windar/internal/trace"
 	"windar/internal/workload"
+	"windar/layer"
 )
 
 // Protocol selects the causal message logging protocol.
@@ -107,12 +133,61 @@ type App interface {
 // every incarnation after a failure.
 type Factory func(rank, n int) App
 
+// Handler is the app-facing chain surface: the Send/Deliver/
+// Checkpoint/Restore verbs interceptors wrap. Alias of layer.Handler —
+// the windar/layer package is public and stable; embedders may import it
+// directly.
+type Handler = layer.Handler
+
+// Interceptor wraps a Handler with a custom chain layer; supply them
+// through Config.Interceptors. Alias of layer.Interceptor.
+type Interceptor = layer.Interceptor
+
+// InterceptorFunc adapts a function to the Interceptor interface. Alias
+// of layer.InterceptorFunc.
+type InterceptorFunc = layer.InterceptorFunc
+
+// Msg is one application message traversing the chain. Alias of
+// layer.Msg; see its field and reuse contract there.
+type Msg = layer.Msg
+
+// Forward is an embeddable Handler base forwarding every verb to Next.
+// Alias of layer.Forward.
+type Forward = layer.Forward
+
+// CheckpointInfo describes one completed checkpoint observed by the
+// chain. Alias of layer.CheckpointInfo.
+type CheckpointInfo = layer.CheckpointInfo
+
+// RestoreInfo describes one incarnation resuming from a checkpoint.
+// Alias of layer.RestoreInfo.
+type RestoreInfo = layer.RestoreInfo
+
+// CheckpointPolicy decides at which step boundaries ranks checkpoint;
+// set Config.CheckpointPolicy to override the CheckpointEvery interval.
+// Alias of layer.CheckpointPolicy.
+type CheckpointPolicy = layer.CheckpointPolicy
+
+// EveryKSteps is the step-interval CheckpointPolicy (what
+// CheckpointEvery configures). Alias of layer.EveryKSteps.
+type EveryKSteps = layer.EveryKSteps
+
 // Stats is the per-run overhead counter snapshot (piggyback identifiers
 // and bytes, tracking time, log retention, recovery counts...).
+//
+// Stability: intentionally aliased to the internal metrics snapshot so
+// embedders get every counter without a translation layer. The exported
+// field set may grow in any release; existing fields keep their names
+// and meaning. Vars() is the stable enumeration for generic export.
 type Stats = metrics.Snapshot
 
 // TraceRecorder records harness events for global-consistency
 // validation.
+//
+// Stability: intentionally aliased to the internal trace recorder — its
+// validation and export methods (Validate, CheckInvariants, WriteJSONL,
+// Events) are the product. The recorded event schema may gain kinds and
+// fields; the JSONL header carries the version embedders should check.
 type TraceRecorder = trace.Recorder
 
 // NewBoundedTrace returns a TraceRecorder that retains at most capacity
@@ -125,6 +200,12 @@ func NewBoundedTrace(capacity int) *TraceRecorder { return trace.NewBounded(capa
 // paths (deliver latency, piggyback sizes, tracking time, TCP reconnect
 // backoff) and recovery-phase durations. Build one with NewObsRegistry,
 // set Config.Obs, and expose it live with Cluster.ServeDebug.
+//
+// Stability: intentionally aliased to the internal registry so embedders
+// can walk families and histograms directly. Family names recorded by
+// the harness are stable identifiers; new families may appear in any
+// release. Bucket layout is an implementation detail — consume
+// histograms through their quantile/export methods.
 type ObsRegistry = obs.Registry
 
 // NewObsRegistry returns an observability registry for an n-rank run.
@@ -134,9 +215,14 @@ func NewObsRegistry(n int) *ObsRegistry { return obs.NewRegistry(n) }
 // RealClock; tests can inject a FakeClock and drive it deterministically.
 // The windar-lint directclock analyzer keeps every other package off the
 // time package, so a Config.Clock override reaches all timing decisions.
+//
+// Stability: intentionally aliased to the internal clock interface —
+// embedders implement it to supply their own time source, so its method
+// set only grows with a major version.
 type Clock = clock.Clock
 
 // FakeClock is a manually advanced Clock for deterministic tests.
+// Stability: aliased with Clock; Advance/Now semantics are stable.
 type FakeClock = clock.Fake
 
 // RealClock returns the wall clock.
@@ -154,8 +240,18 @@ type Config struct {
 	// Mode defaults to NonBlocking.
 	Mode Mode
 	// CheckpointEvery takes a checkpoint before every k-th step; 0
-	// disables periodic checkpoints.
+	// disables periodic checkpoints. Ignored when CheckpointPolicy is
+	// set.
 	CheckpointEvery int
+	// CheckpointPolicy, if non-nil, replaces the CheckpointEvery interval
+	// with a custom per-rank, per-step decision (layer.CheckpointPolicy).
+	CheckpointPolicy CheckpointPolicy
+	// Interceptors are custom chain layers slotted between the harness's
+	// built-in concerns and the application, outermost first. Each
+	// interceptor's Wrap runs once per rank incarnation; Send/Deliver run
+	// on the hot path — see the windar/layer package documentation for
+	// the full contract.
+	Interceptors []Interceptor
 	// Transport selects the communication substrate: TransportMem
 	// (default) or TransportTCP. BaseLatency, Bandwidth, JitterFraction
 	// and Seed shape the mem fabric only; TCP runs at loopback speed.
@@ -224,6 +320,8 @@ func (c Config) internal() harness.Config {
 		EventLoggerLatency:    c.EventLoggerLatency,
 		StableWriteLatency:    c.StableWriteLatency,
 		StallTimeout:          c.StallTimeout,
+		CheckpointPolicy:      c.CheckpointPolicy,
+		Interceptors:          c.Interceptors,
 	}
 	if c.Mode == Blocking {
 		cfg.Mode = harness.Blocking
