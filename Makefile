@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint alloc-gate verify verify-tcp chaos fuzz vet examples clean
+.PHONY: all build test race lint alloc-gate verify verify-tcp chaos trace-export fuzz vet examples clean
 
 all: build vet lint test
 
@@ -49,6 +49,21 @@ verify-tcp:
 chaos:
 	$(GO) run ./cmd/windar-chaos -seeds 1,2,3,4,5 -transports mem,tcp -stalls -replay -v
 
+# Causal-trace acceptance: run a traced chaos schedule with the flight
+# recorder armed, reconstruct the cross-rank lineage DAG from the
+# exported trace, validate it against every lineage and trace invariant,
+# and render both export formats.
+trace-export:
+	rm -rf out/trace && mkdir -p out/trace
+	$(GO) run ./cmd/windar-chaos -seeds 7 -transports mem,tcp -tracing \
+		-trace-dir out/trace -flight-dir out/trace -v
+	$(GO) run ./cmd/windar-trace -in out/trace/trace-seed7-mem.jsonl -check -summary
+	$(GO) run ./cmd/windar-trace -in out/trace/trace-seed7-tcp.jsonl -check
+	$(GO) run ./cmd/windar-trace -in out/trace/trace-seed7-mem.jsonl \
+		-format chrome -out out/trace/trace.chrome.json
+	$(GO) run ./cmd/windar-trace -in out/trace/trace-seed7-mem.jsonl \
+		-format otlp -out out/trace/trace.otlp.json
+
 # Embedder-facing smoke: vet the examples and the gateway demo, run the
 # library quickstarts end to end, and run the gateway's scatter-gather
 # with an injected worker failure (short mode: in-process, no listener).
@@ -58,6 +73,7 @@ examples:
 	$(GO) vet ./examples/... ./cmd/windar-gateway/
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/interceptor
+	$(GO) run ./examples/tracing
 	$(GO) run ./cmd/windar-gateway -demo -workers 2
 	$(GO) run ./cmd/windar-gateway -demo -workers 2 -transport tcp
 

@@ -39,6 +39,9 @@ func main() {
 		stalls   = flag.Bool("stalls", false, "include transport stall/unstall actions")
 		schedule = flag.String("schedule", "", "explicit schedule DSL (overrides generation; seeds still vary network jitter)")
 		replay   = flag.Bool("replay", false, "run each cell twice and require byte-for-byte identical action logs")
+		tracing  = flag.Bool("tracing", false, "stamp causal span contexts and check lineage DAG invariants")
+		traceDir = flag.String("trace-dir", "", "export every cell's trace there as trace-seed<seed>-<transport>.jsonl")
+		flight   = flag.String("flight-dir", "", "dump the failing run's trace there as a flight file")
 		verbose  = flag.Bool("v", false, "print one line per run")
 	)
 	flag.Parse()
@@ -51,11 +54,14 @@ func main() {
 			App:             *appName,
 			Protocol:        harness.ProtocolKind(*proto),
 			CheckpointEvery: *ckpt,
+			SpanTracing:     *tracing,
 		},
-		Faults:  *faults,
-		Spacing: *spacing,
-		Stalls:  *stalls,
-		Replay:  *replay,
+		Faults:    *faults,
+		Spacing:   *spacing,
+		Stalls:    *stalls,
+		Replay:    *replay,
+		TraceDir:  *traceDir,
+		FlightDir: *flight,
 	}
 	for _, s := range splitList(*seeds) {
 		v, err := strconv.ParseInt(s, 10, 64)

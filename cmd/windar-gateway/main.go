@@ -95,6 +95,7 @@ type gatewayStats struct {
 	Requests      int64 `json:"requests"`
 	Failures      int64 `json:"failures"`
 	Recoveries    int64 `json:"recoveries"`
+	Checkpoints   int64 `json:"checkpoints"`
 	MsgsSent      int64 `json:"msgs_sent"`
 	MsgsDelivered int64 `json:"msgs_delivered"`
 }
@@ -104,7 +105,7 @@ type gatewayStats struct {
 // traffic flowing under the HTTP surface. Wrap hands each rank
 // incarnation its own forwarding layer around the shared counters.
 type chainCounter struct {
-	sent, delivered, restores atomic.Int64
+	sent, delivered, restores, checkpoints atomic.Int64
 }
 
 // Wrap implements windar.Interceptor.
@@ -130,6 +131,11 @@ func (l *countingLayer) Deliver(m *windar.Msg) {
 func (l *countingLayer) Restore(info *windar.RestoreInfo) {
 	l.c.restores.Add(1)
 	l.Forward.Restore(info)
+}
+
+func (l *countingLayer) Checkpoint(info *windar.CheckpointInfo) {
+	l.c.checkpoints.Add(1)
+	l.Forward.Checkpoint(info)
 }
 
 // server is the gateway: HTTP in front, a short-lived causally-logged
@@ -233,6 +239,7 @@ func (s *server) handleStats(w http.ResponseWriter, req *http.Request) {
 		Requests:      s.requests.Load(),
 		Failures:      s.failures.Load(),
 		Recoveries:    s.counter.restores.Load(),
+		Checkpoints:   s.counter.checkpoints.Load(),
 		MsgsSent:      s.counter.sent.Load(),
 		MsgsDelivered: s.counter.delivered.Load(),
 	}

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"windar"
@@ -34,9 +36,11 @@ func main() {
 		validate  = flag.Bool("validate", true, "validate the execution trace")
 		traceOut  = flag.String("trace-out", "", "write the execution trace as JSON lines to this file")
 		traceCap  = flag.Int("trace-cap", 0, "retain at most this many raw trace events (0 = unbounded); validation stays exact")
+		tracing   = flag.Bool("tracing", false, "stamp causal span contexts on every message (reconstruct lineage with windar-trace)")
+		flightDir = flag.String("flight-dir", "", "arm the crash flight recorder: dump the trace ring there on SIGINT/SIGTERM or a failed run")
 		pigEvery  = flag.Int("pig-refresh-every", 0, "TDI delta piggyback full-vector cadence (0 = default 32, 1 = full vector every send)")
 		batch     = flag.Int64("batch-bytes", 0, "send-side frame batching budget in bytes (0 = transport default, negative = off)")
-		serve     = flag.String("serve", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /debug/pprof)")
+		serve     = flag.String("serve", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /cluster, /debug/flight, /debug/pprof)")
 		linger    = flag.Duration("serve-linger", 0, "keep the telemetry server up this long after the run completes")
 	)
 	flag.Parse()
@@ -64,9 +68,29 @@ func main() {
 
 		PiggybackRefreshEvery: *pigEvery,
 		SendBatchBytes:        *batch,
+		Tracing:               *tracing,
 	}
 	if *validate {
 		cfg.Trace = rec
+	}
+	var flight *windar.FlightRecorder
+	if *flightDir != "" {
+		// The flight ring shares the run's recorder, so an armed recorder
+		// costs nothing extra; on a signal the current window lands on disk
+		// before the process dies.
+		flight = windar.NewFlightRecorder(rec, *flightDir)
+		cfg.Flight = flight
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigs
+			if path, err := flight.Dump(sig.String()); err != nil {
+				fmt.Fprintf(os.Stderr, "windar-run: %v: flight dump failed: %v\n", sig, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "windar-run: %v: flight trace dumped to %s\n", sig, path)
+			}
+			os.Exit(1)
+		}()
 	}
 	if *serve != "" {
 		cfg.Obs = windar.NewObsRegistry(*procs)
@@ -145,9 +169,20 @@ func main() {
 		fmt.Println(")")
 	}
 	if *validate {
-		if problems := rec.Validate(true); len(problems) > 0 {
+		problems := rec.Validate(true)
+		var lin *trace.Lineage
+		if *tracing {
+			lin = trace.BuildLineage(rec)
+			problems = append(problems, lin.Check()...)
+		}
+		if len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "VIOLATION %s\n", p)
+			}
+			if flight != nil {
+				if path, err := flight.Dump("trace-violation"); err == nil {
+					fmt.Fprintf(os.Stderr, "windar-run: flight trace dumped to %s\n", path)
+				}
 			}
 			os.Exit(1)
 		}
@@ -157,6 +192,10 @@ func main() {
 		if phases := rec.SummarizePhases(); len(phases) > 0 {
 			fmt.Println("\nrecovery phases:")
 			fmt.Print(trace.FormatPhaseSummaries(phases))
+		}
+		if lin != nil {
+			fmt.Println("\ncausal lineage:")
+			fmt.Print(trace.FormatLineageSummary(lin.Summary()))
 		}
 	}
 }

@@ -28,21 +28,24 @@ func main() {
 	)
 	flag.Parse()
 
-	url := "http://" + *addr + "/debug/vars"
+	base := "http://" + *addr
 	client := &http.Client{Timeout: 5 * time.Second}
 	clk := clock.Real{}
 	seen := false
 	for {
-		v, err := fetch(client, url)
+		v, err := fetch(client, base+"/debug/vars")
 		if err != nil {
-			if seen {
+			// With -once an unreachable endpoint is a hard failure (exit
+			// non-zero) — scripts poll it; interactively, an endpoint that
+			// served at least once vanishing just means the run ended.
+			if seen && !*once {
 				fmt.Println("windar-top: endpoint gone (run finished?)")
 				return
 			}
 			fatal("%v", err)
 		}
 		seen = true
-		out := render(v)
+		out := render(v, fetchCluster(client, base+"/cluster"))
 		if *once {
 			fmt.Print(out)
 			return
@@ -55,6 +58,25 @@ func main() {
 		}
 		clk.Sleep(*interval)
 	}
+}
+
+// fetchCluster polls the exact cross-rank aggregate; nil when the
+// endpoint is missing (older server) or unreadable — the vars view still
+// renders.
+func fetchCluster(client *http.Client, url string) *obs.ClusterSnapshot {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var cl obs.ClusterSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&cl); err != nil {
+		return nil
+	}
+	return &cl
 }
 
 func fetch(client *http.Client, url string) (*obs.VarsSnapshot, error) {
@@ -73,7 +95,7 @@ func fetch(client *http.Client, url string) (*obs.VarsSnapshot, error) {
 	return &v, nil
 }
 
-func render(v *obs.VarsSnapshot) string {
+func render(v *obs.VarsSnapshot, cl *obs.ClusterSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "windar-top  %s  uptime=%v",
 		metaLine(v.Meta), time.Duration(v.UptimeNS).Round(time.Millisecond))
@@ -108,7 +130,51 @@ func render(v *obs.VarsSnapshot) string {
 				fmtVal(h.Total.P99, h.Unit), fmtVal(h.Total.Max, h.Unit))
 		}
 	}
+	if cl != nil {
+		renderCluster(&b, cl)
+	}
 	return b.String()
+}
+
+// phasePrefix marks the histogram families holding recovery-phase span
+// durations (harness.PhaseFamily naming).
+const phasePrefix = "recovery_phase_"
+
+// renderCluster appends the /cluster exact aggregate: the recovery-phase
+// span quantiles first (the numbers an operator reads after a failure),
+// then the remaining families.
+func renderCluster(b *strings.Builder, cl *obs.ClusterSnapshot) {
+	var phases, rest []obs.ClusterHist
+	for _, f := range cl.Families {
+		if strings.HasPrefix(f.Name, phasePrefix) {
+			phases = append(phases, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	if len(phases) > 0 {
+		fmt.Fprintf(b, "\ncluster recovery phases (exact merge, %d ranks):\n", cl.N)
+		fmt.Fprintf(b, "%-20s %8s %10s %10s %10s %10s\n",
+			"phase", "spans", "p50", "p95", "p99", "max")
+		for _, f := range phases {
+			name := strings.ReplaceAll(strings.TrimSuffix(strings.TrimPrefix(f.Name, phasePrefix), "_ns"), "_", "-")
+			fmt.Fprintf(b, "%-20s %8d %10s %10s %10s %10s\n",
+				name, f.Stat.Count,
+				fmtVal(f.Stat.P50, f.Unit), fmtVal(f.Stat.P95, f.Unit),
+				fmtVal(f.Stat.P99, f.Unit), fmtVal(f.Stat.Max, f.Unit))
+		}
+	}
+	if len(rest) > 0 {
+		fmt.Fprintf(b, "\ncluster aggregate (exact merge, %d ranks):\n", cl.N)
+		fmt.Fprintf(b, "%-32s %8s %10s %10s %10s %10s\n",
+			"family", "count", "p50", "p95", "p99", "max")
+		for _, f := range rest {
+			fmt.Fprintf(b, "%-32s %8d %10s %10s %10s %10s\n",
+				f.Name, f.Stat.Count,
+				fmtVal(f.Stat.P50, f.Unit), fmtVal(f.Stat.P95, f.Unit),
+				fmtVal(f.Stat.P99, f.Unit), fmtVal(f.Stat.Max, f.Unit))
+		}
+	}
 }
 
 func metaLine(meta map[string]string) string {

@@ -1,0 +1,50 @@
+// Command tracing is the causal span-context quickstart: with
+// Config.Tracing on, every message carries a compact span context —
+// Trace names the causal chain it belongs to, Span this very send, and
+// Parent the message its sender had last delivered. Any chain layer can
+// read it from Msg.Span; the same IDs land in the trace JSONL, where
+// windar-trace stitches them into the cross-rank lineage DAG.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"windar"
+)
+
+// spanTracer installs a layer that prints each delivery's causal span.
+type spanTracer struct{}
+
+func (spanTracer) Wrap(next windar.Handler) windar.Handler {
+	return &spanLog{Forward: windar.Forward{Next: next}}
+}
+
+type spanLog struct{ windar.Forward }
+
+func (s *spanLog) Deliver(m *windar.Msg) {
+	fmt.Printf("rank %d <- rank %d  trace=%x span=%x parent=%x\n",
+		m.Rank, m.Peer, m.Span.Trace, m.Span.Span, m.Span.Parent)
+	s.Forward.Deliver(m)
+}
+
+func main() {
+	factory, err := windar.WorkloadFactory("ring", 3)
+	check(err)
+	c, err := windar.NewCluster(windar.Config{
+		Procs:        3,
+		Tracing:      true, // stamp span contexts on every message
+		Interceptors: []windar.Interceptor{spanTracer{}},
+	}, factory)
+	check(err)
+	defer c.Close()
+	check(c.Start())
+	c.Wait()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracing:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"windar/internal/harness"
 	"windar/internal/transport"
+	"windar/layer"
 )
 
 // Engine executes a Schedule against a running cluster. It implements
@@ -33,6 +34,11 @@ import (
 type Engine struct {
 	sched Schedule
 	inner harness.Observer
+	// spanInner caches inner's optional SpanObserver view so the
+	// span-carrying callbacks forward without repeating the assertion;
+	// nil when inner doesn't implement it (spans then degrade to the
+	// plain callbacks).
+	spanInner harness.SpanObserver
 
 	mu       sync.Mutex // serializes action execution and engine state
 	cl       *harness.Cluster
@@ -56,6 +62,7 @@ func NewEngine(sched Schedule, inner harness.Observer) *Engine {
 		outcomes: make([]string, len(sched.Actions)),
 		armed:    map[int]chan struct{}{},
 	}
+	e.spanInner, _ = inner.(harness.SpanObserver)
 	for i := range e.outcomes {
 		e.outcomes[i] = "pending"
 	}
@@ -320,5 +327,24 @@ func (e *Engine) OnResponse(rank, from int) {
 func (e *Engine) OnIngestRejected(rank int, kind string) {
 	if e.inner != nil {
 		e.inner.OnIngestRejected(rank, kind)
+	}
+}
+
+// OnSendSpan implements harness.SpanObserver: the span context forwards
+// to a span-aware inner observer and degrades to OnSend otherwise.
+func (e *Engine) OnSendSpan(rank, dest int, sendIndex int64, resent bool, span layer.SpanContext) {
+	if e.spanInner != nil {
+		e.spanInner.OnSendSpan(rank, dest, sendIndex, resent, span)
+	} else if e.inner != nil {
+		e.inner.OnSend(rank, dest, sendIndex, resent)
+	}
+}
+
+// OnDeliverSpan implements harness.SpanObserver.
+func (e *Engine) OnDeliverSpan(rank, from int, sendIndex, deliverIndex, demand int64, span layer.SpanContext) {
+	if e.spanInner != nil {
+		e.spanInner.OnDeliverSpan(rank, from, sendIndex, deliverIndex, demand, span)
+	} else if e.inner != nil {
+		e.inner.OnDeliver(rank, from, sendIndex, deliverIndex, demand)
 	}
 }

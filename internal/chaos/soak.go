@@ -3,6 +3,8 @@ package chaos
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -37,6 +39,11 @@ type RunOptions struct {
 	// hangs a delivery wait panics with a state dump instead of wedging
 	// the soak. 0 disables it.
 	StallTimeout time.Duration
+	// SpanTracing stamps every message with a causal span context, so the
+	// run's trace reconstructs into a cross-rank lineage DAG
+	// (trace.BuildLineage). Adds three uvarints per wire message and
+	// nothing to the delivery allocation budget.
+	SpanTracing bool
 }
 
 func (o *RunOptions) fill() {
@@ -64,6 +71,9 @@ type RunResult struct {
 	// (including the rollback-response pairing rule). Empty on a clean
 	// run.
 	Problems []trace.Problem
+	// Trace is the run's full recorder — export it, build a lineage from
+	// it, or dump it as a flight file when the run fails.
+	Trace *trace.Recorder
 }
 
 // RunSchedule executes one schedule against a fresh cluster and
@@ -89,6 +99,7 @@ func RunSchedule(o RunOptions) (*RunResult, error) {
 		Fabric:          fabric.Config{BaseLatency: 20 * time.Microsecond, JitterFraction: 0.2, Seed: o.Seed},
 		Observer:        eng,
 		StallTimeout:    o.StallTimeout,
+		SpanTracing:     o.SpanTracing,
 	}
 	c, err := harness.NewCluster(cfg, factory)
 	if err != nil {
@@ -102,12 +113,16 @@ func RunSchedule(o RunOptions) (*RunResult, error) {
 	eng.Wait()
 	c.Wait()
 
-	res := &RunResult{Log: eng.Log(), States: make([][]byte, o.Procs)}
+	res := &RunResult{Log: eng.Log(), States: make([][]byte, o.Procs), Trace: rec}
 	for rank := 0; rank < o.Procs; rank++ {
 		res.States[rank] = c.AppSnapshot(rank)
 	}
 	res.Problems = append(res.Problems, rec.Validate(true)...)
 	res.Problems = append(res.Problems, rec.CheckInvariants()...)
+	if o.SpanTracing {
+		lin := trace.BuildLineage(rec)
+		res.Problems = append(res.Problems, lin.Check()...)
+	}
 	return res, nil
 }
 
@@ -166,6 +181,15 @@ type SoakOptions struct {
 	// two action logs to match byte-for-byte and the final states to
 	// agree — the determinism acceptance check.
 	Replay bool
+	// FlightDir, when non-empty, dumps the failing run's full trace there
+	// as a flight file (JSONL, loadable by windar-trace) and names the
+	// path in the soak error — the post-mortem for a seed that only fails
+	// in CI.
+	FlightDir string
+	// TraceDir, when non-empty, exports every cell's trace (pass or fail)
+	// there as trace-seed<seed>-<transport>.jsonl, ready for windar-trace
+	// lineage reconstruction.
+	TraceDir string
 	// Logf, when non-nil, receives one progress line per run.
 	Logf func(format string, args ...any)
 }
@@ -206,13 +230,26 @@ func (o *SoakOptions) runCell(tk transport.Kind, seed int64, base [][]byte) erro
 			N: ro.Procs, Faults: o.Faults, Spacing: o.Spacing, Stalls: o.Stalls,
 		})
 	}
+	var lastTrace *trace.Recorder
 	fail := func(format string, args ...any) error {
+		msg := fmt.Sprintf(format, args...)
+		if path, derr := o.dumpFlight(lastTrace, tk, seed); derr != nil {
+			msg += fmt.Sprintf(" (flight dump failed: %v)", derr)
+		} else if path != "" {
+			msg += fmt.Sprintf("\nflight trace: %s", path)
+		}
 		return fmt.Errorf("chaos: seed %d transport %s: %s\nreproduce: %s",
-			seed, tk, fmt.Sprintf(format, args...), o.repro(tk, seed))
+			seed, tk, msg, o.repro(tk, seed))
 	}
 	res, err := RunSchedule(ro)
 	if err != nil {
 		return fail("%v", err)
+	}
+	lastTrace = res.Trace
+	if o.TraceDir != "" {
+		if err := exportTrace(res.Trace, o.TraceDir, tk, seed); err != nil {
+			return fail("trace export: %v", err)
+		}
 	}
 	if len(res.Problems) > 0 {
 		return fail("trace violations: %v", res.Problems)
@@ -239,6 +276,33 @@ func (o *SoakOptions) runCell(tk transport.Kind, seed int64, base [][]byte) erro
 	return nil
 }
 
+// exportTrace writes one cell's trace into dir as JSONL.
+func exportTrace(rec *trace.Recorder, dir string, tk transport.Kind, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-seed%d-%s.jsonl", seed, tk))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpFlight writes the failing run's trace to FlightDir and returns the
+// file path ("" when no dir is configured or no trace was recorded).
+func (o *SoakOptions) dumpFlight(rec *trace.Recorder, tk transport.Kind, seed int64) (string, error) {
+	if o.FlightDir == "" || rec == nil {
+		return "", nil
+	}
+	fr := trace.NewFlightRecorder(rec, o.FlightDir)
+	return fr.Dump(fmt.Sprintf("seed %d %s", seed, tk))
+}
+
 // repro renders the windar-chaos invocation that replays one cell.
 func (o *SoakOptions) repro(tk transport.Kind, seed int64) string {
 	cmd := fmt.Sprintf("go run ./cmd/windar-chaos -seeds %d -transports %s -procs %d -app %s -steps %d -protocol %s",
@@ -248,6 +312,9 @@ func (o *SoakOptions) repro(tk transport.Kind, seed int64) string {
 	}
 	if o.Stalls {
 		cmd += " -stalls"
+	}
+	if o.Run.SpanTracing {
+		cmd += " -tracing"
 	}
 	if o.Schedule != nil {
 		cmd += fmt.Sprintf(" -schedule %q", strings.ReplaceAll(o.Schedule.String(), "\n", "; "))

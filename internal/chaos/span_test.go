@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"windar/internal/trace"
+)
+
+// TestLineageAcrossRecovery reconstructs the cross-rank causal DAG from
+// a traced run spanning a kill/recover cycle, on every transport: the
+// lineage must satisfy every structural and causal invariant, reach
+// across ranks, and carry the recovery's replay lineage (regenerated
+// sends in the new incarnation and/or log resends).
+func TestLineageAcrossRecovery(t *testing.T) {
+	sched, err := Parse("kill 1 @2ms; recover 1 @6ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, tk := range testTransports(t) {
+		tk := tk
+		t.Run(string(tk), func(t *testing.T) {
+			t.Parallel()
+			ro := RunOptions{
+				Schedule: sched, Transport: tk, Procs: 4, AppSteps: 30,
+				Seed: 7, SpanTracing: true,
+			}
+			res, err := RunSchedule(ro)
+			if err != nil {
+				t.Fatalf("RunSchedule: %v", err)
+			}
+			for _, p := range res.Problems {
+				t.Errorf("problem: %v", p)
+			}
+			lin := trace.BuildLineage(res.Trace)
+			for _, p := range lin.Check() {
+				t.Errorf("lineage: %v", p)
+			}
+			sum := lin.Summary()
+			if sum.Spans == 0 || sum.CrossRank == 0 {
+				t.Fatalf("lineage did not reach across ranks: %+v", sum)
+			}
+			if sum.Regenerated == 0 && sum.Resends == 0 {
+				t.Errorf("no replay lineage across the recovery: %+v", sum)
+			}
+			killed, recovered := false, false
+			for _, e := range lin.Events {
+				switch e.Kind {
+				case trace.EvKill:
+					killed = true
+				case trace.EvRecover:
+					recovered = true
+				}
+			}
+			if !killed || !recovered {
+				t.Errorf("kill/recover markers missing (kill=%v recover=%v)", killed, recovered)
+			}
+			if t.Failed() {
+				t.Logf("action log:\n%s", strings.Join(res.Log, "\n"))
+			}
+		})
+	}
+}
+
+// TestSoakTracedWithFlightDir runs a small traced soak end to end: every
+// cell's trace exports to TraceDir (the CI trace-export input), and the
+// lineage checks folded into RunSchedule stay clean.
+func TestSoakTracedWithFlightDir(t *testing.T) {
+	dir := t.TempDir()
+	o := SoakOptions{
+		Seeds: []int64{3},
+		Run: RunOptions{
+			Procs: 4, AppSteps: 20, SpanTracing: true,
+		},
+		Faults:    2,
+		TraceDir:  dir,
+		FlightDir: dir,
+	}
+	if err := Soak(o); err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	f, err := os.Open(filepath.Join(dir, "trace-seed3-mem.jsonl"))
+	if err != nil {
+		t.Fatalf("exported trace missing: %v", err)
+	}
+	defer f.Close()
+	rec, err := trace.Import(f)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	lin := trace.BuildLineage(rec)
+	for _, p := range lin.Check() {
+		t.Errorf("lineage from exported trace: %v", p)
+	}
+	if lin.Summary().Spans == 0 {
+		t.Fatal("exported trace reconstructs no spans")
+	}
+}

@@ -35,6 +35,7 @@ func AllocProbes() []AllocProbe {
 	return []AllocProbe{
 		{Name: "delivery_scan", F: probeDeliveryScan},
 		{Name: "delivery_scan_chain", F: probeDeliveryScanChain},
+		{Name: "delivery_scan_traced", F: probeDeliveryScanTraced},
 		{Name: "pig_encode_delta", F: probePigEncodeDelta},
 		{Name: "pig_encode_full", F: probePigEncodeFull},
 		{Name: "pig_decode", F: probePigDecode},
@@ -59,7 +60,24 @@ func (probeApp) Restore([]byte) error { return nil }
 // the handler chain (protocol ingest, counters, observer fan-out). The
 // cluster is never started, so the runtime's queues are driven directly
 // under its lock, exactly as the receiver loop would.
-func probeDeliveryScan() float64 { return deliveryScanAllocs(nil) }
+func probeDeliveryScan() float64 { return deliveryScanAllocs(nil, false) }
+
+// spanProbeObserver is the span-aware observer of the traced probe: the
+// harness resolves its SpanObserver view, so the delivery flows through
+// the OnDeliverSpan dispatch exactly as it does under a trace recorder —
+// without the recorder's own ring costs, which are not the hot path
+// under gate.
+type spanProbeObserver struct{ nopObserver }
+
+func (spanProbeObserver) OnSendSpan(int, int, int64, bool, layer.SpanContext)            {}
+func (spanProbeObserver) OnDeliverSpan(int, int, int64, int64, int64, layer.SpanContext) {}
+
+// probeDeliveryScanTraced is probeDeliveryScan with span tracing on: the
+// chain gains the spanHandler, every queued envelope carries a span
+// context, and the observer fan-out takes the span-carrying dispatch.
+// Tracing must not add a single allocation to the delivery path — the
+// span is copied by value end to end.
+func probeDeliveryScanTraced() float64 { return deliveryScanAllocs(nil, true) }
 
 // probeCounter is the user interceptor of the chain probe: a
 // Forward-embedding layer counting deliveries with plain integer state —
@@ -84,14 +102,17 @@ func probeDeliveryScanChain() float64 {
 			counter.Next = next
 			return counter
 		}),
-	})
+	}, false)
 }
 
 // deliveryScanAllocs drives the shared delivery probe with the given
-// user interceptors in the chain.
-func deliveryScanAllocs(interceptors []layer.Interceptor) float64 {
-	c, err := NewCluster(Config{N: 2, Interceptors: interceptors},
-		func(rank, n int) app.App { return probeApp{} })
+// user interceptors in the chain, optionally with span tracing armed.
+func deliveryScanAllocs(interceptors []layer.Interceptor, traced bool) float64 {
+	cfg := Config{N: 2, Interceptors: interceptors, SpanTracing: traced}
+	if traced {
+		cfg.Observer = spanProbeObserver{}
+	}
+	c, err := NewCluster(cfg, func(rank, n int) app.App { return probeApp{} })
 	if err != nil {
 		panic(err)
 	}
@@ -105,9 +126,14 @@ func deliveryScanAllocs(interceptors []layer.Interceptor) float64 {
 	sender := core.New(1, 2, nil, nil)
 	for i := int64(1); i <= allocProbeRuns+4; i++ {
 		pig, _ := sender.PiggybackForSend(0, i)
-		r.recvQ[1] = append(r.recvQ[1], &wire.Envelope{
+		env := &wire.Envelope{
 			Kind: wire.KindApp, From: 1, To: 0, SendIndex: i, Piggyback: pig,
-		})
+		}
+		if traced {
+			id := spanID(1, 0, uint32(i))
+			env.Span = layer.SpanContext{Trace: id, Span: id}
+		}
+		r.recvQ[1] = append(r.recvQ[1], env)
 	}
 	return testing.AllocsPerRun(allocProbeRuns, func() {
 		r.mu.Lock()

@@ -17,6 +17,7 @@ import (
 // Stack, outermost first:
 //
 //	protoHandler    – piggyback attach (send) / fold into protocol (deliver)
+//	spanHandler     – causal span stamping (only when Config.SpanTracing)
 //	obsHandler      – metrics counters + deliver-latency histogram
 //	observerHandler – Observer fan-out (trace recorder, chaos engine)
 //	user layers     – Config.Interceptors, in order
@@ -26,8 +27,14 @@ import (
 func (r *rankRuntime) buildChain(user []layer.Interceptor) layer.Handler {
 	var h layer.Handler = coreHandler{r: r}
 	h = layer.Chain(h, user...)
-	h = observerHandler{r: r, obs: r.c.observer(), next: h}
+	h = observerHandler{r: r, obs: r.c.observer(), spanObs: r.c.spanObs, next: h}
 	h = obsHandler{r: r, next: h}
+	if r.c.cfg.SpanTracing {
+		// Inside the protocol layer so the span rides on the message the
+		// protocol finished preparing, outside the obs/observer layers so
+		// both see the stamped context.
+		h = spanHandler{r: r, next: h}
+	}
 	h = protoHandler{r: r, next: h}
 	return h
 }
@@ -113,16 +120,25 @@ func (h obsHandler) Restore(info *layer.RestoreInfo) { h.next.Restore(info) }
 // observerHandler fans events out to the configured harness.Observer —
 // the trace recorder and, wrapping it, the chaos engine ride here. The
 // observer is resolved once at chain build (nopObs when none is
-// configured), so the per-message call never constructs an interface.
+// configured), so the per-message call never constructs an interface;
+// likewise spanObs caches the observer's optional SpanObserver view
+// (nil when unimplemented), so the hot path never repeats the type
+// assertion. When spanObs is set the span-carrying callbacks replace —
+// not duplicate — the plain ones.
 type observerHandler struct {
-	r    *rankRuntime
-	obs  Observer
-	next layer.Handler
+	r       *rankRuntime
+	obs     Observer
+	spanObs SpanObserver
+	next    layer.Handler
 }
 
 // Send implements layer.Handler.
 func (h observerHandler) Send(m *layer.Msg) {
-	h.obs.OnSend(h.r.id, m.Peer, m.SendIndex, false)
+	if h.spanObs != nil {
+		h.spanObs.OnSendSpan(h.r.id, m.Peer, m.SendIndex, false, m.Span)
+	} else {
+		h.obs.OnSend(h.r.id, m.Peer, m.SendIndex, false)
+	}
 	h.next.Send(m)
 }
 
@@ -130,7 +146,11 @@ func (h observerHandler) Send(m *layer.Msg) {
 //
 //windar:hotpath
 func (h observerHandler) Deliver(m *layer.Msg) {
-	h.obs.OnDeliver(h.r.id, m.Peer, m.SendIndex, m.DeliverIndex, m.Demand)
+	if h.spanObs != nil {
+		h.spanObs.OnDeliverSpan(h.r.id, m.Peer, m.SendIndex, m.DeliverIndex, m.Demand, m.Span)
+	} else {
+		h.obs.OnDeliver(h.r.id, m.Peer, m.SendIndex, m.DeliverIndex, m.Demand)
+	}
 	h.next.Deliver(m)
 }
 
@@ -162,7 +182,7 @@ func (h coreHandler) Send(m *layer.Msg) {
 	r := h.r
 	r.log.Append(proto.LogItem{
 		Dest: m.Peer, SendIndex: m.SendIndex, Tag: m.Tag,
-		Piggyback: m.Piggyback, Payload: m.Payload,
+		Piggyback: m.Piggyback, Payload: m.Payload, Span: m.Span,
 	})
 	r.sendSuppressed = m.SendIndex <= r.rollbackLastSendIndex[m.Peer]
 }

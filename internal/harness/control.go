@@ -172,13 +172,19 @@ func (r *rankRuntime) handleRollback(env *wire.Envelope) {
 			Kind: wire.KindApp, From: r.id, To: failed,
 			Incarnation: r.incarnation, Tag: it.Tag,
 			SendIndex: it.SendIndex, Resent: true,
-			Piggyback: it.Piggyback, Payload: it.Payload,
+			// The logged span travels verbatim: a resend is the original
+			// send replayed, not a new causal event.
+			Piggyback: it.Piggyback, Payload: it.Payload, Span: it.Span,
 		}
 		if err := r.c.tr.Send(renv, transportSendOpts(false, r.killed)); err != nil {
 			return
 		}
 		m.Resent()
-		r.c.observer().OnSend(r.id, failed, it.SendIndex, true)
+		if so := r.c.spanObs; so != nil {
+			so.OnSendSpan(r.id, failed, it.SendIndex, true, it.Span)
+		} else {
+			r.c.observer().OnSend(r.id, failed, it.SendIndex, true)
+		}
 	}
 }
 

@@ -198,6 +198,11 @@ type Config struct {
 	// batched write (TCP) or one serviced transfer (mem). 0 selects the
 	// transport default; negative disables batching.
 	SendBatchBytes int64
+	// SpanTracing stamps every application message with a causal span
+	// context (see span.go) carried in the wire envelope. Off by default;
+	// when off the wire encoding is byte-identical to a build without the
+	// feature, and span-aware observers receive zero contexts.
+	SpanTracing bool
 }
 
 // Cluster is one n-rank run: transport, stable storage, protocol instances,
@@ -216,6 +221,11 @@ type Cluster struct {
 	// or EveryKSteps derived from CheckpointEvery; nil disables periodic
 	// checkpoints).
 	ckptPolicy layer.CheckpointPolicy
+
+	// spanObs is the configured observer's optional SpanObserver view,
+	// resolved once at construction (nil when unimplemented) so neither
+	// the chain nor the recovery resend path repeats the type assertion.
+	spanObs SpanObserver
 
 	// Observability families (nil handles when cfg.Obs is nil; records
 	// through them no-op).
@@ -314,6 +324,7 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 	if s, ok := cfg.Observer.(interface{ SetTransport(kind string) }); ok {
 		s.SetTransport(tr.Kind())
 	}
+	c.spanObs, _ = cfg.Observer.(SpanObserver)
 	return c, nil
 }
 

@@ -55,6 +55,14 @@ type rankRuntime struct {
 	// pushed through the chain (valid until the next Send).
 	sendSuppressed bool
 
+	// Span-tracing state (Config.SpanTracing; see span.go). spanSeq is
+	// the per-incarnation send counter packed into span IDs; it is
+	// incremented under mu on the send path. lastDelivSpan is the causal
+	// cursor: the span of the most recently delivered message, updated
+	// under mu on the deliver path and read under mu at the next send.
+	spanSeq       uint32
+	lastDelivSpan layer.SpanContext
+
 	lastSendIndex         vclock.Vec // per destination (line 4)
 	lastDeliverIndex      vclock.Vec // per source (line 5)
 	lastCkptDeliverIndex  vclock.Vec // last advertised in CHECKPOINT_ADVANCE (line 6)
@@ -245,8 +253,10 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	m.SendIndex, m.DeliverIndex, m.Demand = idx, 0, -1
 	m.Piggyback, m.PiggybackIDs = nil, 0
 	m.Payload, m.Resent = payload, false
+	m.Span = layer.SpanContext{}
 	r.chain.Send(m)
 	pig, payload := m.Piggyback, m.Payload
+	span := m.Span
 	suppress := r.sendSuppressed
 	r.mu.Unlock()
 
@@ -256,7 +266,7 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	env := &wire.Envelope{
 		Kind: wire.KindApp, From: r.id, To: dest,
 		Incarnation: r.incarnation, Tag: tag, SendIndex: idx,
-		Piggyback: pig, Payload: payload,
+		Piggyback: pig, Payload: payload, Span: span,
 	}
 	r.transmit(env)
 }
@@ -446,6 +456,7 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 	m.SendIndex, m.DeliverIndex, m.Demand = env.SendIndex, r.deliveredCount, -1
 	m.Piggyback, m.PiggybackIDs = env.Piggyback, 0
 	m.Payload, m.Resent = env.Payload, env.Resent
+	m.Span = env.Span
 	r.delivEnv = env
 	r.chain.Deliver(m)
 	payload := m.Payload

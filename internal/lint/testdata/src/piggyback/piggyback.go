@@ -5,6 +5,7 @@ package piggyback
 import (
 	"windar/internal/vclock"
 	"windar/internal/wire"
+	"windar/layer"
 )
 
 func bad(pig []byte) *wire.Envelope {
@@ -17,7 +18,7 @@ func bad(pig []byte) *wire.Envelope {
 }
 
 func badUnkeyed() wire.Envelope {
-	return wire.Envelope{wire.KindApp, 0, 1, 0, 0, 1, false, nil, nil} // want "unkeyed wire.Envelope literal"
+	return wire.Envelope{wire.KindApp, 0, 1, 0, 0, 1, false, nil, nil, layer.SpanContext{}} // want "unkeyed wire.Envelope literal"
 }
 
 func good(pig []byte) *wire.Envelope {

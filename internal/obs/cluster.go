@@ -1,0 +1,88 @@
+package obs
+
+import "sort"
+
+// Cluster-wide metrics aggregation: one exact, lossless merge of the
+// log-bucketed histograms across every rank of a run — and, because
+// merged snapshots keep their full sparse bucket lists, across every
+// *node* of a multi-process deployment: Merge of two ClusterSnapshots is
+// associative and bit-exact, so a tree of aggregators reports the same
+// buckets a single registry recording every value would have (the
+// property the histogram-merge tests pin down).
+
+// ClusterHist is one family's cluster-wide aggregate.
+type ClusterHist struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Unit string `json:"unit,omitempty"`
+	// Merged is the exact cross-rank histogram with its full sparse
+	// bucket list — the lossless form downstream aggregators re-merge.
+	Merged HistSnapshot `json:"merged"`
+	// Stat summarizes Merged for direct display (windar-top).
+	Stat HistStat `json:"stat"`
+}
+
+// ClusterSnapshot is the /cluster payload: every family's exact
+// cross-rank aggregate.
+type ClusterSnapshot struct {
+	// N is the rank count behind the aggregate; merging snapshots sums
+	// it (two 4-rank nodes aggregate as 8 ranks).
+	N        int           `json:"n"`
+	Families []ClusterHist `json:"families,omitempty"`
+}
+
+// ClusterOf aggregates per-rank family snapshots into the cluster view.
+// The merge is HistSnapshot.Add per family — exact bucket-count sums,
+// no re-sampling — so Stat quantiles computed here equal quantiles a
+// single histogram receiving every rank's records would report.
+func ClusterOf(n int, fams []FamilySnapshot) ClusterSnapshot {
+	c := ClusterSnapshot{N: n}
+	for _, f := range fams {
+		merged := HistSnapshot{}
+		for _, rh := range f.Ranks {
+			merged = merged.Add(rh)
+		}
+		c.Families = append(c.Families, ClusterHist{
+			Name: f.Name, Help: f.Help, Unit: f.Unit,
+			Merged: merged, Stat: StatOf(merged),
+		})
+	}
+	return c
+}
+
+// Cluster snapshots the registry's cluster-wide aggregate. Nil-safe like
+// every registry accessor.
+func (r *Registry) Cluster() ClusterSnapshot {
+	return ClusterOf(r.N(), r.Snapshot())
+}
+
+// Merge combines two cluster snapshots exactly, matching families by
+// name; families present on only one side carry over unchanged. The
+// result's family order is sorted by name (a deterministic order for a
+// commutative merge).
+func (c ClusterSnapshot) Merge(o ClusterSnapshot) ClusterSnapshot {
+	out := ClusterSnapshot{N: c.N + o.N}
+	byName := map[string]ClusterHist{}
+	for _, f := range c.Families {
+		byName[f.Name] = f
+	}
+	for _, f := range o.Families {
+		if prev, ok := byName[f.Name]; ok {
+			m := prev.Merged.Add(f.Merged)
+			prev.Merged = m
+			prev.Stat = StatOf(m)
+			byName[f.Name] = prev
+		} else {
+			byName[f.Name] = f
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.Families = append(out.Families, byName[n])
+	}
+	return out
+}

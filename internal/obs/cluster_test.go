@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sameHist compares two snapshots bit-exactly, treating empty bucket
+// lists (nil vs zero-length, an Add artifact) as equal.
+func sameHist(t *testing.T, label string, got, want HistSnapshot) {
+	t.Helper()
+	if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+		t.Fatalf("%s: totals diverged:\ngot  %+v\nwant %+v", label, got, want)
+	}
+	if len(got.Buckets) == 0 && len(want.Buckets) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got.Buckets, want.Buckets) {
+		t.Fatalf("%s: buckets diverged:\ngot  %v\nwant %v", label, got.Buckets, want.Buckets)
+	}
+}
+
+// randValue draws from a wide mixed distribution so every bucket regime
+// (exact unit buckets, low octaves, high octaves) is exercised.
+func randValue(rng *rand.Rand) int64 {
+	switch rng.Intn(4) {
+	case 0:
+		return int64(rng.Intn(subCount)) // exact unit buckets
+	case 1:
+		return rng.Int63n(1 << 12)
+	case 2:
+		return rng.Int63n(1 << 40)
+	default:
+		return rng.Int63() // anywhere in int64
+	}
+}
+
+// TestClusterMergeBitExact is the acceptance property: the /cluster
+// aggregate of values scattered across ranks is bit-exact against a
+// single histogram that recorded every value — same totals, same sparse
+// bucket list, hence identical quantiles.
+func TestClusterMergeBitExact(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const ranks = 5
+		reg := NewRegistry(ranks)
+		fam := reg.Family("lat_ns", "test family", "ns")
+		var single Hist
+		for i := 0; i < 2000; i++ {
+			v := randValue(rng)
+			fam.Rank(rng.Intn(ranks)).Record(v)
+			single.Record(v)
+		}
+		cl := reg.Cluster()
+		if cl.N != ranks || len(cl.Families) != 1 {
+			t.Fatalf("seed %d: cluster shape: %+v", seed, cl)
+		}
+		f := cl.Families[0]
+		sameHist(t, "merged", f.Merged, single.Snapshot())
+		if f.Stat != StatOf(single.Snapshot()) {
+			t.Fatalf("seed %d: stat diverged:\ngot  %+v\nwant %+v",
+				seed, f.Stat, StatOf(single.Snapshot()))
+		}
+	}
+}
+
+// TestClusterSnapshotMergeAssociative pins the multi-node property: a
+// tree of aggregators may merge ClusterSnapshots in any grouping and
+// order and must land on the identical aggregate a single registry
+// recording every value would report.
+func TestClusterSnapshotMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"alpha_ns", "beta_bytes", "gamma_ids"}
+	// Three "nodes", each with a registry covering a subset of families.
+	nodes := make([]*Registry, 3)
+	singles := map[string]*Hist{}
+	for i := range nodes {
+		nodes[i] = NewRegistry(2)
+	}
+	for _, n := range names {
+		singles[n] = &Hist{}
+	}
+	for i := 0; i < 3000; i++ {
+		node := nodes[rng.Intn(len(nodes))]
+		name := names[rng.Intn(len(names))]
+		v := randValue(rng)
+		node.Family(name, "", "").Rank(rng.Intn(2)).Record(v)
+		singles[name].Record(v)
+	}
+	a, b, c := nodes[0].Cluster(), nodes[1].Cluster(), nodes[2].Cluster()
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	swapped := c.Merge(a).Merge(b)
+	if !reflect.DeepEqual(left, right) || !reflect.DeepEqual(left, swapped) {
+		t.Fatal("ClusterSnapshot.Merge is not associative/commutative")
+	}
+	if left.N != 6 {
+		t.Fatalf("merged rank count = %d, want 6", left.N)
+	}
+	for _, f := range left.Families {
+		sameHist(t, f.Name, f.Merged, singles[f.Name].Snapshot())
+	}
+	if len(left.Families) != len(names) {
+		t.Fatalf("family count = %d, want %d", len(left.Families), len(names))
+	}
+}
+
+// TestClusterNilRegistry keeps the nil-degradation contract: a nil
+// registry aggregates to an empty snapshot instead of panicking.
+func TestClusterNilRegistry(t *testing.T) {
+	var r *Registry
+	cl := r.Cluster()
+	if cl.N != 0 || len(cl.Families) != 0 {
+		t.Fatalf("nil registry cluster = %+v", cl)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -82,6 +83,11 @@ type Source struct {
 	Meta map[string]string
 	// Clock times uptime; defaults to the real clock.
 	Clock clock.Clock
+	// Flight, if non-nil, streams the flight recorder's current trace
+	// window (a JSONL snapshot) — served as /debug/flight. obs stays a
+	// leaf package: the accessor is wired by the embedder (windar.Cluster
+	// hands it the trace.FlightRecorder's WriteSnapshot).
+	Flight func(w io.Writer) error
 }
 
 // Server is the debug HTTP endpoint set. Build one with NewServer (for
@@ -104,7 +110,9 @@ func NewServer(src Source) *Server {
 	s := &Server{src: src, clk: src.Clock, start: src.Clock.Now(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.HandleFunc("/cluster", s.handleCluster)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -191,6 +199,28 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.Vars())
+}
+
+// handleCluster serves the exact cross-rank histogram aggregate.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.src.Registry.Cluster())
+}
+
+// handleFlight streams the flight recorder's current window as a JSONL
+// trace (404 when no recorder is armed).
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	if s.src.Flight == nil {
+		http.Error(w, "no flight recorder armed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.src.Flight(w); err != nil {
+		// Headers are gone; all we can do is cut the stream short.
+		return
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -140,9 +140,61 @@ func TestServeListens(t *testing.T) {
 func TestEmptySource(t *testing.T) {
 	ts := httptest.NewServer(NewServer(Source{Clock: clock.NewFake(time.Unix(0, 0))}).Handler())
 	defer ts.Close()
-	for _, path := range []string{"/metrics", "/debug/vars", "/healthz"} {
+	for _, path := range []string{"/metrics", "/debug/vars", "/healthz", "/cluster"} {
 		if code, _ := get(t, ts, path); code != http.StatusOK {
 			t.Errorf("%s on empty source: status %d", path, code)
 		}
+	}
+	// No flight recorder wired: the endpoint says so instead of serving
+	// an empty trace.
+	if code, _ := get(t, ts, "/debug/flight"); code != http.StatusNotFound {
+		t.Errorf("/debug/flight without a recorder: status %d, want 404", code)
+	}
+}
+
+// TestServerClusterEndpoint checks /cluster serves the exact cross-rank
+// aggregate of the registry's families.
+func TestServerClusterEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer(testSource(false)).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster status %d", code)
+	}
+	var cl ClusterSnapshot
+	if err := json.Unmarshal([]byte(body), &cl); err != nil {
+		t.Fatalf("/cluster decode: %v", err)
+	}
+	if cl.N != 2 || len(cl.Families) != 1 {
+		t.Fatalf("/cluster payload: %+v", cl)
+	}
+	f := cl.Families[0]
+	if f.Name != "deliver_latency_ns" || f.Merged.Count != 2 || f.Merged.Sum != 4000 {
+		t.Errorf("/cluster merge wrong: %+v", f)
+	}
+	if f.Stat.Count != 2 || f.Stat.Max != 3000 {
+		t.Errorf("/cluster stat wrong: %+v", f.Stat)
+	}
+	if len(f.Merged.Buckets) == 0 {
+		t.Error("/cluster lost the sparse bucket list (downstream re-merge impossible)")
+	}
+}
+
+// TestServerFlightEndpoint checks /debug/flight streams whatever the
+// wired accessor writes.
+func TestServerFlightEndpoint(t *testing.T) {
+	src := testSource(false)
+	src.Flight = func(w io.Writer) error {
+		_, err := io.WriteString(w, "{\"header\":4}\n{\"ev\":\"send\"}\n")
+		return err
+	}
+	ts := httptest.NewServer(NewServer(src).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight status %d", code)
+	}
+	if !strings.Contains(body, `"ev":"send"`) {
+		t.Errorf("/debug/flight body = %q", body)
 	}
 }

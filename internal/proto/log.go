@@ -3,6 +3,8 @@ package proto
 import (
 	"fmt"
 	"sort"
+
+	"windar/layer"
 )
 
 // LogItem is one sender-logged application message: destination, sending
@@ -10,12 +12,16 @@ import (
 // line 12). The logged piggyback is retransmitted verbatim with the
 // message during a peer's recovery ("every resent message should be
 // piggybacked with the logged vector ... as in normal execution mode").
+// The span context rides along for the same reason: a resend must carry
+// the original send's causal identity, not a fresh one (checkpoints are
+// gob-encoded, which tolerates the field's absence in old snapshots).
 type LogItem struct {
 	Dest      int
 	SendIndex int64
 	Tag       int32
 	Piggyback []byte
 	Payload   []byte
+	Span      layer.SpanContext
 }
 
 // Log is a sender-based message log, organised per destination with items

@@ -160,7 +160,7 @@ func TestBoundedExportHeaderWithoutTransport(t *testing.T) {
 	if err := r.Export(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), `{"header":3,"dropped":1}`) {
+	if !strings.HasPrefix(buf.String(), `{"header":4,"dropped":1}`) {
 		t.Fatalf("missing header:\n%s", buf.String())
 	}
 }

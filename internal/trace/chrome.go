@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the reconstructed DAG rendered in the
+// chrome://tracing / Perfetto JSON object format. Each rank is a
+// process; each sender incarnation a thread on it. A span becomes one
+// complete ("X") slice on the sender's track, from its send to its last
+// delivery, plus a flow arrow ("s"/"f") from the send to every delivery
+// so cross-rank causality is visible in the UI. Lifecycle events (kill,
+// recover, checkpoint) render as instant markers.
+//
+// The trace has no wall-clock: the recorder's global Seq is the logical
+// timeline (1 tick = 1 µs in the UI, since ts is microseconds). That
+// choice is deliberate — it makes the export a pure function of the
+// trace, so golden-file tests can require byte equality.
+
+// chromeEvent is one trace-event object. Field order is the emitted JSON
+// order; pointers distinguish "absent" from zero for fields only some
+// phases carry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int            `json:"ts"`
+	Dur  *int           `json:"dur,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChrome writes the DAG as Chrome trace-event JSON. Output is
+// deterministic: spans in logical send order, deliveries and lifecycle
+// markers in recorder order.
+func (l *Lineage) WriteChrome(w io.Writer) error {
+	spans := l.sortedSpans()
+	events := make([]chromeEvent, 0, 4*len(spans))
+
+	// Name the process tracks once per rank that appears.
+	ranks := map[int]bool{}
+	noteRank := func(r int) {
+		if ranks[r] {
+			return
+		}
+		ranks[r] = true
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: r, Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, s := range spans {
+		noteRank(s.From)
+		noteRank(s.To)
+	}
+	for _, e := range l.Events {
+		noteRank(e.Rank)
+	}
+
+	for _, s := range spans {
+		start := s.SendSeq
+		if start < 0 {
+			start = s.DeliverSeqs[0] // deliver-only span (bounded trace)
+		}
+		end := start
+		for _, d := range s.DeliverSeqs {
+			if d > end {
+				end = d
+			}
+		}
+		dur := end - start
+		if dur == 0 {
+			dur = 1
+		}
+		name := fmt.Sprintf("msg %d->%d #%d", s.From, s.To, s.SendIndex)
+		args := map[string]any{
+			"trace": fmt.Sprintf("%x", s.Trace),
+			"span":  fmt.Sprintf("%x", s.ID),
+		}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%x", s.Parent)
+		}
+		if s.Regenerated != 0 {
+			args["regenerates"] = fmt.Sprintf("%x", s.Regenerated)
+		}
+		if n := len(s.ResendSeqs); n > 0 {
+			args["resends"] = n
+		}
+		events = append(events, chromeEvent{
+			Name: name, Ph: "X", Cat: "msg",
+			Pid: s.From, Tid: s.Incarnation, Ts: start, Dur: &dur, Args: args,
+		})
+		id := fmt.Sprintf("%x", s.ID)
+		events = append(events, chromeEvent{
+			Name: "flow", Ph: "s", Cat: "msg",
+			Pid: s.From, Tid: s.Incarnation, Ts: start, ID: id,
+		})
+		for _, d := range s.DeliverSeqs {
+			events = append(events, chromeEvent{
+				Name: "flow", Ph: "f", BP: "e", Cat: "msg",
+				Pid: s.To, Tid: 0, Ts: d, ID: id,
+			})
+		}
+	}
+
+	for _, e := range l.Events {
+		switch e.Kind {
+		case EvKill:
+			events = append(events, chromeEvent{
+				Name: "kill", Ph: "i", S: "p", Cat: "lifecycle",
+				Pid: e.Rank, Tid: 0, Ts: e.Seq,
+			})
+		case EvRecover:
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("recover@step%d", e.Step), Ph: "i", S: "p",
+				Cat: "lifecycle", Pid: e.Rank, Tid: 0, Ts: e.Seq,
+			})
+		case EvCheckpoint:
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("checkpoint@step%d", e.Step), Ph: "i", S: "t",
+				Cat: "lifecycle", Pid: e.Rank, Tid: 0, Ts: e.Seq,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"clock": "logical (recorder seq)",
+			"tool":  "windar-trace",
+		},
+	})
+}

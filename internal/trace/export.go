@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -22,6 +23,12 @@ type jsonEvent struct {
 	Phase        string `json:"phase,omitempty"` // recovery-phase spans (header v2)
 	Dur          int64  `json:"dur,omitempty"`   // span nanoseconds (header v2)
 	Seq          int    `json:"seq"`
+	// Causal span identifiers (header v4), lowercase hex without a 0x
+	// prefix — uint64s would lose precision in JSON tooling that reads
+	// numbers as float64. Absent on untraced events.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // jsonHeader is the optional first line of a trace file carrying run
@@ -40,9 +47,11 @@ type jsonHeader struct {
 // and dur fields) and the header's dropped count for traces written by
 // bounded recorders. Version 3 added the recovery-exchange events
 // (kinds "rollback", "response", "ingest-rejected") that back the
-// rollback-response pairing rule; files with older headers, or none,
-// still import.
-const headerVersion = 3
+// rollback-response pairing rule. Version 4 added the causal span
+// identifiers (hex "trace"/"span"/"parent" on send and deliver events)
+// the lineage reconstructor consumes; files with older headers, or
+// none, still import.
+const headerVersion = 4
 
 var kindNames = map[EventKind]string{
 	EvSend:             "send",
@@ -94,6 +103,13 @@ func (r *Recorder) Export(w io.Writer) error {
 		if e.Kind == EvDeliver && e.Demand >= 0 {
 			d := e.Demand
 			je.Demand = &d
+		}
+		if e.Span != 0 {
+			je.Trace = strconv.FormatUint(e.Trace, 16)
+			je.Span = strconv.FormatUint(e.Span, 16)
+			if e.Parent != 0 {
+				je.Parent = strconv.FormatUint(e.Parent, 16)
+			}
 		}
 		if err := enc.Encode(je); err != nil {
 			return fmt.Errorf("trace: export: %w", err)
@@ -148,12 +164,33 @@ func Import(rd io.Reader) (*Recorder, error) {
 		if je.Demand != nil {
 			demand = *je.Demand
 		}
-		rec.add(Event{
+		parseHex := func(s, field string) (uint64, error) {
+			if s == "" {
+				return 0, nil
+			}
+			v, err := strconv.ParseUint(s, 16, 64)
+			if err != nil {
+				return 0, fmt.Errorf("trace: import: bad %s %q: %w", field, s, err)
+			}
+			return v, nil
+		}
+		ev := Event{
 			Kind: kind, Rank: je.Rank, Peer: je.Peer,
 			SendIndex: je.SendIndex, DeliverIndex: je.DeliverIndex,
 			Step: je.Step, Count: je.Count, Demand: demand, Resent: je.Resent,
 			Phase: je.Phase, Dur: je.Dur,
-		})
+		}
+		var err error
+		if ev.Trace, err = parseHex(je.Trace, "trace id"); err != nil {
+			return nil, err
+		}
+		if ev.Span, err = parseHex(je.Span, "span id"); err != nil {
+			return nil, err
+		}
+		if ev.Parent, err = parseHex(je.Parent, "parent id"); err != nil {
+			return nil, err
+		}
+		rec.add(ev)
 	}
 	return rec, nil
 }

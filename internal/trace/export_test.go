@@ -45,7 +45,7 @@ func TestTransportHeaderRoundTrip(t *testing.T) {
 	if err := r.Export(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), `{"header":3,"transport":"tcp"}`) {
+	if !strings.HasPrefix(buf.String(), `{"header":4,"transport":"tcp"}`) {
 		t.Fatalf("missing header line:\n%s", buf.String())
 	}
 	got, err := Import(&buf)

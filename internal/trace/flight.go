@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FlightRecorder keeps a bounded trace ring armed continuously and dumps
+// it on demand — the crash "black box". The cost of arming it is one
+// ring slot per event (the streaming digest keeps validation exact
+// across evictions, see NewBounded), so it can stay on for whole soaks;
+// when something dies, Dump ships the last window of events to a JSONL
+// file any offline tool (windar-trace, Import) can read.
+type FlightRecorder struct {
+	rec *Recorder
+	dir string
+
+	mu  sync.Mutex
+	seq int // dump counter, so repeated dumps never clobber each other
+}
+
+// DefaultFlightEvents is the ring capacity ArmFlight uses when the
+// caller passes no bound: large enough to span several recoveries at
+// chaos-soak message rates, small enough to stay memory-irrelevant.
+const DefaultFlightEvents = 65536
+
+// ArmFlight builds a flight recorder around a fresh bounded trace ring.
+// Install Recorder as the cluster observer (harness.Config.Observer) and
+// keep the FlightRecorder for Dump. events <= 0 selects
+// DefaultFlightEvents; dir is where dumps land (created on first dump).
+func ArmFlight(dir string, events int) *FlightRecorder {
+	if events <= 0 {
+		events = DefaultFlightEvents
+	}
+	return &FlightRecorder{rec: NewBounded(events), dir: dir}
+}
+
+// NewFlightRecorder wraps an existing recorder (bounded or not) so its
+// contents can be dumped; used when the run already records a trace for
+// validation and the flight dump should share it.
+func NewFlightRecorder(rec *Recorder, dir string) *FlightRecorder {
+	return &FlightRecorder{rec: rec, dir: dir}
+}
+
+// Recorder returns the underlying ring, to be installed as the cluster
+// observer.
+func (f *FlightRecorder) Recorder() *Recorder { return f.rec }
+
+// WriteSnapshot streams the current ring contents as a JSONL trace. It
+// is the /debug/flight payload: a snapshot of the window at call time.
+func (f *FlightRecorder) WriteSnapshot(w io.Writer) error { return f.rec.Export(w) }
+
+// Dump writes the current ring to a new file in the recorder's
+// directory, named flight-<n>-<reason>.jsonl, and returns its path. The
+// directory is created if missing. Reasons are sanitized to keep the
+// path shell-friendly.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	f.mu.Lock()
+	n := f.seq
+	f.seq++
+	f.mu.Unlock()
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", fmt.Errorf("trace: flight dump: %w", err)
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%03d-%s.jsonl", n, sanitizeReason(reason)))
+	file, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("trace: flight dump: %w", err)
+	}
+	if err := f.rec.Export(file); err != nil {
+		file.Close()
+		return "", fmt.Errorf("trace: flight dump: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return "", fmt.Errorf("trace: flight dump: %w", err)
+	}
+	return path, nil
+}
+
+// sanitizeReason maps a free-form dump reason onto [a-z0-9-].
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "manual"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && len(out) < 32; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		default:
+			if len(out) > 0 && out[len(out)-1] != '-' {
+				out = append(out, '-')
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '-' {
+		out = out[:len(out)-1]
+	}
+	if len(out) == 0 {
+		return "manual"
+	}
+	return string(out)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// feedFlight records a little traffic into the flight ring.
+func feedFlight(r *Recorder) {
+	r.SetTransport("mem")
+	for i := int64(1); i <= 10; i++ {
+		r.OnSend(0, 1, i, false)
+		r.OnDeliver(1, 0, i, i, 0)
+	}
+	r.OnKill(1)
+}
+
+func TestFlightDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := ArmFlight(dir, 0)
+	feedFlight(f.Recorder())
+
+	path, err := f.Dump("SIGTERM: worker died!")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if want := filepath.Join(dir, "flight-000-sigterm-worker-died.jsonl"); path != want {
+		t.Fatalf("dump path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Import(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Import of dump: %v", err)
+	}
+	if rec.Len() != f.Recorder().Len() || rec.Transport() != "mem" {
+		t.Fatalf("dump round trip lost events: %d vs %d", rec.Len(), f.Recorder().Len())
+	}
+
+	// A second dump gets a fresh sequence number, never clobbering the
+	// first; an empty reason falls back to "manual".
+	path2, err := f.Dump("")
+	if err != nil {
+		t.Fatalf("second Dump: %v", err)
+	}
+	if want := filepath.Join(dir, "flight-001-manual.jsonl"); path2 != want {
+		t.Fatalf("second dump path = %q, want %q", path2, want)
+	}
+}
+
+func TestFlightSnapshotMatchesDump(t *testing.T) {
+	f := NewFlightRecorder(&Recorder{}, t.TempDir())
+	feedFlight(f.Recorder())
+	var snap bytes.Buffer
+	if err := f.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	path, err := f.Dump("x")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), data) {
+		t.Fatal("/debug/flight snapshot and Dump disagree for an unchanged ring")
+	}
+}
+
+// TestFlightBoundedKeepsValidation pins the flight ring's core promise:
+// even after evictions, the dumped window imports cleanly and the
+// drop count survives the round trip.
+func TestFlightBoundedKeepsValidation(t *testing.T) {
+	f := ArmFlight(t.TempDir(), 8)
+	feedFlight(f.Recorder()) // 21 events into an 8-slot ring
+	if f.Recorder().Dropped() == 0 {
+		t.Fatal("ring never evicted; capacity not applied")
+	}
+	path, err := f.Dump("full")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	rec, err := Import(file)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if rec.Dropped() != f.Recorder().Dropped() {
+		t.Fatalf("drop count lost: %d vs %d", rec.Dropped(), f.Recorder().Dropped())
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"windar/layer"
+)
+
+// goldenSpan mirrors the harness's span ID layout (rank | incarnation |
+// sequence) so the golden trace reads like a real one.
+func goldenSpan(rank, inc, seq int) uint64 {
+	return uint64(uint16(rank))<<48 | uint64(uint16(inc))<<32 | uint64(uint32(seq))
+}
+
+// goldenRecorder hand-builds a small traced run: a two-rank exchange, a
+// kill/recover of rank 1, the logged resend replayed into the new
+// incarnation, and a regenerated send carrying a replay edge. Every
+// export golden derives from this fixed event sequence.
+func goldenRecorder() *Recorder {
+	r := &Recorder{}
+	r.SetTransport("mem")
+	a := goldenSpan(0, 0, 1)  // root: rank 0 -> 1
+	b := goldenSpan(1, 0, 1)  // reply: rank 1 -> 0, child of a
+	b2 := goldenSpan(1, 1, 1) // the reply regenerated in incarnation 1
+
+	r.OnSendSpan(0, 1, 1, false, layer.SpanContext{Trace: a, Span: a})
+	r.OnDeliverSpan(1, 0, 1, 1, 0, layer.SpanContext{Trace: a, Span: a})
+	r.OnSendSpan(1, 0, 1, false, layer.SpanContext{Trace: a, Span: b, Parent: a})
+	r.OnDeliverSpan(0, 1, 1, 1, 1, layer.SpanContext{Trace: a, Span: b, Parent: a})
+	r.OnCheckpoint(0, 3, 1)
+	r.OnKill(1)
+	r.OnRecover(1, 0)
+	// Rank 0 replays its logged send into the new incarnation: the resend
+	// carries the original span verbatim.
+	r.OnSendSpan(0, 1, 1, true, layer.SpanContext{Trace: a, Span: a})
+	r.OnDeliverSpan(1, 0, 1, 1, 0, layer.SpanContext{Trace: a, Span: a})
+	// The recovered rank regenerates its reply with a new span in
+	// incarnation 1 — the same channel slot, so the lineage records a
+	// replay edge b -> b2. The duplicate is discarded, so b2 never
+	// delivers.
+	r.OnSendSpan(1, 0, 1, false, layer.SpanContext{Trace: a, Span: b2, Parent: a})
+	r.OnRecoveryPhase(1, "roll-forward", 2*time.Millisecond)
+	r.OnRecoveryComplete(1, 3*time.Millisecond)
+	return r
+}
+
+// checkGolden renders the golden lineage through write twice (the bytes
+// must be identical — the export is a pure function of the trace) and
+// compares against the committed golden file. Run with
+// WINDAR_UPDATE_GOLDEN=1 to regenerate.
+func checkGolden(t *testing.T, name string, write func(*Lineage, *bytes.Buffer) error) {
+	t.Helper()
+	lin := BuildLineage(goldenRecorder())
+	if probs := lin.Check(); len(probs) > 0 {
+		t.Fatalf("golden lineage not clean: %v", probs)
+	}
+	var first, second bytes.Buffer
+	if err := write(lin, &first); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if err := write(BuildLineage(goldenRecorder()), &second); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("export is not deterministic: two renders of the same trace differ")
+	}
+	path := filepath.Join("testdata", name)
+	if os.Getenv("WINDAR_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, first.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (regenerate with WINDAR_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), want) {
+		t.Errorf("export drifted from %s:\ngot:\n%s\nwant:\n%s", path, first.Bytes(), want)
+	}
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	checkGolden(t, "chrome.json", func(l *Lineage, w *bytes.Buffer) error { return l.WriteChrome(w) })
+}
+
+func TestOTLPExportGolden(t *testing.T) {
+	checkGolden(t, "otlp.json", func(l *Lineage, w *bytes.Buffer) error { return l.WriteOTLP(w) })
+}
+
+// TestGoldenLineageShape pins the structural reading of the golden
+// trace: the replay edge, the resend, and the undelivered regenerated
+// span.
+func TestGoldenLineageShape(t *testing.T) {
+	lin := BuildLineage(goldenRecorder())
+	sum := lin.Summary()
+	want := LineageSummary{
+		Spans: 3, Traces: 1, Roots: 1, CrossRank: 2,
+		Regenerated: 1, Resends: 1, Undelivered: 1, MaxDepth: 2,
+	}
+	if sum != want {
+		t.Fatalf("golden lineage shape:\ngot  %+v\nwant %+v", sum, want)
+	}
+	b2 := goldenSpan(1, 1, 1)
+	s := lin.ByID[b2]
+	if s == nil || s.Regenerated != goldenSpan(1, 0, 1) {
+		t.Fatalf("regenerated span missing its replay edge: %+v", s)
+	}
+	if SpanIncarnation(b2) != 1 || SpanRank(b2) != 1 {
+		t.Fatalf("span ID bit layout broken: rank=%d inc=%d", SpanRank(b2), SpanIncarnation(b2))
+	}
+}

@@ -1,0 +1,375 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lineage reconstruction: stitch the span-stamped send/deliver events of
+// a recorded (or imported) trace into one cross-rank causal DAG. Each
+// node is one *message send* — the span the harness's tracing layer
+// stamped — observed from both sides of the channel: the send event at
+// the sender and every deliver event at the receiver (a message replayed
+// during roll-forward is delivered again by the recovering rank, so one
+// span may own several deliveries; a log resend re-announces the same
+// span with Resent set). Edges are
+//
+//   - parent edges: span P → span S when S.Parent == P.ID — the message
+//     most recently delivered by S's sender before S left, the tightest
+//     causal predecessor the tracing layer records;
+//   - replay edges: span P → span S when a recovered incarnation
+//     regenerated the same channel slot (same sender, receiver and send
+//     index) under a fresh span ID — P is the pre-failure generation, S
+//     its post-recovery re-execution. The two are distinct causal events
+//     (different incarnation bits) describing the same logical message.
+//
+// Because span IDs pack (rank, incarnation, send counter) and event
+// order is the recorder's global Seq, the whole reconstruction is
+// deterministic: same trace in, same DAG out.
+
+// Span is one node of the causal DAG.
+type Span struct {
+	ID     uint64 // span identifier (rank<<48 | incarnation<<32 | counter)
+	Trace  uint64 // trace the span belongs to
+	Parent uint64 // causal parent span ID, 0 for roots
+
+	From, To  int   // channel endpoints (sender and receiver ranks)
+	SendIndex int64 // per-channel send counter
+
+	// Incarnation is the sender incarnation that created the span,
+	// unpacked from the ID.
+	Incarnation int
+
+	// SendSeq is the global Seq of the original send event, -1 when the
+	// trace holds only the receiving side (the sender's events were
+	// evicted by a bounded recorder). ResendSeqs are log resends of the
+	// same span during peers' recoveries; DeliverSeqs every delivery the
+	// receiver performed (first the live one, then replays).
+	SendSeq     int
+	ResendSeqs  []int
+	DeliverSeqs []int
+
+	// Regenerated is the span ID of the previous generation of the same
+	// channel slot (replay edge), 0 for the first generation.
+	Regenerated uint64
+}
+
+// Delivered reports whether the receiver delivered the span at least once.
+func (s *Span) Delivered() bool { return len(s.DeliverSeqs) > 0 }
+
+// SpanRank unpacks the sender rank packed into a span ID.
+func SpanRank(id uint64) int { return int(uint16(id >> 48)) }
+
+// SpanIncarnation unpacks the sender incarnation packed into a span ID.
+func SpanIncarnation(id uint64) int { return int(uint16(id >> 32)) }
+
+// Lineage is the reconstructed cross-rank causal DAG.
+type Lineage struct {
+	// Spans in deterministic order: by first-observed Seq, which the
+	// exporters use as logical time.
+	Spans []*Span
+	// ByID indexes Spans by span ID.
+	ByID map[uint64]*Span
+	// Traces counts distinct trace IDs.
+	Traces int
+	// Dropped is carried over from the recorder: when nonzero the trace
+	// is a bounded suffix and dangling references are reported as
+	// warnings, not violations.
+	Dropped int
+	// Events keeps the non-message lifecycle events (kill, recover,
+	// checkpoint, recovery phases) for the exporters' instant markers.
+	Events []Event
+
+	problems []Problem
+}
+
+// BuildLineage reconstructs the causal DAG from r's events. Events
+// without span identifiers (untraced runs, control events) contribute no
+// nodes; structural violations discovered while stitching are reported
+// by Check.
+func BuildLineage(r *Recorder) *Lineage {
+	l := &Lineage{ByID: map[uint64]*Span{}, Dropped: r.Dropped()}
+	traces := map[uint64]bool{}
+	// lastGen tracks the newest span ID seen per channel slot so a
+	// regenerated slot links to its predecessor generation.
+	type slot struct{ from, to int }
+	type slotKey struct {
+		slot
+		idx int64
+	}
+	lastGen := map[slotKey]uint64{}
+
+	get := func(e Event, from, to int) *Span {
+		s := l.ByID[e.Span]
+		if s == nil {
+			s = &Span{
+				ID: e.Span, Trace: e.Trace, Parent: e.Parent,
+				From: from, To: to, SendIndex: e.SendIndex,
+				Incarnation: SpanIncarnation(e.Span),
+				SendSeq:     -1,
+			}
+			l.ByID[e.Span] = s
+			l.Spans = append(l.Spans, s)
+			traces[e.Trace] = true
+		}
+		return s
+	}
+
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case EvSend:
+			if e.Span == 0 {
+				continue
+			}
+			s := get(e, e.Rank, e.Peer)
+			if e.Resent {
+				s.ResendSeqs = append(s.ResendSeqs, e.Seq)
+				if s.SendSeq == -1 {
+					// Only the resend survived (original evicted or sent
+					// by an earlier incarnation): the resend seq is the
+					// best send-time estimate.
+					s.SendSeq = e.Seq
+				}
+				continue
+			}
+			if s.SendSeq >= 0 && len(s.ResendSeqs) == 0 {
+				l.problems = append(l.problems, Problem{
+					Rule: "span-unique",
+					Detail: fmt.Sprintf("span %x sent twice without Resent (seq %d and %d)",
+						e.Span, s.SendSeq, e.Seq),
+				})
+				continue
+			}
+			s.SendSeq = e.Seq
+			key := slotKey{slot{e.Rank, e.Peer}, e.SendIndex}
+			if prev := lastGen[key]; prev != 0 && prev != e.Span {
+				s.Regenerated = prev
+			}
+			lastGen[key] = e.Span
+			if SpanRank(e.Span) != e.Rank {
+				l.problems = append(l.problems, Problem{
+					Rule: "span-rank",
+					Detail: fmt.Sprintf("span %x carries rank %d but was sent by rank %d (seq %d)",
+						e.Span, SpanRank(e.Span), e.Rank, e.Seq),
+				})
+			}
+		case EvDeliver:
+			if e.Span == 0 {
+				continue // sender ran untraced; nothing to stitch
+			}
+			s := get(e, e.Peer, e.Rank)
+			s.DeliverSeqs = append(s.DeliverSeqs, e.Seq)
+			if s.From != e.Peer || s.To != e.Rank || s.SendIndex != e.SendIndex {
+				l.problems = append(l.problems, Problem{
+					Rule: "span-channel",
+					Detail: fmt.Sprintf("span %x delivered on channel %d->%d index %d but sent on %d->%d index %d",
+						e.Span, e.Peer, e.Rank, e.SendIndex, s.From, s.To, s.SendIndex),
+				})
+			}
+			if s.Trace != e.Trace || s.Parent != e.Parent {
+				l.problems = append(l.problems, Problem{
+					Rule: "span-identity",
+					Detail: fmt.Sprintf("span %x delivered with trace/parent %x/%x but sent with %x/%x",
+						e.Span, e.Trace, e.Parent, s.Trace, s.Parent),
+				})
+			}
+		case EvKill, EvRecover, EvCheckpoint, EvRecoveryComplete, EvRecoveryPhase:
+			l.Events = append(l.Events, e)
+		}
+	}
+	l.Traces = len(traces)
+	return l
+}
+
+// Check audits the DAG against the causal-tracing invariants:
+//
+//   - span-unique / span-rank / span-channel / span-identity: structural
+//     agreement between the two sides of every channel (found while
+//     stitching);
+//   - deliver-has-send: every delivered span has a send event (warning
+//     only on bounded traces, where the send may be evicted);
+//   - parent-exists: every non-root span's parent is a known span
+//     (likewise softened on bounded traces);
+//   - parent-delivered: the parent was delivered at the child's sender
+//     before the child was sent — the edge is causally possible;
+//   - trace-inherited: the child belongs to its parent's trace;
+//   - acyclic: parent edges form a DAG (guaranteed by construction when
+//     parent-delivered holds, but verified independently so a corrupted
+//     trace cannot sneak a cycle past the exporters).
+func (l *Lineage) Check() []Problem {
+	problems := append([]Problem(nil), l.problems...)
+	soften := l.Dropped > 0
+	for _, s := range l.Spans {
+		if s.SendSeq == -1 && !soften {
+			problems = append(problems, Problem{
+				Rule:   "deliver-has-send",
+				Detail: fmt.Sprintf("span %x delivered by rank %d but never sent", s.ID, s.To),
+			})
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		p := l.ByID[s.Parent]
+		if p == nil {
+			if !soften {
+				problems = append(problems, Problem{
+					Rule:   "parent-exists",
+					Detail: fmt.Sprintf("span %x names unknown parent %x", s.ID, s.Parent),
+				})
+			}
+			continue
+		}
+		if s.Trace != p.Trace {
+			problems = append(problems, Problem{
+				Rule: "trace-inherited",
+				Detail: fmt.Sprintf("span %x has trace %x but parent %x has trace %x",
+					s.ID, s.Trace, p.ID, p.Trace),
+			})
+		}
+		// The parent must have reached the child's sender: it was
+		// delivered *to* that rank, at least once before the child left.
+		if p.To != s.From {
+			problems = append(problems, Problem{
+				Rule: "parent-delivered",
+				Detail: fmt.Sprintf("span %x sent by rank %d but parent %x was addressed to rank %d",
+					s.ID, s.From, p.ID, p.To),
+			})
+			continue
+		}
+		if s.SendSeq >= 0 {
+			ok := false
+			for _, d := range p.DeliverSeqs {
+				if d < s.SendSeq {
+					ok = true
+					break
+				}
+			}
+			if !ok && !soften {
+				problems = append(problems, Problem{
+					Rule: "parent-delivered",
+					Detail: fmt.Sprintf("span %x sent at seq %d before any delivery of parent %x",
+						s.ID, s.SendSeq, p.ID),
+				})
+			}
+		}
+	}
+	problems = append(problems, l.checkAcyclic()...)
+	return problems
+}
+
+// checkAcyclic verifies the parent edges form a DAG.
+func (l *Lineage) checkAcyclic() []Problem {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current path
+		black = 2 // finished
+	)
+	color := make(map[uint64]int, len(l.Spans))
+	var problems []Problem
+	var visit func(s *Span) bool
+	visit = func(s *Span) bool {
+		switch color[s.ID] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[s.ID] = grey
+		if p := l.ByID[s.Parent]; p != nil {
+			if !visit(p) {
+				problems = append(problems, Problem{
+					Rule:   "acyclic",
+					Detail: fmt.Sprintf("parent cycle through span %x", s.ID),
+				})
+			}
+		}
+		color[s.ID] = black
+		return true
+	}
+	for _, s := range l.Spans {
+		visit(s)
+	}
+	return problems
+}
+
+// LineageSummary aggregates the DAG for human inspection.
+type LineageSummary struct {
+	Spans       int // nodes
+	Traces      int // distinct trace IDs
+	Roots       int // spans with no parent
+	CrossRank   int // parent edges crossing rank boundaries
+	Regenerated int // spans re-executed by a recovered incarnation
+	Resends     int // log retransmissions observed
+	Undelivered int // spans sent but never delivered (suppressed or in flight)
+	MaxDepth    int // longest parent chain
+}
+
+// Summary computes aggregate statistics over the DAG.
+func (l *Lineage) Summary() LineageSummary {
+	s := LineageSummary{Spans: len(l.Spans), Traces: l.Traces}
+	depth := make(map[uint64]int, len(l.Spans))
+	var depthOf func(sp *Span, seen map[uint64]bool) int
+	depthOf = func(sp *Span, seen map[uint64]bool) int {
+		if d, ok := depth[sp.ID]; ok {
+			return d
+		}
+		if seen[sp.ID] {
+			return 0 // cycle guard; Check reports it
+		}
+		seen[sp.ID] = true
+		d := 1
+		if p := l.ByID[sp.Parent]; p != nil {
+			d = depthOf(p, seen) + 1
+		}
+		depth[sp.ID] = d
+		return d
+	}
+	for _, sp := range l.Spans {
+		if sp.Parent == 0 {
+			s.Roots++
+		} else if p := l.ByID[sp.Parent]; p != nil && p.From != sp.From {
+			s.CrossRank++
+		}
+		if sp.Regenerated != 0 {
+			s.Regenerated++
+		}
+		s.Resends += len(sp.ResendSeqs)
+		if !sp.Delivered() {
+			s.Undelivered++
+		}
+		if d := depthOf(sp, map[uint64]bool{}); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+	}
+	return s
+}
+
+// FormatLineageSummary renders a Summary as aligned key/value lines.
+func FormatLineageSummary(s LineageSummary) string {
+	return fmt.Sprintf(""+
+		"spans        %6d\n"+
+		"traces       %6d\n"+
+		"roots        %6d\n"+
+		"cross-rank   %6d\n"+
+		"regenerated  %6d\n"+
+		"resends      %6d\n"+
+		"undelivered  %6d\n"+
+		"max depth    %6d\n",
+		s.Spans, s.Traces, s.Roots, s.CrossRank,
+		s.Regenerated, s.Resends, s.Undelivered, s.MaxDepth)
+}
+
+// sortedSpans returns the spans ordered by logical send time (SendSeq,
+// then ID for the stragglers without one) — the exporters' iteration
+// order, chosen so output is byte-deterministic.
+func (l *Lineage) sortedSpans() []*Span {
+	out := append([]*Span(nil), l.Spans...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i], out[j]
+		if si.SendSeq != sj.SendSeq {
+			return si.SendSeq < sj.SendSeq
+		}
+		return si.ID < sj.ID
+	})
+	return out
+}

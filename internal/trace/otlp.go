@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// OTLP-JSON export: the DAG in the OpenTelemetry protocol's JSON file
+// encoding, importable by any OTLP-compatible backend. One resourceSpans
+// entry per sending rank (service.name "windar-rank-<n>"), spans in
+// logical send order. IDs follow the OTLP width rules — the 8-byte span
+// ID zero-padded to 16 hex chars, and the trace ID (also 8 bytes in our
+// scheme) left-padded to the required 32. Timestamps are the logical
+// recorder Seq expressed as nanoseconds: deterministic, so golden tests
+// can require byte equality.
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"` // int64 as string per OTLP JSON
+	BoolValue   *bool   `json:"boolValue,omitempty"`
+}
+
+func otlpStr(k, v string) otlpKeyValue {
+	return otlpKeyValue{Key: k, Value: otlpValue{StringValue: &v}}
+}
+
+func otlpInt(k string, v int64) otlpKeyValue {
+	s := fmt.Sprintf("%d", v)
+	return otlpKeyValue{Key: k, Value: otlpValue{IntValue: &s}}
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"` // 4 = SPAN_KIND_PRODUCER
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpKeyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpTrace struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+// WriteOTLP writes the DAG as OTLP-JSON.
+func (l *Lineage) WriteOTLP(w io.Writer) error {
+	byRank := map[int][]otlpSpan{}
+	for _, s := range l.sortedSpans() {
+		start := s.SendSeq
+		if start < 0 {
+			start = s.DeliverSeqs[0]
+		}
+		end := start
+		for _, d := range s.DeliverSeqs {
+			if d > end {
+				end = d
+			}
+		}
+		if end == start {
+			end = start + 1
+		}
+		os := otlpSpan{
+			TraceID:           fmt.Sprintf("%032x", s.Trace),
+			SpanID:            fmt.Sprintf("%016x", s.ID),
+			Name:              fmt.Sprintf("msg %d->%d #%d", s.From, s.To, s.SendIndex),
+			Kind:              4,
+			StartTimeUnixNano: fmt.Sprintf("%d", start),
+			EndTimeUnixNano:   fmt.Sprintf("%d", end),
+			Attributes: []otlpKeyValue{
+				otlpInt("windar.rank", int64(s.From)),
+				otlpInt("windar.peer", int64(s.To)),
+				otlpInt("windar.send_index", s.SendIndex),
+				otlpInt("windar.incarnation", int64(s.Incarnation)),
+				otlpInt("windar.deliveries", int64(len(s.DeliverSeqs))),
+			},
+		}
+		if s.Parent != 0 {
+			os.ParentSpanID = fmt.Sprintf("%016x", s.Parent)
+		}
+		if s.Regenerated != 0 {
+			os.Attributes = append(os.Attributes,
+				otlpStr("windar.regenerates", fmt.Sprintf("%016x", s.Regenerated)))
+		}
+		if n := len(s.ResendSeqs); n > 0 {
+			os.Attributes = append(os.Attributes, otlpInt("windar.resends", int64(n)))
+		}
+		byRank[s.From] = append(byRank[s.From], os)
+	}
+
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	var out otlpTrace
+	for _, r := range ranks {
+		var rs otlpResourceSpans
+		rs.Resource.Attributes = []otlpKeyValue{
+			otlpStr("service.name", fmt.Sprintf("windar-rank-%d", r)),
+		}
+		var ss otlpScopeSpans
+		ss.Scope.Name = "windar"
+		ss.Spans = byRank[r]
+		rs.ScopeSpans = []otlpScopeSpans{ss}
+		out.ResourceSpans = append(out.ResourceSpans, rs)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

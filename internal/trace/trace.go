@@ -16,6 +16,8 @@ package trace
 import (
 	"sync"
 	"time"
+
+	"windar/layer"
 )
 
 // EventKind labels a recorded event.
@@ -66,6 +68,15 @@ type Event struct {
 	Phase        string // recovery-phase span name; rejected control kind (ingest-rejected)
 	Dur          int64  // recovery-phase span length, nanoseconds
 	Seq          int    // global arrival order in the recorder
+
+	// Causal span context (send / deliver, header version 4): the
+	// trace/span/parent identifiers stamped by the harness's tracing
+	// layer when span tracing is on. All zero on untraced runs. A
+	// deliver event carries the identifiers the *sender* stamped, which
+	// is what lets the lineage reconstructor pair the two sides.
+	Trace  uint64
+	Span   uint64
+	Parent uint64
 }
 
 // Recorder collects events from a running cluster. Safe for concurrent
@@ -175,6 +186,22 @@ func (r *Recorder) OnResponse(rank, from int) {
 // payload that failed to decode.
 func (r *Recorder) OnIngestRejected(rank int, kind string) {
 	r.add(Event{Kind: EvIngestRejected, Rank: rank, Phase: kind})
+}
+
+// OnSendSpan implements harness.SpanObserver: OnSend carrying the
+// message's causal span context. The harness calls it instead of OnSend
+// whenever the recorder is the observer; on untraced runs the context is
+// zero and the recorded event matches what OnSend would have produced.
+func (r *Recorder) OnSendSpan(rank, dest int, sendIndex int64, resent bool, span layer.SpanContext) {
+	r.add(Event{Kind: EvSend, Rank: rank, Peer: dest, SendIndex: sendIndex, Resent: resent,
+		Trace: span.Trace, Span: span.Span, Parent: span.Parent})
+}
+
+// OnDeliverSpan implements harness.SpanObserver: OnDeliver carrying the
+// span context the sender stamped on the delivered message.
+func (r *Recorder) OnDeliverSpan(rank, from int, sendIndex, deliverIndex, demand int64, span layer.SpanContext) {
+	r.add(Event{Kind: EvDeliver, Rank: rank, Peer: from, SendIndex: sendIndex, DeliverIndex: deliverIndex,
+		Demand: demand, Trace: span.Trace, Span: span.Span, Parent: span.Parent})
 }
 
 // Events returns a copy of the retained events in arrival order. On a

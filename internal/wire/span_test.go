@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"windar/layer"
+)
+
+func TestEnvelopeSpanRoundTrip(t *testing.T) {
+	e := &Envelope{
+		Kind: KindApp, From: 1, To: 2, SendIndex: 9,
+		Piggyback: []byte{1, 2}, Payload: []byte("x"),
+		Span: layer.SpanContext{Trace: 0xABCDEF, Span: 0x0001000200000003, Parent: 7},
+	}
+	got, err := Decode(Encode(e))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+	if EncodedSize(e) != len(Encode(e)) {
+		t.Fatalf("EncodedSize %d != encoded %d", EncodedSize(e), len(Encode(e)))
+	}
+}
+
+// TestSpanEncodingBackCompat pins the versioning contract: a zero span
+// encodes byte-identically to the pre-span format, and a present span
+// costs exactly one flag bit plus trailing bytes after the payload — so
+// decoders that predate the flag parse every original field unchanged.
+func TestSpanEncodingBackCompat(t *testing.T) {
+	base := Envelope{
+		Kind: KindApp, From: 3, To: 4, SendIndex: 11,
+		Piggyback: []byte{9, 9}, Payload: []byte("payload"),
+	}
+	legacy := Encode(&base)
+
+	zeroed := base
+	zeroed.Span = layer.SpanContext{}
+	if !bytes.Equal(Encode(&zeroed), legacy) {
+		t.Fatal("zero span changed the encoding; old-format bytes must be reproduced exactly")
+	}
+
+	spanned := base
+	spanned.Span = layer.SpanContext{Trace: 1, Span: 2, Parent: 3}
+	enc := Encode(&spanned)
+	if len(enc) <= len(legacy) {
+		t.Fatalf("span encoding not appended: %d vs %d bytes", len(enc), len(legacy))
+	}
+	diffs := 0
+	for i := range legacy {
+		if enc[i] != legacy[i] {
+			diffs++
+			if enc[i] != legacy[i]|flagSpan {
+				t.Fatalf("byte %d changed beyond the span flag: %#x vs %#x", i, enc[i], legacy[i])
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("span flipped %d prefix bytes, want exactly the flags byte", diffs)
+	}
+}
+
+// TestEnvelopeSpanRoundTripProperty fuzzes envelopes across the span
+// dimension, including the all-zero context and IDs using all 64 bits.
+func TestEnvelopeSpanRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			e := &Envelope{
+				Kind:      Kind(1 + r.Intn(6)),
+				From:      r.Intn(1024),
+				To:        r.Intn(1024),
+				SendIndex: r.Int63n(1 << 40),
+			}
+			if r.Intn(4) > 0 {
+				e.Span = layer.SpanContext{
+					Trace:  r.Uint64(),
+					Span:   r.Uint64(),
+					Parent: r.Uint64(),
+				}
+			}
+			if n := r.Intn(64); n > 0 {
+				e.Payload = make([]byte, n)
+				r.Read(e.Payload)
+			}
+			vals[0] = reflect.ValueOf(e)
+		},
+	}
+	f := func(e *Envelope) bool {
+		got, err := Decode(Encode(e))
+		return err == nil && reflect.DeepEqual(e, got) && EncodedSize(e) == len(Encode(e))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"windar/internal/vclock"
+	"windar/layer"
 )
 
 // Kind discriminates the envelope types used by the rollback-recovery
@@ -83,7 +84,23 @@ type Envelope struct {
 	Resent    bool
 	Piggyback []byte // protocol-owned metadata
 	Payload   []byte // application bytes or control body
+	// Span is the optional causal span context (flag bit flagSpan). A
+	// zero context encodes exactly as the pre-span format, so traced and
+	// untraced peers interoperate and old traces decode unchanged.
+	Span layer.SpanContext
 }
+
+// Envelope flag bits (the second encoded byte).
+const (
+	// flagResent marks a sender-log retransmission.
+	flagResent byte = 1 << 0
+	// flagSpan marks a span context appended after the payload (three
+	// uvarints: trace, span, parent). Appending keeps the format
+	// versioned and backward compatible: decoders that predate the flag
+	// parse every original field identically and ignore the trailing
+	// span bytes.
+	flagSpan byte = 1 << 1
+)
 
 // Encode serializes e into a fresh byte slice.
 func Encode(e *Envelope) []byte {
@@ -101,7 +118,10 @@ func AppendEncode(buf []byte, e *Envelope) []byte {
 	buf = append(buf, byte(e.Kind))
 	var flags byte
 	if e.Resent {
-		flags |= 1
+		flags |= flagResent
+	}
+	if !e.Span.IsZero() {
+		flags |= flagSpan
 	}
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(e.From))
@@ -113,6 +133,11 @@ func AppendEncode(buf []byte, e *Envelope) []byte {
 	buf = append(buf, e.Piggyback...)
 	buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
 	buf = append(buf, e.Payload...)
+	if flags&flagSpan != 0 {
+		buf = binary.AppendUvarint(buf, e.Span.Trace)
+		buf = binary.AppendUvarint(buf, e.Span.Span)
+		buf = binary.AppendUvarint(buf, e.Span.Parent)
+	}
 	return buf
 }
 
@@ -124,7 +149,8 @@ func Decode(b []byte) (*Envelope, error) {
 	if len(b) < 2 {
 		return nil, ErrTruncated
 	}
-	e := &Envelope{Kind: Kind(b[0]), Resent: b[1]&1 != 0}
+	flags := b[1]
+	e := &Envelope{Kind: Kind(b[0]), Resent: flags&flagResent != 0}
 	i := 2
 	readInt := func() (int64, error) {
 		v, n := binary.Varint(b[i:])
@@ -175,6 +201,25 @@ func Decode(b []byte) (*Envelope, error) {
 	if e.Payload, err = readBytes(); err != nil {
 		return nil, err
 	}
+	if flags&flagSpan != 0 {
+		readUint := func() (uint64, error) {
+			v, n := binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, ErrTruncated
+			}
+			i += n
+			return v, nil
+		}
+		if e.Span.Trace, err = readUint(); err != nil {
+			return nil, err
+		}
+		if e.Span.Span, err = readUint(); err != nil {
+			return nil, err
+		}
+		if e.Span.Parent, err = readUint(); err != nil {
+			return nil, err
+		}
+	}
 	if len(e.Piggyback) == 0 {
 		e.Piggyback = nil
 	}
@@ -198,6 +243,9 @@ func EncodedSize(e *Envelope) int {
 	n += varintLen(e.SendIndex)
 	n += uvarintLen(uint64(len(e.Piggyback))) + len(e.Piggyback)
 	n += uvarintLen(uint64(len(e.Payload))) + len(e.Payload)
+	if !e.Span.IsZero() {
+		n += uvarintLen(e.Span.Trace) + uvarintLen(e.Span.Span) + uvarintLen(e.Span.Parent)
+	}
 	return n
 }
 

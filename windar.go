@@ -151,6 +151,12 @@ type InterceptorFunc = layer.InterceptorFunc
 // layer.Msg; see its field and reuse contract there.
 type Msg = layer.Msg
 
+// SpanContext is the compact causal-tracing identity stamped on every
+// message when Config.Tracing is on (Msg.Span in the chain, carried in
+// the wire envelope). Alias of layer.SpanContext; identifiers are
+// deterministic (rank, incarnation, send counter), not random.
+type SpanContext = layer.SpanContext
+
 // Forward is an embeddable Handler base forwarding every verb to Next.
 // Alias of layer.Forward.
 type Forward = layer.Forward
@@ -195,6 +201,29 @@ type TraceRecorder = trace.Recorder
 // validators absorb evicted events), which keeps long soak runs from
 // growing the trace without bound.
 func NewBoundedTrace(capacity int) *TraceRecorder { return trace.NewBounded(capacity) }
+
+// FlightRecorder is the crash "black box": a bounded trace ring armed
+// for the whole run, dumpable to a JSONL file (Dump) or streamed from
+// the debug server's /debug/flight endpoint. Arm one with ArmFlight,
+// point Config.Flight at it, and every chaos failure or crash can ship
+// the trace window that reproduces it.
+//
+// Stability: intentionally aliased to the internal flight recorder; the
+// dump file format is the versioned trace JSONL that windar-trace and
+// Import consume.
+type FlightRecorder = trace.FlightRecorder
+
+// ArmFlight builds a FlightRecorder around a fresh bounded trace ring
+// holding events entries (<= 0 selects a default sized for soak runs).
+// Dumps land in dir.
+func ArmFlight(dir string, events int) *FlightRecorder { return trace.ArmFlight(dir, events) }
+
+// NewFlightRecorder wraps an existing TraceRecorder so its contents can
+// be dumped — use it when the run already records a trace for validation
+// and the flight dumps should share that ring.
+func NewFlightRecorder(rec *TraceRecorder, dir string) *FlightRecorder {
+	return trace.NewFlightRecorder(rec, dir)
+}
 
 // ObsRegistry collects latency/size histograms from the cluster's hot
 // paths (deliver latency, piggyback sizes, tracking time, TCP reconnect
@@ -286,6 +315,20 @@ type Config struct {
 	// Trace, if non-nil, records every send/deliver/checkpoint/failure
 	// event for validation.
 	Trace *TraceRecorder
+	// Tracing stamps every message with a causal SpanContext carried in
+	// the wire envelope, so per-rank traces can be stitched into a
+	// cross-rank causal DAG (cmd/windar-trace). Off by default; when off
+	// the wire encoding is unchanged and spans stay zero. The hot path
+	// remains allocation-free with tracing on (the delivery_scan_traced
+	// alloc probe gates it).
+	Tracing bool
+	// Flight arms the crash flight recorder: its ring receives every
+	// harness event and ServeDebug exposes the window at /debug/flight.
+	// When Trace is nil the flight ring is installed as the cluster
+	// observer; when both are set they must share one recorder (build the
+	// FlightRecorder with NewFlightRecorder(Trace, dir)) — disjoint rings
+	// would leave one of them empty, so NewCluster rejects that.
+	Flight *FlightRecorder
 	// Obs, if non-nil, wires the hot paths to histogram families
 	// (deliver latency, piggyback sizes, tracking time, recovery
 	// phases). Expose it over HTTP with Cluster.ServeDebug. Nil keeps
@@ -322,12 +365,15 @@ func (c Config) internal() harness.Config {
 		StallTimeout:          c.StallTimeout,
 		CheckpointPolicy:      c.CheckpointPolicy,
 		Interceptors:          c.Interceptors,
+		SpanTracing:           c.Tracing,
 	}
 	if c.Mode == Blocking {
 		cfg.Mode = harness.Blocking
 	}
 	if c.Trace != nil {
 		cfg.Observer = c.Trace
+	} else if c.Flight != nil {
+		cfg.Observer = c.Flight.Recorder()
 	}
 	cfg.Obs = c.Obs
 	cfg.Clock = c.Clock
@@ -344,15 +390,19 @@ func (a appAdapter) Restore(b []byte) error   { return a.inner.Restore(b) }
 
 // Cluster is a running n-rank system with failure injection.
 type Cluster struct {
-	inner *harness.Cluster
-	obs   *ObsRegistry
-	meta  map[string]string
+	inner  *harness.Cluster
+	obs    *ObsRegistry
+	meta   map[string]string
+	flight *FlightRecorder
 }
 
 // NewCluster builds a cluster executing factory's application under cfg.
 func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("windar: nil factory")
+	}
+	if cfg.Flight != nil && cfg.Trace != nil && cfg.Flight.Recorder() != cfg.Trace {
+		return nil, fmt.Errorf("windar: Config.Flight and Config.Trace carry different recorders; share one with NewFlightRecorder(Trace, dir)")
 	}
 	inner, err := harness.NewCluster(cfg.internal(), func(rank, n int) iapp.App {
 		a := factory(rank, n)
@@ -377,7 +427,7 @@ func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
 		"protocol":  string(protocol),
 		"transport": tk,
 	}
-	return &Cluster{inner: inner, obs: cfg.Obs, meta: meta}, nil
+	return &Cluster{inner: inner, obs: cfg.Obs, meta: meta, flight: cfg.Flight}, nil
 }
 
 // Start launches every rank.
@@ -451,14 +501,18 @@ func (c *Cluster) ServeDebug(addr string) (*DebugServer, error) {
 	smp := obs.NewSampler(c.inner.Clock(), 250*time.Millisecond, 240, func() []obs.Counter {
 		return countersOf(c.inner.Metrics().Total())
 	})
-	srv, err := obs.Serve(addr, obs.Source{
+	src := obs.Source{
 		Registry: c.obs,
 		Counters: counters,
 		Health:   c.inner.Health,
 		Sampler:  smp,
 		Meta:     c.meta,
 		Clock:    c.inner.Clock(),
-	})
+	}
+	if c.flight != nil {
+		src.Flight = c.flight.WriteSnapshot
+	}
+	srv, err := obs.Serve(addr, src)
 	if err != nil {
 		return nil, err
 	}

