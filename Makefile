@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint alloc-gate verify verify-tcp chaos trace-export fuzz vet examples clean
+.PHONY: all build test race lint alloc-gate throughput-gate verify verify-tcp chaos trace-export fuzz vet examples clean
 
 all: build vet lint test
 
@@ -32,6 +32,16 @@ lint:
 # deliberate change.
 alloc-gate:
 	$(GO) run ./cmd/windar-bench -fig alloc -alloc-check
+
+# Delivery-throughput gate: run the flood workload at the acceptance
+# cell (n=16, mem + tcp) and fail if any transport's msgs/sec falls more
+# than the tolerance band below the committed BENCH_throughput.json.
+# Throughput is machine-dependent, so the band is wide (50%): the gate
+# catches the serialized-delivery regression class, which costs integer
+# factors. Re-run `go run ./cmd/windar-bench -fig throughput` to
+# re-baseline after a deliberate change.
+throughput-gate:
+	$(GO) run ./cmd/windar-bench -fig throughput -throughput-check
 
 # Randomized fault-injection soak with trace export/import and offline
 # invariant audit on every round.

@@ -8,11 +8,15 @@
 //	windar-bench -fig obs        # per-protocol histogram quantiles -> BENCH_obs.json
 //	windar-bench -fig chaos      # fixed-seed fault-schedule soak -> BENCH_chaos.json
 //	windar-bench -fig alloc      # hot-path allocs/op -> BENCH_alloc.json
+//	windar-bench -fig throughput # delivery msgs/sec -> BENCH_throughput.json
 //	windar-bench -fig all        # everything
 //
 // -fig alloc rewrites the committed baseline; with -alloc-check it
 // instead compares the measurements against the baseline and exits
-// non-zero on a regression (the CI allocation gate).
+// non-zero on a regression (the CI allocation gate). -fig throughput
+// works the same way: it rewrites BENCH_throughput.json, and with
+// -throughput-check it compares a fresh run against the committed
+// baseline with a tolerance band (the CI throughput gate).
 //
 // The sweep dimensions (benchmarks, process counts, problem size) mirror
 // the paper's: LU/BT/SP at 4-32 processes. Expect the shapes, not the
@@ -30,6 +34,7 @@ import (
 
 	"windar"
 	"windar/internal/chaos"
+	"windar/internal/experiments"
 	"windar/internal/harness"
 	"windar/internal/obs"
 	"windar/internal/transport"
@@ -49,6 +54,9 @@ func main() {
 		pigOut     = flag.String("pig-out", "BENCH_pig.json", "fig 6 / pig: output path for the delta-vs-full piggyback comparison")
 		allocOut   = flag.String("alloc-out", "BENCH_alloc.json", "alloc: baseline path (written, or compared with -alloc-check)")
 		allocCheck = flag.Bool("alloc-check", false, "alloc: compare measurements against the committed baseline instead of rewriting it")
+		tputOut    = flag.String("throughput-out", "BENCH_throughput.json", "throughput: baseline path (written, or compared with -throughput-check)")
+		tputCheck  = flag.Bool("throughput-check", false, "throughput: compare a fresh run against the committed baseline instead of rewriting it")
+		tputTol    = flag.Float64("throughput-tolerance", 0.5, "throughput: allowed fractional msgs/sec shortfall vs the baseline before the gate fails")
 	)
 	flag.Parse()
 
@@ -67,12 +75,12 @@ func main() {
 
 	want := map[string]bool{}
 	if *fig == "all" {
-		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"], want["alloc"] = true, true, true, true, true, true, true, true
+		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"], want["alloc"], want["throughput"] = true, true, true, true, true, true, true, true, true
 	} else {
 		want[*fig] = true
 	}
-	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] && !want["alloc"] {
-		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos, alloc or all)", *fig)
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] && !want["alloc"] && !want["throughput"] {
+		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos, alloc, throughput or all)", *fig)
 	}
 
 	if want["6"] || want["7"] {
@@ -132,6 +140,92 @@ func main() {
 			fatal("alloc gate: %v", err)
 		}
 	}
+	if want["throughput"] {
+		if err := runThroughputGate(*tputCheck, *tputOut, *tputTol); err != nil {
+			fatal("throughput gate: %v", err)
+		}
+	}
+}
+
+// throughputReport is the BENCH_throughput.json payload: the per-transport
+// delivery rates plus the fixed unsharded reference the speedup is quoted
+// against.
+type throughputReport struct {
+	// UnshardedBaseline is the mem-transport rate of the pre-sharding
+	// delivery manager (experiments.UnshardedBaselineMsgsPerSec),
+	// recorded so the speedup claim stays auditable next to the data.
+	UnshardedBaseline float64 `json:"unsharded_baseline_msgs_per_sec"`
+	// SpeedupVsUnsharded is the mem row's msgs/sec over UnshardedBaseline.
+	SpeedupVsUnsharded float64                `json:"speedup_vs_unsharded"`
+	Rows               []windar.ThroughputRow `json:"rows"`
+}
+
+// runThroughputGate measures flood-workload delivery throughput at the
+// acceptance cell (n=16). Without check it rewrites the baseline at path;
+// with check it loads the committed baseline and fails any transport
+// whose fresh msgs/sec falls more than the tolerance fraction below the
+// committed rate (throughput is machine-dependent, so the band is wide —
+// it exists to catch the serialized-delivery regression class, which
+// costs integer factors, not percents).
+func runThroughputGate(check bool, path string, tolerance float64) error {
+	rows, err := windar.RunThroughput(windar.ThroughputOptions{})
+	if err != nil {
+		return err
+	}
+	rep := throughputReport{
+		UnshardedBaseline: experiments.UnshardedBaselineMsgsPerSec,
+		Rows:              rows,
+	}
+	for _, r := range rows {
+		if r.Transport == transport.Mem && rep.UnshardedBaseline > 0 {
+			rep.SpeedupVsUnsharded = r.MsgsPerSec / rep.UnshardedBaseline
+		}
+	}
+	fmt.Println(windar.ThroughputText(rows))
+	fmt.Printf("throughput speedup vs unsharded delivery: %.2fx (mem, n=%d)\n",
+		rep.SpeedupVsUnsharded, rows[0].Procs)
+	if !check {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("throughput baseline written: %s (%d transports)\n", path, len(rows))
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base throughputReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	committed := map[string]float64{}
+	for _, r := range base.Rows {
+		committed[r.Transport] = r.MsgsPerSec
+	}
+	var failures []string
+	for _, r := range rows {
+		want, ok := committed[r.Transport]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("transport %s missing from baseline %s (re-run windar-bench -fig throughput to re-baseline)", r.Transport, path))
+			continue
+		}
+		floor := want * (1 - tolerance)
+		if r.MsgsPerSec < floor {
+			failures = append(failures, fmt.Sprintf("transport %s regressed: %.0f msgs/sec, floor %.0f (baseline %.0f - %.0f%% tolerance)",
+				r.Transport, r.MsgsPerSec, floor, want, 100*tolerance))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("throughput gate passed: %d transports within %.0f%% of baseline %s\n",
+		len(rows), 100*tolerance, path)
+	return nil
 }
 
 // allocReport is the BENCH_alloc.json payload: steady-state heap

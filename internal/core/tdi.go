@@ -51,6 +51,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"windar/internal/clock"
 	"windar/internal/metrics"
@@ -77,6 +78,12 @@ type TDI struct {
 	dependInterval vclock.Vec
 	m              *metrics.Rank
 	clk            clock.Clock
+	// timeTracking controls the clock reads bracketing every piggyback
+	// encode and delivery merge (the Fig. 7 tracking-time metric). On by
+	// default; throughput measurements turn it off because on hosts with
+	// a slow clocksource the two reads cost more than the tracked
+	// operation itself.
+	timeTracking bool
 
 	// refreshEvery is the per-destination full-vector cadence: at most
 	// refreshEvery-1 consecutive deltas before a full resend. 1 disables
@@ -92,6 +99,14 @@ type TDI struct {
 	// last full vector.
 	sent      []vclock.Vec
 	sinceFull []int
+	// depVersion counts mutations of dependInterval; sentVersion records
+	// the version each destination's sent-cache was taken at. When they
+	// match, the delta against sent[dest] is provably empty, so the
+	// encoder emits the two constant bytes without scanning either
+	// vector — the common case for a burst of sends with no delivery in
+	// between.
+	depVersion  uint64
+	sentVersion []uint64
 
 	// Receive side: last reconstructed vector per source (the delta
 	// base), committed on delivery so it tracks lastDeliverIndex exactly.
@@ -124,9 +139,11 @@ func New(rank, n int, m *metrics.Rank, clk clock.Clock) *TDI {
 		dependInterval: vclock.New(n),
 		m:              m,
 		clk:            clk,
+		timeTracking:   true,
 		refreshEvery:   DefaultRefreshEvery,
 		sent:           make([]vclock.Vec, n),
 		sinceFull:      make([]int, n),
+		sentVersion:    make([]uint64, n),
 		recv:           make([]vclock.Vec, n),
 		memoIdx:        make([]int64, n),
 		memoVec:        make([]vclock.Vec, n),
@@ -148,6 +165,11 @@ func (t *TDI) SetRefreshEvery(k int) {
 	t.refreshEvery = k
 }
 
+// SetTimeTracking toggles the clock reads that charge tracking time to
+// the metrics rank (on by default). The tracked work itself always runs;
+// only its measurement is skipped, so tracking-time totals read zero.
+func (t *TDI) SetTimeTracking(on bool) { t.timeTracking = on }
+
 // Name implements proto.Protocol.
 func (t *TDI) Name() string { return "tdi" }
 
@@ -163,7 +185,49 @@ func (t *TDI) DependInterval() vclock.Vec { return t.dependInterval.Clone() }
 // callers that own a reusable buffer (the allocation probes, a future
 // log-owned arena) use AppendPiggybackForSend directly.
 func (t *TDI) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
+	if t.emptyDeltaEligible(dest) {
+		// The empty delta is two constant bytes that every holder —
+		// sender log, wire encoder, inline copy — only ever reads, so a
+		// single shared slice serves all of them with no allocation.
+		// The slice is full (len == cap), so an append by any caller
+		// copies out rather than scribbling on the shared backing.
+		t.recordEmptyDelta(dest)
+		return emptyDeltaPig, 1
+	}
 	return t.AppendPiggybackForSend(make([]byte, 0, wire.VecSize(t.dependInterval)), dest)
+}
+
+// emptyDeltaPig is the shared empty-delta encoding (see
+// PiggybackForSend). Never mutate it.
+var emptyDeltaPig = []byte{wire.VecDeltaMarker, 0}
+
+// recordEmptyDelta performs the per-send bookkeeping for an
+// empty-delta piggyback: cadence, tracking time, pig-size metrics.
+// The sent-cache needs no update — the version match proves it is
+// already exactly the current vector.
+//
+//windar:hotpath
+func (t *TDI) recordEmptyDelta(dest int) {
+	if t.timeTracking {
+		start := t.clk.Now()
+		t.sinceFull[dest]++
+		t.m.SendTracking(t.clk.Now().Sub(start))
+	} else {
+		t.sinceFull[dest]++
+	}
+	t.m.PigDelta(2)
+}
+
+// emptyDeltaEligible reports whether the next piggyback to dest is
+// provably the constant empty delta: delta encoding is permitted by the
+// cadence, the sent-cache is exactly the current vector (version match),
+// and the two-byte delta beats the full vector (any n >= 2 full vector
+// is at least three bytes; n == 1 takes the scanning path so the
+// size comparison stays exact).
+func (t *TDI) emptyDeltaEligible(dest int) bool {
+	return !t.pinFull && t.refreshEvery > 1 && t.n >= 2 &&
+		t.sent[dest] != nil && t.sinceFull[dest] < t.refreshEvery-1 &&
+		t.sentVersion[dest] == t.depVersion
 }
 
 // AppendPiggybackForSend appends the piggyback for the next message to
@@ -175,7 +239,22 @@ func (t *TDI) PiggybackForSend(dest int, sendIndex int64) ([]byte, int) {
 //
 //windar:hotpath
 func (t *TDI) AppendPiggybackForSend(buf []byte, dest int) ([]byte, int) {
-	start := t.clk.Now()
+	var start time.Time
+	if t.timeTracking {
+		start = t.clk.Now()
+	}
+	if t.emptyDeltaEligible(dest) {
+		// Nothing delivered since the last piggyback to dest: the delta
+		// is the constant empty encoding. Skips the O(n) size probes and
+		// the sent-cache copy-back (which would be a self-copy).
+		if t.timeTracking {
+			t.m.SendTracking(t.clk.Now().Sub(start))
+		}
+		buf = append(buf, wire.VecDeltaMarker, 0)
+		t.m.PigDelta(2)
+		t.sinceFull[dest]++
+		return buf, 1
+	}
 	mark := len(buf)
 	ids := t.n
 	delta := false
@@ -200,7 +279,10 @@ func (t *TDI) AppendPiggybackForSend(buf []byte, dest int) ([]byte, int) {
 	} else {
 		t.sent[dest].CopyFrom(t.dependInterval)
 	}
-	t.m.SendTracking(t.clk.Now().Sub(start))
+	t.sentVersion[dest] = t.depVersion
+	if t.timeTracking {
+		t.m.SendTracking(t.clk.Now().Sub(start))
+	}
 	if delta {
 		t.m.PigDelta(len(buf) - mark)
 	} else {
@@ -285,11 +367,15 @@ func (t *TDI) Deliverable(env *wire.Envelope, deliveredCount int64) (proto.Verdi
 //
 //windar:hotpath
 func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
-	start := t.clk.Now()
+	var start time.Time
+	if t.timeTracking {
+		start = t.clk.Now()
+	}
 	pig, err := t.decodePig(env)
 	if err != nil {
 		return err
 	}
+	t.depVersion++
 	t.dependInterval[t.rank]++
 	if t.dependInterval[t.rank] != deliverIndex {
 		return t.errIndexDiverged(deliverIndex)
@@ -301,7 +387,9 @@ func (t *TDI) OnDeliver(env *wire.Envelope, deliverIndex int64) error {
 	} else {
 		t.recv[src].CopyFrom(pig)
 	}
-	t.m.DeliverTracking(t.clk.Now().Sub(start))
+	if t.timeTracking {
+		t.m.DeliverTracking(t.clk.Now().Sub(start))
+	}
 	return nil
 }
 
@@ -402,6 +490,8 @@ func (t *TDI) Restore(data []byte) error {
 	}
 	t.sent = make([]vclock.Vec, t.n)
 	t.sinceFull = make([]int, t.n)
+	t.sentVersion = make([]uint64, t.n)
+	t.depVersion++
 	t.pinFull = true
 	return nil
 }

@@ -228,3 +228,37 @@ func TestPiggybackSizeIndependentOfHistory(t *testing.T) {
 		t.Fatalf("identifiers = %d after 2000 deliveries, want 8", ids)
 	}
 }
+
+// TestRestoreInvalidatesDecodeMemos pins the recovery contract for the
+// per-source decode caches: Deliverable/DeliveryDemand memoize the
+// decoded piggyback per (source, send index), and a rollback resends
+// regenerated messages that may carry a DIFFERENT piggyback at the same
+// send index. Restore must therefore drop every memo (and the hold
+// verdicts derived from them) for every source, or the incarnation
+// would hold — or deliver — against a dead incarnation's vector.
+func TestRestoreInvalidatesDecodeMemos(t *testing.T) {
+	tdi := New(1, 4, nil, nil)
+	snap := tdi.Snapshot()
+	for _, src := range []int{0, 2, 3} {
+		// Memoize a decode that demands two prior deliveries: Hold.
+		held := env(src, 1, 1, vclock.Vec{0, 2, 0, 0})
+		if v, err := tdi.Deliverable(held, 0); err != nil || v != proto.Hold {
+			t.Fatalf("src %d: pre-restore verdict %v, %v", src, v, err)
+		}
+		if d, ok := tdi.DeliveryDemand(held); !ok || d != 2 {
+			t.Fatalf("src %d: pre-restore demand %d, %v", src, d, ok)
+		}
+		if err := tdi.Restore(snap); err != nil {
+			t.Fatalf("src %d: Restore: %v", src, err)
+		}
+		// The regenerated resend at the same (source, send index)
+		// demands nothing. A stale memo would keep holding it.
+		resent := env(src, 1, 1, vclock.Vec{0, 0, 0, 0})
+		if v, err := tdi.Deliverable(resent, 0); err != nil || v != proto.Deliver {
+			t.Fatalf("src %d: post-restore verdict %v, %v — stale decode memo", src, v, err)
+		}
+		if d, ok := tdi.DeliveryDemand(resent); !ok || d != 0 {
+			t.Fatalf("src %d: post-restore demand %d, %v — stale decode memo", src, d, ok)
+		}
+	}
+}

@@ -80,6 +80,12 @@ type Fabric struct {
 	links []*link      // n*n, indexed from*n+to
 	ranks []*rankState // destination-side state
 
+	// instant is true when the configured network model never delays a
+	// message (zero latency, infinite bandwidth, no batch coalescing):
+	// Send may then bypass the link goroutine entirely and deliver
+	// inline, saving two goroutine hand-offs per message.
+	instant bool
+
 	closeOnce sync.Once
 	closed    chan struct{}
 }
@@ -103,6 +109,7 @@ func New(cfg Config) *Fabric {
 		ranks:  make([]*rankState, cfg.N),
 		closed: make(chan struct{}),
 	}
+	f.instant = cfg.BaseLatency == 0 && cfg.BytesPerSecond <= 0 && cfg.BatchBytes <= 0
 	for i := range f.ranks {
 		f.ranks[i] = newRankState()
 	}
@@ -162,12 +169,18 @@ func (f *Fabric) Send(env *wire.Envelope, opts SendOpts) error {
 	if env.From < 0 || env.From >= f.cfg.N || env.To < 0 || env.To >= f.cfg.N {
 		return fmt.Errorf("fabric: bad endpoints %d->%d", env.From, env.To)
 	}
-	encoded := wire.Encode(env)
-	it := &item{bytes: encoded, size: int64(len(encoded))}
+	l := f.links[env.From*f.cfg.N+env.To]
+	if f.instant && l.tryInline(env) {
+		// Delivered synchronously: a rendezvous send's acceptance
+		// condition (destination inbox took the message) already holds.
+		return nil
+	}
+	buf := wire.GetBuf()
+	*buf = wire.AppendEncode((*buf)[:0], env)
+	it := &item{bytes: *buf, size: int64(len(*buf)), buf: buf}
 	if opts.Rendezvous {
 		it.done = make(chan struct{})
 	}
-	l := f.links[env.From*f.cfg.N+env.To]
 	if err := l.enqueue(it, opts.Abort, f.closed); err != nil {
 		return err
 	}
@@ -181,6 +194,16 @@ func (f *Fabric) Send(env *wire.Envelope, opts SendOpts) error {
 		}
 	}
 	return nil
+}
+
+// TrySend delivers env synchronously when the network model is instant
+// and the destination's link is idle and deliverable right now; false
+// means the caller must use Send, which owns blocking and parking.
+func (f *Fabric) TrySend(env *wire.Envelope) bool {
+	if !f.instant || env.From < 0 || env.From >= f.cfg.N || env.To < 0 || env.To >= f.cfg.N {
+		return false
+	}
+	return f.links[env.From*f.cfg.N+env.To].tryInline(env)
 }
 
 // Recv blocks until an envelope is available for rank, the rank is killed
@@ -204,6 +227,16 @@ type Inbox struct{ box *inboxT }
 // means the queue was closed (rank killed or fabric shut down).
 func (in Inbox) Recv() (*wire.Envelope, bool) { return in.box.recv() }
 
+// RecvBatch implements transport.BatchInbox: it blocks like Recv for the
+// first envelope, then drains whatever else is already queued — up to
+// buf's capacity — without blocking again. Like Recv, a killed rank's
+// handle returns ok=false immediately (its queue died with the
+// incarnation); only a fabric-shutdown close still drains what was
+// queued before it.
+func (in Inbox) RecvBatch(buf []*wire.Envelope) ([]*wire.Envelope, bool) {
+	return in.box.recvBatch(buf)
+}
+
 // Inbox returns a handle pinned to rank's current inbox.
 func (f *Fabric) Inbox(rank int) Inbox {
 	return Inbox{box: f.ranks[rank].inbox()}
@@ -219,7 +252,7 @@ func (f *Fabric) Kill(rank int) {
 	old := r.box
 	r.box = newInbox()
 	r.mu.Unlock()
-	old.closeBox()
+	old.dropBox()
 	// Senders blocked on full link buffers may hold this rank's abort
 	// channel; wake them so they can observe it. Kills are rare, so a
 	// global broadcast is fine.
@@ -285,6 +318,7 @@ func (f *Fabric) InFlight() int {
 type item struct {
 	bytes []byte
 	size  int64
+	buf   *[]byte       // pooled backing of bytes, returned after decode
 	done  chan struct{} // non-nil for rendezvous sends
 }
 
@@ -328,6 +362,40 @@ func (l *link) enqueue(it *item, abort <-chan struct{}, closed chan struct{}) er
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	return nil
+}
+
+// tryInline delivers env synchronously on an instant network, bypassing
+// the link goroutine. It only fires while the link is idle (nothing
+// queued or in service) and the destination is alive and unstalled, so
+// per-link FIFO order and the park-while-dead semantics are untouched:
+// any message that cannot go right now takes the queued path, and once
+// one is queued every later send queues behind it until the link drains.
+// l.mu is held across the inbox push so a racing send on the same link
+// cannot overtake the delivery. The receiver gets a deep copy with the
+// same ownership contract a decode would produce, never the sender's
+// envelope; the queued path still wire-round-trips every message.
+func (l *link) tryInline(env *wire.Envelope) bool {
+	r := l.f.ranks[l.to]
+	l.mu.Lock()
+	if len(l.queue) > 0 || l.busy > 0 {
+		l.mu.Unlock()
+		return false
+	}
+	r.mu.Lock()
+	if !r.alive || r.stalled {
+		r.mu.Unlock()
+		l.mu.Unlock()
+		return false
+	}
+	box := r.box
+	r.mu.Unlock()
+
+	denv := wire.GetEnvelope()
+	wire.CopyInto(denv, env)
+	l.batch.Record(1)
+	box.push(denv)
+	l.mu.Unlock()
+	return true
 }
 
 func (l *link) run() {
@@ -411,12 +479,14 @@ func (l *link) deliver(it *item) bool {
 	box := r.box
 	r.mu.Unlock()
 
-	env, err := wire.Decode(it.bytes)
-	if err != nil {
+	env := wire.GetEnvelope()
+	if err := wire.DecodeInto(env, it.bytes); err != nil {
 		// An encode/decode mismatch is a bug in this repository, not a
 		// runtime condition: fail loudly.
 		panic(fmt.Sprintf("fabric: corrupt envelope on link to %d: %v", l.to, err))
 	}
+	wire.PutBuf(it.buf)
+	it.bytes, it.buf = nil, nil
 	box.push(env)
 	if it.done != nil {
 		close(it.done)
@@ -487,8 +557,54 @@ func (b *inboxT) recv() (*wire.Envelope, bool) {
 	return env, true
 }
 
+// recvBatch is recv draining up to cap(buf)-len(buf) queued envelopes in
+// one critical section: one lock round and one receiver wakeup however
+// many messages arrived while the receiver was busy.
+func (b *inboxT) recvBatch(buf []*wire.Envelope) ([]*wire.Envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.queue) == 0 {
+		return buf, false
+	}
+	n := cap(buf) - len(buf)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(b.queue) {
+		n = len(b.queue)
+	}
+	buf = append(buf, b.queue[:n]...)
+	rest := copy(b.queue, b.queue[n:])
+	for i := rest; i < len(b.queue); i++ {
+		b.queue[i] = nil // release delivered refs for the GC
+	}
+	b.queue = b.queue[:rest]
+	return buf, true
+}
+
+// closeBox marks the box closed for fabric shutdown: receivers drain
+// whatever is already queued, then see ok=false.
 func (b *inboxT) closeBox() {
 	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// dropBox closes the box and discards everything queued. Kill uses this
+// instead of closeBox: the dead incarnation's undelivered messages are
+// part of its volatile state and must be lost with it — a receiver
+// thread racing the kill would otherwise hand stale envelopes to the
+// next incarnation's delivery path.
+func (b *inboxT) dropBox() {
+	b.mu.Lock()
+	for i := range b.queue {
+		b.queue[i] = nil
+	}
+	b.queue = nil
 	b.closed = true
 	b.cond.Broadcast()
 	b.mu.Unlock()

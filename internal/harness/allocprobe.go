@@ -133,7 +133,7 @@ func deliveryScanAllocs(interceptors []layer.Interceptor, traced bool) float64 {
 			id := spanID(1, 0, uint32(i))
 			env.Span = layer.SpanContext{Trace: id, Span: id}
 		}
-		r.recvQ[1] = append(r.recvQ[1], env)
+		r.shards[1].q = append(r.shards[1].q, env)
 	}
 	return testing.AllocsPerRun(allocProbeRuns, func() {
 		r.mu.Lock()

@@ -105,8 +105,14 @@ func (h obsHandler) Send(m *layer.Msg) {
 func (h obsHandler) Deliver(m *layer.Msg) {
 	r := h.r
 	r.c.coll.Rank(r.id).MsgDelivered()
-	if r.deliverLat != nil && !r.recvStart.IsZero() {
-		r.deliverLat.RecordDuration(r.c.clk.Now().Sub(r.recvStart))
+	if r.deliverLat != nil {
+		if r.recvStart.IsZero() {
+			// The receiver never blocked; its wait was zero and the
+			// clock was never read.
+			r.deliverLat.Record(0)
+		} else {
+			r.deliverLat.RecordDuration(r.c.clk.Now().Sub(r.recvStart))
+		}
 	}
 	h.next.Deliver(m)
 }

@@ -98,14 +98,19 @@ func decodeCkptAdvance(b []byte) (int64, int64, error) {
 // rank id — or an unknown kind — is dropped and counted here rather
 // than crashing the rank.
 func (r *rankRuntime) receiverLoop(in transport.Inbox) {
+	if batch := r.c.recvBatch(); batch > 0 {
+		if bi, ok := in.(transport.BatchInbox); ok {
+			r.receiverLoopBatched(bi, batch)
+			return
+		}
+	}
 	for {
 		env, ok := in.Recv()
 		if !ok {
 			return
 		}
 		if env.From < 0 || env.From >= r.n || env.To != r.id {
-			r.c.coll.Rank(r.id).IngestRejected()
-			r.c.observer().OnIngestRejected(r.id, "envelope")
+			r.rejectEnvelope(env)
 			continue
 		}
 		switch env.Kind {
@@ -118,10 +123,61 @@ func (r *rankRuntime) receiverLoop(in transport.Inbox) {
 		case wire.KindCkptAdvance:
 			r.handleCkptAdvance(env)
 		default:
-			r.c.coll.Rank(r.id).IngestRejected()
-			r.c.observer().OnIngestRejected(r.id, "envelope")
+			r.rejectEnvelope(env)
 		}
 	}
+}
+
+// receiverLoopBatched is receiverLoop draining the inbox in chunks: one
+// blocking wait per chunk, per-shard inserts without the rank lock, and
+// a single delivery wakeup per chunk instead of per message. Control
+// messages are dispatched in arrival position, so their ordering
+// relative to the application messages around them is unchanged.
+func (r *rankRuntime) receiverLoopBatched(in transport.BatchInbox, batch int) {
+	buf := make([]*wire.Envelope, 0, batch)
+	hist := r.c.recvBatchFam.Rank(r.id)
+	for {
+		var ok bool
+		buf, ok = in.RecvBatch(buf[:0])
+		if !ok {
+			return
+		}
+		hist.Record(int64(len(buf)))
+		woke := false
+		for i, env := range buf {
+			buf[i] = nil // the envelope is owned downstream from here
+			if env.From < 0 || env.From >= r.n || env.To != r.id {
+				r.rejectEnvelope(env)
+				continue
+			}
+			switch env.Kind {
+			case wire.KindApp:
+				if r.insertShard(env) {
+					woke = true
+				}
+			case wire.KindRollback:
+				r.handleRollback(env)
+			case wire.KindResponse:
+				r.handleResponse(env)
+			case wire.KindCkptAdvance:
+				r.handleCkptAdvance(env)
+			default:
+				r.rejectEnvelope(env)
+			}
+		}
+		if woke {
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		}
+	}
+}
+
+// rejectEnvelope counts hostile input dropped by the receiver loop.
+func (r *rankRuntime) rejectEnvelope(env *wire.Envelope) {
+	r.c.coll.Rank(r.id).IngestRejected()
+	r.c.observer().OnIngestRejected(r.id, "envelope")
+	wire.Recycle(env)
 }
 
 // handleRollback serves a peer's recovery (Algorithm 1 lines 47-51):

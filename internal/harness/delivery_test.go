@@ -53,15 +53,21 @@ func TestEnqueueDiscardsRepetitive(t *testing.T) {
 	r.mu.Lock()
 	r.lastDeliverIndex[1] = 5
 	r.mu.Unlock()
+	// The receiver's duplicate bound lives in the shard mirror (see
+	// deliveryShard.delivered); keep it in sync as Recover does.
+	r.shards[1].mu.Lock()
+	r.shards[1].delivered = 5
+	r.shards[1].mu.Unlock()
 
 	r.enqueueApp(tdiEnv(1, 0, 5, zero, 0)) // already delivered
 	r.enqueueApp(tdiEnv(1, 0, 3, zero, 0)) // long gone
 	r.enqueueApp(tdiEnv(1, 0, 6, zero, 0)) // fresh
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.recvQ[1]) != 1 || r.recvQ[1][0].SendIndex != 6 {
-		t.Fatalf("queue = %v", r.recvQ[1])
+	r.shards[1].mu.Lock()
+	q := append([]*wire.Envelope(nil), r.shards[1].q...)
+	r.shards[1].mu.Unlock()
+	if len(q) != 1 || q[0].SendIndex != 6 {
+		t.Fatalf("queue = %v", q)
 	}
 	if got := r.c.coll.Rank(0).Snapshot().RepetitiveDiscarded; got != 2 {
 		t.Fatalf("RepetitiveDiscarded = %d", got)
@@ -79,9 +85,9 @@ func TestEnqueueSortsAndDedupesInQueue(t *testing.T) {
 	r.enqueueApp(tdiEnv(1, 0, 2, zero, 0))
 	r.enqueueApp(tdiEnv(1, 0, 2, zero, 0)) // duplicate copy
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	q := r.recvQ[1]
+	r.shards[1].mu.Lock()
+	q := append([]*wire.Envelope(nil), r.shards[1].q...)
+	r.shards[1].mu.Unlock()
 	if len(q) != 3 {
 		t.Fatalf("queue length = %d", len(q))
 	}
@@ -137,6 +143,42 @@ func TestFindDeliverableAnySourceScansAll(t *testing.T) {
 	}
 }
 
+// TestAnySourceRotatesAcrossSources is the regression test for the
+// AnySource starvation bug: the scan used to start at source 0 on every
+// call, so a chatty low-numbered source whose queue never drained
+// starved every higher-numbered one — here it picked source 1 three
+// times straight before source 2 got a turn. The rotating cursor must
+// serve two continuously refilled sources in strict alternation.
+func TestAnySourceRotatesAcrossSources(t *testing.T) {
+	r := newIdleRuntime(t, 4, TDI)
+	zero := vclock.New(4)
+	for idx := int64(1); idx <= 3; idx++ {
+		r.enqueueApp(tdiEnv(1, 0, idx, zero, 0))
+		r.enqueueApp(tdiEnv(2, 0, idx, zero, 0))
+	}
+
+	var order []int
+	r.mu.Lock()
+	for i := 0; i < 4; i++ {
+		env := r.findDeliverableLocked(app.AnySource, app.AnyTag)
+		if env == nil {
+			r.mu.Unlock()
+			t.Fatalf("no deliverable message on iteration %d (order so far %v)", i, order)
+		}
+		order = append(order, env.From)
+		r.deliverLocked(env)
+	}
+	r.mu.Unlock()
+
+	// Both sources hold a deliverable head for the whole loop, so any
+	// repeat means the cursor failed to rotate past the served source.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("AnySource starved a source: delivery order %v", order)
+		}
+	}
+}
+
 func TestFindDeliverableHonoursProtocolHold(t *testing.T) {
 	r := newIdleRuntime(t, 3, TDI)
 	// The piggyback demands this rank have delivered 2 messages first.
@@ -179,11 +221,14 @@ func TestFig3RepetitiveScenario(t *testing.T) {
 	resent.Resent = true
 	r.enqueueApp(resent)
 
+	r.shards[1].mu.Lock()
+	queued := len(r.shards[1].q)
+	r.shards[1].mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("repetitive m3 still queued (%d entries)", queued)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.recvQ[1]) != 0 {
-		t.Fatalf("repetitive m3 queued: %v", r.recvQ[1])
-	}
 	if got := r.c.coll.Rank(0).Snapshot().RepetitiveDiscarded; got != 1 {
 		t.Fatalf("RepetitiveDiscarded = %d, want 1", got)
 	}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKillRaceShardConsistency repeatedly kills and recovers ranks while
+// the ring keeps traffic in flight, asserting after every kill that the
+// failure point froze exactly at the dead incarnation's delivered count
+// and, after every recovery, that each delivery shard's ingest-side
+// duplicate bound agrees with the restored lastDeliverIndex. Run under
+// -race (and WINDAR_TRANSPORT=tcp for the wire transport) this is the
+// regression test for the kill-vs-ingest race class: a receiver thread
+// racing Kill must neither advance the dead incarnation's counters nor
+// leave a revived rank's shard mirrors out of step with its checkpoint.
+func TestKillRaceShardConsistency(t *testing.T) {
+	cfg := testConfig(4, TDI)
+	clean := run(t, cfg, ringFactory(60), nil)
+	faulty := run(t, cfg, ringFactory(60), func(c *Cluster) {
+		for victim := 1; victim <= 3; victim++ {
+			time.Sleep(2 * time.Millisecond)
+			if err := c.Kill(victim); err != nil {
+				t.Errorf("Kill(%d): %v", victim, err)
+				return
+			}
+			c.ranksMu.Lock()
+			old := c.ranks[victim]
+			failedAt := c.failedAt[victim]
+			c.ranksMu.Unlock()
+			old.mu.Lock()
+			frozen := old.deliveredCount
+			old.mu.Unlock()
+			if frozen != failedAt {
+				t.Errorf("kill %d: failedAt %d but dead incarnation deliveredCount %d",
+					victim, failedAt, frozen)
+			}
+			// The dead incarnation must stay frozen: its app goroutine
+			// checks the kill flag before every delivery scan and its
+			// receiver threads reject ingest for a dead rank.
+			time.Sleep(time.Millisecond)
+			old.mu.Lock()
+			still := old.deliveredCount
+			old.mu.Unlock()
+			if still != frozen {
+				t.Errorf("kill %d: dead incarnation kept delivering (%d -> %d)",
+					victim, frozen, still)
+			}
+			if err := c.Recover(victim); err != nil {
+				t.Errorf("Recover(%d): %v", victim, err)
+				return
+			}
+			c.ranksMu.Lock()
+			r := c.ranks[victim]
+			c.ranksMu.Unlock()
+			// deliverLocked advances the shard mirror and
+			// lastDeliverIndex while holding mu, so observed under mu
+			// the two must agree for every shard — even while the
+			// incarnation is already rolling forward.
+			r.mu.Lock()
+			for src := range r.shards {
+				r.shards[src].mu.Lock()
+				mirror := r.shards[src].delivered
+				r.shards[src].mu.Unlock()
+				if mirror != r.lastDeliverIndex[src] {
+					t.Errorf("recover %d: shard %d ingest bound %d != lastDeliverIndex %d",
+						victim, src, mirror, r.lastDeliverIndex[src])
+				}
+			}
+			r.mu.Unlock()
+		}
+	})
+	assertSameStates(t, clean, faulty, "kill-race shards")
+}
+
+// TestChaosRecoveryInvalidatesDecodeState is the chaos schedule for the
+// per-source decode caches: the AnySource master is killed twice with a
+// worker failure in between, so every incarnation faces resent messages
+// whose piggybacks were regenerated at the same send indices. A stale
+// per-source decode memo or hold verdict surviving a recovery would
+// merge the wrong vector into depend_interval and the replayed run
+// would diverge from the clean one (or deadlock on a hold that should
+// have cleared).
+func TestChaosRecoveryInvalidatesDecodeState(t *testing.T) {
+	cfg := testConfig(5, TDI)
+	clean := run(t, cfg, sumFactory(40), nil)
+	faulty := run(t, cfg, sumFactory(40), func(c *Cluster) {
+		for i, victim := range []int{0, 2, 0} {
+			time.Sleep(time.Duration(2+i) * time.Millisecond)
+			if err := c.KillAndRecover(victim, time.Millisecond); err != nil {
+				t.Errorf("KillAndRecover(%d): %v", victim, err)
+				return
+			}
+		}
+	})
+	assertSameStates(t, clean, faulty, "chaos decode-state invalidation")
+}

@@ -51,6 +51,14 @@ type rankRuntime struct {
 	delivMsg  layer.Msg
 	delivEnv  *wire.Envelope
 	recvStart time.Time
+	// payArena is the bump allocator for outgoing payload copies,
+	// touched only by the app goroutine inside Send. The copies are
+	// retained read-only by the sender log (and shared with the
+	// in-flight envelope), so carving them out of a shared chunk is
+	// safe; a chunk stays reachable until every payload cut from it is
+	// released, which merely rounds the log's retention up to chunk
+	// granularity.
+	payArena []byte
 	// sendSuppressed is coreHandler.Send's verdict for the message just
 	// pushed through the chain (valid until the next Send).
 	sendSuppressed bool
@@ -68,7 +76,18 @@ type rankRuntime struct {
 	lastCkptDeliverIndex  vclock.Vec // last advertised in CHECKPOINT_ADVANCE (line 6)
 	rollbackLastSendIndex vclock.Vec // from RESPONSEs (line 7)
 	deliveredCount        int64
-	recvQ                 [][]*wire.Envelope // queue B, per source, sorted by SendIndex
+
+	// shards is queue B split per source: each shard's FIFO is guarded
+	// by its own lock, so ingest from different sources — and ingest vs
+	// the delivery scan — no longer serialize on mu. Lock order is mu
+	// outer, shard.mu inner; ingest takes only the shard lock for the
+	// insert and mu alone for the wakeup, so the pair is never held in
+	// the reverse order.
+	shards []deliveryShard
+	// scanCursor rotates the AnySource scan's starting source: it
+	// advances past each delivered source (under mu), so a chatty
+	// low-numbered rank cannot starve a high-numbered one.
+	scanCursor int
 
 	// Piggyback-rejection bookkeeping: the send index of the last
 	// malformed head counted per source (so a held corrupt head is
@@ -111,6 +130,31 @@ type rankRuntime struct {
 	startStep int
 }
 
+// deliveryShard is one source's slice of queue B.
+type deliveryShard struct {
+	mu sync.Mutex
+	// q is the source's pending FIFO, sorted by SendIndex.
+	q []*wire.Envelope
+	// delivered mirrors lastDeliverIndex[src] for the ingest-side
+	// duplicate check, so an insert needs only the shard lock. It is
+	// written with both mu and shard.mu held (delivery commit, recovery
+	// restore) and read under either.
+	delivered int64
+}
+
+// lockShard acquires sh.mu, counting the acquisitions that actually
+// contended — the shard-contention rate is the direct measure of how
+// much serialization sharding removed from the old single-mutex design.
+//
+//windar:hotpath
+func (r *rankRuntime) lockShard(sh *deliveryShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	r.c.coll.Rank(r.id).ShardContended()
+	sh.mu.Lock()
+}
+
 var _ app.Env = (*rankRuntime)(nil)
 
 // newRuntime builds a fresh runtime for rank at the given incarnation.
@@ -125,7 +169,7 @@ func (c *Cluster) newRuntime(rank int, incarnation int32) (*rankRuntime, error) 
 		lastDeliverIndex:      vclock.New(c.cfg.N),
 		lastCkptDeliverIndex:  vclock.New(c.cfg.N),
 		rollbackLastSendIndex: vclock.New(c.cfg.N),
-		recvQ:                 make([][]*wire.Envelope, c.cfg.N),
+		shards:                make([]deliveryShard, c.cfg.N),
 		lastPigErrIdx:         make([]int64, c.cfg.N),
 		killed:                make(chan struct{}),
 		deliverLat:            c.deliverLat.Rank(rank),
@@ -242,8 +286,7 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	if dest < 0 || dest >= r.n {
 		panic(fmt.Sprintf("harness: rank %d Send to invalid destination %d", r.id, dest))
 	}
-	payload := make([]byte, len(data))
-	copy(payload, data)
+	payload := r.copyPayload(data)
 
 	r.mu.Lock()
 	r.lastSendIndex[dest]++
@@ -263,12 +306,39 @@ func (r *rankRuntime) Send(dest int, tag int32, data []byte) {
 	if suppress {
 		return
 	}
-	env := &wire.Envelope{
-		Kind: wire.KindApp, From: r.id, To: dest,
-		Incarnation: r.incarnation, Tag: tag, SendIndex: idx,
-		Piggyback: pig, Payload: payload, Span: span,
-	}
+	// Pooled: neither transport retains the envelope past Send (both
+	// encode it synchronously), so transmit/senderLoop recycle it. The
+	// log's item shares pig and payload slices with it, which Recycle
+	// leaves untouched — it only drops the envelope's references.
+	env := wire.GetEnvelope()
+	env.Kind, env.From, env.To = wire.KindApp, r.id, dest
+	env.Incarnation, env.Tag, env.SendIndex = r.incarnation, tag, idx
+	env.Piggyback, env.Payload, env.Span = pig, payload, span
 	r.transmit(env)
+}
+
+// payArenaChunk sizes the send-payload arena. Small payloads dominate
+// the workloads this harness runs, so one chunk serves thousands of
+// sends; payloads bigger than a chunk get their own allocation.
+const payArenaChunk = 16 << 10
+
+// copyPayload returns a stable copy of data for the log and the wire,
+// cut from the per-rank arena when it fits (see payArena).
+func (r *rankRuntime) copyPayload(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) > payArenaChunk/4 {
+		p := make([]byte, len(data))
+		copy(p, data)
+		return p
+	}
+	if cap(r.payArena)-len(r.payArena) < len(data) {
+		r.payArena = make([]byte, 0, payArenaChunk)
+	}
+	n := len(r.payArena)
+	r.payArena = append(r.payArena, data...)
+	return r.payArena[n : n+len(data) : n+len(data)]
 }
 
 // transmit hands env to the transport according to the configured mode.
@@ -280,9 +350,20 @@ func (r *rankRuntime) transmit(env *wire.Envelope) {
 		if err != nil {
 			panic(killedPanic{})
 		}
+		wire.Recycle(env)
 		return
 	}
 	r.sendMu.Lock()
+	// Instant-transport fast path: when queue A is empty and the sender
+	// goroutine idle, a TrySend that lands skips the queue hand-off
+	// entirely. FIFO holds because any send that cannot go inline is
+	// appended under this same lock, and once one is queued every later
+	// send sees len(sendQ) > 0 and queues behind it.
+	if r.c.trInline != nil && len(r.sendQ) == 0 && !r.sendBusy && r.c.trInline.TrySend(env) {
+		r.sendMu.Unlock()
+		wire.Recycle(env)
+		return
+	}
 	r.sendQ = append(r.sendQ, env)
 	// Broadcast, not Signal: both the sender loop and a checkpoint
 	// draining queue A may be waiting on this condition.
@@ -307,6 +388,9 @@ func (r *rankRuntime) senderLoop() {
 		r.sendMu.Unlock()
 
 		err := r.c.tr.Send(env, transportSendOpts(false, r.killed))
+		// Both transports encode synchronously inside Send, so the
+		// envelope is free for reuse here even when the send aborted.
+		wire.Recycle(env)
 
 		r.sendMu.Lock()
 		r.sendBusy = false
@@ -344,11 +428,13 @@ func (r *rankRuntime) drainSends() {
 // protocol's delivery predicate.
 func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 	r.checkKilled()
-	start := r.c.clk.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// recvStart feeds the obs layer's deliver-latency histogram: the
-	// chain records Now()-recvStart when the delivery goes through.
+	// recvStart feeds the obs layer's deliver-latency histogram. The
+	// clock is read lazily, on the first failed scan: a Recv satisfied
+	// by an already-queued message never touches the clock and records
+	// a zero wait, which is what it had.
+	var start time.Time
 	r.recvStart = start
 	for {
 		// The kill check precedes the delivery scan: a killed rank must
@@ -358,9 +444,17 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 			panic(killedPanic{})
 		}
 		if env := r.findDeliverableLocked(source, tag); env != nil {
-			return r.deliverLocked(env), env.From
+			// Capture the source first: deliverLocked recycles pooled
+			// envelopes, after which env's fields are no longer ours.
+			src := env.From
+			return r.deliverLocked(env), src
 		}
-		if st := r.c.cfg.StallTimeout; st > 0 && r.c.clk.Now().Sub(start) > st {
+		now := r.c.clk.Now()
+		if start.IsZero() {
+			start = now
+			r.recvStart = now
+		}
+		if st := r.c.cfg.StallTimeout; st > 0 && now.Sub(start) > st {
 			panic(r.stallReportLocked(source, tag))
 		}
 		r.cond.Wait()
@@ -369,44 +463,64 @@ func (r *rankRuntime) Recv(source int, tag int32) ([]byte, int) {
 
 // findDeliverableLocked returns the first deliverable queued message
 // matching (source, tag), or nil. It is the delivery scan the blocked
-// receiver re-runs on every wakeup, so it must not heap-allocate.
+// receiver re-runs on every wakeup, so it must not heap-allocate. The
+// AnySource scan starts at scanCursor — the source after the last
+// delivery — and wraps, so every source with a deliverable head is
+// reached within n deliveries regardless of how chatty the others are.
 //
 //windar:hotpath
 func (r *rankRuntime) findDeliverableLocked(source int, tag int32) *wire.Envelope {
-	scan := func(src int) *wire.Envelope {
-		q := r.recvQ[src]
-		if len(q) == 0 {
-			return nil
-		}
-		head := q[0]
-		if head.SendIndex != r.lastDeliverIndex[src]+1 {
-			return nil // FIFO gap: an earlier message is missing
-		}
-		if tag != app.AnyTag && head.Tag != tag {
-			return nil
-		}
-		v, err := r.prot.Deliverable(head, r.deliveredCount)
-		if err != nil {
-			r.noteIngestErrLocked(src, head.SendIndex, err)
-			return nil
-		}
-		if v != proto.Deliver {
-			return nil
-		}
-		return head
-	}
 	if source != app.AnySource {
 		if source < 0 || source >= r.n {
 			r.panicInvalidSource(source)
 		}
-		return scan(source)
+		return r.scanShard(source, tag)
 	}
-	for src := 0; src < r.n; src++ {
-		if env := scan(src); env != nil {
+	for k := 0; k < r.n; k++ {
+		src := r.scanCursor + k
+		if src >= r.n {
+			src -= r.n
+		}
+		if env := r.scanShard(src, tag); env != nil {
 			return env
 		}
 	}
 	return nil
+}
+
+// scanShard probes one source's FIFO head. The shard lock covers only
+// the head read (ingest mutates the slice under it); the head envelope
+// itself is immutable once queued and cannot be removed concurrently —
+// removal happens only under mu, which the caller holds — so the FIFO,
+// tag and protocol probes run with the shard lock already released.
+//
+//windar:hotpath
+func (r *rankRuntime) scanShard(src int, tag int32) *wire.Envelope {
+	sh := &r.shards[src]
+	r.lockShard(sh)
+	var head *wire.Envelope
+	if len(sh.q) > 0 {
+		head = sh.q[0]
+	}
+	sh.mu.Unlock()
+	if head == nil {
+		return nil
+	}
+	if head.SendIndex != r.lastDeliverIndex[src]+1 {
+		return nil // FIFO gap: an earlier message is missing
+	}
+	if tag != app.AnyTag && head.Tag != tag {
+		return nil
+	}
+	v, err := r.prot.Deliverable(head, r.deliveredCount)
+	if err != nil {
+		r.noteIngestErrLocked(src, head.SendIndex, err)
+		return nil
+	}
+	if v != proto.Deliver {
+		return nil
+	}
+	return head
 }
 
 // noteIngestErrLocked counts a malformed piggyback at a channel's FIFO
@@ -448,9 +562,18 @@ func (r *rankRuntime) panicDeliveryRejected(err error) {
 //windar:hotpath
 func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 	src := env.From
-	r.recvQ[src] = r.recvQ[src][1:]
+	sh := &r.shards[src]
+	r.lockShard(sh)
+	sh.q = sh.q[1:]
+	sh.delivered = r.lastDeliverIndex[src] + 1
+	sh.mu.Unlock()
 	r.lastDeliverIndex[src]++
 	r.deliveredCount++
+	// Rotate the AnySource fairness cursor past the source just served.
+	r.scanCursor = src + 1
+	if r.scanCursor >= r.n {
+		r.scanCursor = 0
+	}
 	m := &r.delivMsg
 	m.Rank, m.Peer, m.Tag = r.id, src, env.Tag
 	m.SendIndex, m.DeliverIndex, m.Demand = env.SendIndex, r.deliveredCount, -1
@@ -460,6 +583,10 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 	r.delivEnv = env
 	r.chain.Deliver(m)
 	payload := m.Payload
+	// The chain is done with the envelope's piggyback; drop the scratch
+	// reference so a recycled envelope's buffer is never reachable
+	// through the reused Msg.
+	m.Piggyback, m.Payload = nil, nil
 	if r.recovering {
 		if env.Resent && r.firstResentAt.IsZero() {
 			r.firstResentAt = r.c.clk.Now()
@@ -492,6 +619,11 @@ func (r *rankRuntime) deliverLocked(env *wire.Envelope) []byte {
 			r.c.clearRollback(r.id, r.incarnation)
 		}
 	}
+	// The delivery is committed and every reader of the envelope — the
+	// chain, the recovery bookkeeping above — is done with it. Pooled
+	// envelopes (transport decode scratch) go back for reuse; the
+	// payload survives because decode allocates it fresh.
+	wire.Recycle(env)
 	return payload
 }
 
@@ -518,26 +650,47 @@ func (r *rankRuntime) noteResponderLost(peer int) {
 
 // enqueueApp inserts an arriving application message into queue B,
 // discarding repetitive copies (Algorithm 1's receiver-side duplicate
-// identification).
+// identification), then wakes the delivery scan.
 func (r *rankRuntime) enqueueApp(env *wire.Envelope) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := r.c.coll.Rank(r.id)
-	if env.SendIndex <= r.lastDeliverIndex[env.From] {
-		m.RepetitiveDiscarded()
+	if !r.insertShard(env) {
 		return
 	}
-	q := r.recvQ[env.From]
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// insertShard is the ingest half of enqueueApp: the sorted insert into
+// the source's shard under the shard lock alone, so ingest from
+// different sources runs concurrently and never touches mu. It reports
+// whether the message was queued (false: repetitive, discarded). The
+// wakeup ordering is safe without holding both locks: a scanner holds mu
+// across its whole scan, so the caller's subsequent mu-protected
+// Broadcast either precedes the scan (which then sees the insert) or is
+// delivered to its cond.Wait.
+func (r *rankRuntime) insertShard(env *wire.Envelope) bool {
+	sh := &r.shards[env.From]
+	r.lockShard(sh)
+	if env.SendIndex <= sh.delivered {
+		sh.mu.Unlock()
+		r.c.coll.Rank(r.id).RepetitiveDiscarded()
+		wire.Recycle(env)
+		return false
+	}
+	q := sh.q
 	i := sort.Search(len(q), func(i int) bool { return q[i].SendIndex >= env.SendIndex })
 	if i < len(q) && q[i].SendIndex == env.SendIndex {
-		m.RepetitiveDiscarded() // a resent copy raced the parked original
-		return
+		sh.mu.Unlock()
+		r.c.coll.Rank(r.id).RepetitiveDiscarded() // a resent copy raced the parked original
+		wire.Recycle(env)
+		return false
 	}
 	q = append(q, nil)
 	copy(q[i+1:], q[i:])
 	q[i] = env
-	r.recvQ[env.From] = q
-	r.cond.Broadcast()
+	sh.q = q
+	sh.mu.Unlock()
+	return true
 }
 
 // doCheckpoint snapshots the rank onto stable storage and advertises the
@@ -606,17 +759,25 @@ func (r *rankRuntime) stallReportLocked(source int, tag int32) string {
 	if r.lastIngestErr != nil {
 		fmt.Fprintf(&b, "  last rejected piggyback: %v\n", r.lastIngestErr)
 	}
-	for src, q := range r.recvQ {
-		if len(q) == 0 {
+	for src := range r.shards {
+		sh := &r.shards[src]
+		sh.mu.Lock()
+		n := len(sh.q)
+		var head *wire.Envelope
+		if n > 0 {
+			head = sh.q[0]
+		}
+		sh.mu.Unlock()
+		if head == nil {
 			continue
 		}
-		verdict, err := r.prot.Deliverable(q[0], r.deliveredCount)
+		verdict, err := r.prot.Deliverable(head, r.deliveredCount)
 		vs := verdict.String()
 		if err != nil {
 			vs = fmt.Sprintf("rejected (%v)", err)
 		}
 		fmt.Fprintf(&b, "  queue[%d]: %d msgs, head index %d (want %d), head tag %d, verdict %s\n",
-			src, len(q), q[0].SendIndex, r.lastDeliverIndex[src]+1, q[0].Tag, vs)
+			src, n, head.SendIndex, r.lastDeliverIndex[src]+1, head.Tag, vs)
 	}
 	return b.String()
 }

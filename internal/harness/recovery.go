@@ -107,6 +107,14 @@ func (c *Cluster) Recover(rank int) error {
 		r.log.RestoreAll(cp.Log)
 		fromStep = cp.Step
 	}
+	// Sync the delivery shards' ingest-side duplicate bound with the
+	// restored lastDeliverIndex: the incarnation's receiver consults the
+	// shard mirror alone, and a zero mirror would re-admit messages the
+	// checkpoint already covers. The runtime has not started, so no
+	// locks are needed.
+	for i := range r.shards {
+		r.shards[i].delivered = r.lastDeliverIndex[i]
+	}
 
 	r.recoveryStart = c.clk.Now()
 	// collect-demands spans the ROLLBACK broadcast (which start fires

@@ -39,6 +39,7 @@ type Rank struct {
 	pigDeltaMsgs        atomic.Int64
 	pigFullMsgs         atomic.Int64
 	ingestRejected      atomic.Int64
+	shardContended      atomic.Int64
 }
 
 // Hists bundles the optional per-rank histogram sinks a Rank mirrors its
@@ -112,6 +113,10 @@ func (r *Rank) ControlMsg() { r.controlMsgs.Add(1) }
 // RepetitiveDiscarded records a duplicate suppressed at the receiver.
 func (r *Rank) RepetitiveDiscarded() { r.repetitiveDiscarded.Add(1) }
 
+// ShardContended records a delivery-shard lock acquisition that found
+// the lock held (ingest racing the scan, or the scan racing ingest).
+func (r *Rank) ShardContended() { r.shardContended.Add(1) }
+
 // Resent records a logged message retransmitted for a peer's recovery.
 func (r *Rank) Resent() { r.resentMsgs.Add(1) }
 
@@ -142,6 +147,7 @@ func (r *Rank) Snapshot() Snapshot {
 		DeliverTrackNanos:   r.deliverTrackNanos.Load(),
 		ControlMsgs:         r.controlMsgs.Load(),
 		RepetitiveDiscarded: r.repetitiveDiscarded.Load(),
+		ShardContended:      r.shardContended.Load(),
 		ResentMsgs:          r.resentMsgs.Load(),
 		LogItemsAppended:    r.logItemsAppended.Load(),
 		LogItemsReleased:    r.logItemsReleased.Load(),
@@ -166,6 +172,7 @@ type Snapshot struct {
 	DeliverTrackNanos   int64
 	ControlMsgs         int64
 	RepetitiveDiscarded int64
+	ShardContended      int64
 	ResentMsgs          int64
 	LogItemsAppended    int64
 	LogItemsReleased    int64
@@ -188,6 +195,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.DeliverTrackNanos += o.DeliverTrackNanos
 	s.ControlMsgs += o.ControlMsgs
 	s.RepetitiveDiscarded += o.RepetitiveDiscarded
+	s.ShardContended += o.ShardContended
 	s.ResentMsgs += o.ResentMsgs
 	s.LogItemsAppended += o.LogItemsAppended
 	s.LogItemsReleased += o.LogItemsReleased
@@ -306,6 +314,7 @@ func (s Snapshot) Vars() []Var {
 		{"deliver_tracking_ns", s.DeliverTrackNanos},
 		{"control_msgs", s.ControlMsgs},
 		{"repetitive_discarded", s.RepetitiveDiscarded},
+		{"shard_contended", s.ShardContended},
 		{"resent_msgs", s.ResentMsgs},
 		{"log_items_appended", s.LogItemsAppended},
 		{"log_items_released", s.LogItemsReleased},

@@ -513,3 +513,135 @@ func TestStallSurvivesKill(t *testing.T) {
 		}
 	})
 }
+
+// --- recv-batch drain ---
+
+// batchInbox asserts the optional capability both implementations
+// promise (see transport.BatchInbox).
+func batchInbox(t *testing.T, in transport.Inbox) transport.BatchInbox {
+	t.Helper()
+	bi, ok := in.(transport.BatchInbox)
+	if !ok {
+		t.Fatalf("%T does not implement BatchInbox", in)
+	}
+	return bi
+}
+
+// TestRecvBatchFIFOAcrossBoundaries: chunked draining is invisible to
+// ordering — concatenating batches of capacity 8 over a 200-message
+// stream yields exactly the per-pair send order, no matter where the
+// chunk boundaries land relative to sender-side frame batching.
+func TestRecvBatchFIFOAcrossBoundaries(t *testing.T) {
+	eachWith(t, 2, 4<<10, func(t *testing.T, tr transport.Transport) {
+		in := batchInbox(t, tr.Inbox(1))
+		const count = 200
+		done := make(chan error, 1)
+		go func() {
+			buf := make([]*wire.Envelope, 0, 8)
+			next := int64(0)
+			for next < count {
+				batch, ok := in.RecvBatch(buf[:0])
+				if !ok {
+					done <- fmt.Errorf("inbox closed at %d", next)
+					return
+				}
+				if len(batch) == 0 {
+					done <- fmt.Errorf("empty batch with ok=true at %d", next)
+					return
+				}
+				for _, env := range batch {
+					if env.SendIndex != next {
+						done <- fmt.Errorf("batch broke FIFO: got %d, want %d", env.SendIndex, next)
+						return
+					}
+					next++
+				}
+			}
+			done <- nil
+		}()
+		for i := 0; i < count; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRecvBatchFullBufYieldsOne: a buf with no spare capacity must
+// still make progress — exactly one envelope, the queue head.
+func TestRecvBatchFullBufYieldsOne(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		in := batchInbox(t, tr.Inbox(1))
+		for i := 0; i < 3; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		waitDrained(t, tr)
+		batch, ok := in.RecvBatch(nil)
+		if !ok || len(batch) != 1 || batch[0].SendIndex != 0 {
+			t.Fatalf("RecvBatch(nil) = %v, %v; want exactly the head", batch, ok)
+		}
+	})
+}
+
+// TestRecvBatchPartialAtKill: a drain that consumed only a prefix when
+// the rank dies. The consumed prefix stays consumed, the old handle
+// reports closure without resurrecting the remainder (matching Recv's
+// kill semantics), and the revived inbox sees only post-revival
+// traffic.
+func TestRecvBatchPartialAtKill(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		in := batchInbox(t, tr.Inbox(1))
+		for i := 0; i < 6; i++ {
+			mustSend(t, tr, appEnv(0, 1, i), transport.SendOpts{})
+		}
+		waitDrained(t, tr) // all six inboxed, none consumed
+		buf := make([]*wire.Envelope, 0, 2)
+		batch, ok := in.RecvBatch(buf)
+		if !ok || len(batch) == 0 {
+			t.Fatalf("first drain = %v, %v", batch, ok)
+		}
+		for i, env := range batch {
+			if env.SendIndex != int64(i) {
+				t.Fatalf("batch is not a queue prefix: %v", batch)
+			}
+		}
+		tr.Kill(1)
+		if rest, ok := in.RecvBatch(buf[:0]); ok {
+			t.Fatalf("killed inbox handed out %d envelopes", len(rest))
+		}
+		tr.Revive(1)
+		if rest, ok := in.RecvBatch(buf[:0]); ok {
+			t.Fatalf("stale handle revived with %d envelopes", len(rest))
+		}
+		mustSend(t, tr, appEnv(0, 1, 100), transport.SendOpts{})
+		nb := batchInbox(t, tr.Inbox(1))
+		batch2, ok := nb.RecvBatch(nil)
+		if !ok || len(batch2) != 1 || batch2[0].SendIndex != 100 {
+			t.Fatalf("revived drain = %v, %v; want only the post-revival message", batch2, ok)
+		}
+	})
+}
+
+// TestRecvBatchKillUnblocks: a RecvBatch blocked on an empty inbox when
+// the rank is killed unblocks with ok=false, like Recv.
+func TestRecvBatchKillUnblocks(t *testing.T) {
+	each(t, 2, func(t *testing.T, tr transport.Transport) {
+		in := batchInbox(t, tr.Inbox(1))
+		unblocked := make(chan bool, 1)
+		go func() {
+			_, ok := in.RecvBatch(nil)
+			unblocked <- ok
+		}()
+		time.Sleep(10 * time.Millisecond)
+		tr.Kill(1)
+		select {
+		case ok := <-unblocked:
+			if ok {
+				t.Fatal("RecvBatch returned ok=true from a killed inbox")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("RecvBatch did not unblock on Kill")
+		}
+	})
+}

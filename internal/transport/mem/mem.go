@@ -43,6 +43,10 @@ func (t *Transport) Send(env *wire.Envelope, opts transport.SendOpts) error {
 	return err
 }
 
+// TrySend implements transport.InlineSender: on an instant fabric the
+// envelope is decoded straight into the destination inbox.
+func (t *Transport) TrySend(env *wire.Envelope) bool { return t.fab.TrySend(env) }
+
 // Inbox implements transport.Transport; fabric.Inbox already satisfies
 // the transport.Inbox shape.
 func (t *Transport) Inbox(rank int) transport.Inbox { return t.fab.Inbox(rank) }

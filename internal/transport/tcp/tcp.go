@@ -238,7 +238,7 @@ func (t *Transport) Kill(rank int) {
 	r.conns = map[net.Conn]struct{}{}
 	r.stallCond.Broadcast() // stalled receive loops re-check box identity
 	r.mu.Unlock()
-	old.closeBox()
+	old.dropBox()
 	for conn := range conns {
 		conn.Close()
 	}
@@ -450,13 +450,12 @@ type pending struct {
 	done chan struct{} // non-nil for rendezvous sends; closed on ack
 }
 
-// framePool recycles frame buffers between messages. Buffers are only
-// returned by the link writer goroutine, after the frame is acked and
-// no Write can still reference it.
-var framePool = sync.Pool{New: func() any { return new([]byte) }}
-
-func getBuf() *[]byte  { return framePool.Get().(*[]byte) }
-func putBuf(b *[]byte) { framePool.Put(b) }
+// Frame buffers come from the wire package's shared scratch pool
+// (wire.GetBuf/PutBuf). Buffers are only returned by the link writer
+// goroutine, after the frame is acked and no Write can still reference
+// it.
+func getBuf() *[]byte  { return wire.GetBuf() }
+func putBuf(b *[]byte) { wire.PutBuf(b) }
 
 // link is the sender side of one ordered-pair TCP stream. A single
 // writer goroutine preserves FIFO across dials; the in-process ack path
@@ -793,8 +792,56 @@ func (b *inbox) Recv() (*wire.Envelope, bool) {
 	return env, true
 }
 
+// RecvBatch implements transport.BatchInbox: one blocking wait for the
+// first envelope, then a non-blocking drain of whatever the connection
+// readers pushed meanwhile, up to buf's capacity. A killed rank's inbox
+// reports ok=false immediately (dropBox discarded its queue); a
+// transport-shutdown close still drains the remainder, mirroring Recv.
+func (b *inbox) RecvBatch(buf []*wire.Envelope) ([]*wire.Envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.queue) == 0 {
+		return buf, false
+	}
+	n := cap(buf) - len(buf)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(b.queue) {
+		n = len(b.queue)
+	}
+	buf = append(buf, b.queue[:n]...)
+	rest := copy(b.queue, b.queue[n:])
+	for i := rest; i < len(b.queue); i++ {
+		b.queue[i] = nil // release delivered refs for the GC
+	}
+	b.queue = b.queue[:rest]
+	return buf, true
+}
+
+// closeBox marks the box closed for transport shutdown: receivers drain
+// whatever is already queued, then see ok=false.
 func (b *inbox) closeBox() {
 	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// dropBox closes the box and discards everything queued. Kill uses this
+// instead of closeBox: the dead incarnation's accepted-but-undelivered
+// messages are volatile state and must die with it, so a receiver
+// thread racing the kill can never hand stale envelopes to the next
+// incarnation's delivery path.
+func (b *inbox) dropBox() {
+	b.mu.Lock()
+	for i := range b.queue {
+		b.queue[i] = nil
+	}
+	b.queue = nil
 	b.closed = true
 	b.cond.Broadcast()
 	b.mu.Unlock()

@@ -72,6 +72,40 @@ type Inbox interface {
 	Recv() (*wire.Envelope, bool)
 }
 
+// BatchInbox is an optional Inbox capability: draining the queue in
+// chunks, so a busy receiver pays one lock round and one wakeup per
+// chunk instead of per message. RecvBatch blocks exactly like Recv until
+// at least one envelope is available, then appends without further
+// blocking whatever is already queued — up to buf's capacity (a buf with
+// no spare capacity still yields one envelope) — and returns the
+// extended slice with ok=true. The FIFO contract is unchanged: a batch
+// is a prefix of the queue, so per-source order is exactly what repeated
+// Recv calls would have seen. Close semantics mirror Recv: once the
+// rank is killed the handle returns ok=false with an empty batch
+// forever — envelopes the dead incarnation had accepted but not yet
+// handed out are dropped with it (see Kill). Both implementations in
+// this repository satisfy it; the harness receiver loop feature-tests
+// for it and falls back to Recv.
+type BatchInbox interface {
+	Inbox
+	// RecvBatch appends the next chunk of envelopes to buf.
+	RecvBatch(buf []*wire.Envelope) ([]*wire.Envelope, bool)
+}
+
+// InlineSender is an optional Transport capability: a non-blocking
+// synchronous send. TrySend returns true only when the envelope was
+// accepted AND delivered to the destination's inbox before returning —
+// possible when the transport's network model is instant (the in-memory
+// fabric with zero latency and infinite bandwidth). ok=false carries no
+// verdict about the destination; the caller falls back to Send, which
+// owns the blocking, parking, and abort semantics. Because acceptance
+// equals delivery, a successful TrySend satisfies a rendezvous send's
+// contract too.
+type InlineSender interface {
+	// TrySend delivers env now or not at all.
+	TrySend(env *wire.Envelope) bool
+}
+
 // Staller is an optional Transport capability: suspending delivery
 // into a rank without killing it — the transport-level model of a
 // transient partition in front of the rank. While stalled, accepted

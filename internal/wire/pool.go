@@ -1,0 +1,190 @@
+// Scratch pooling for the encode/decode paths. The send side has always
+// reused buffers (AppendEncode, the framed writers); this file extends
+// that discipline through decode, so a transport can encode into a
+// pooled buffer, decode into a pooled envelope, and hand both back once
+// the message is delivered — the steady state allocates only the payload
+// the application keeps.
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// bufPool recycles encode scratch. Buffers grow to the largest envelope
+// they ever carried and keep that capacity across uses.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled byte buffer of length 0. Return it with
+// PutBuf once the encoded bytes are no longer referenced.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. Passing nil
+// is a no-op.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// envPool recycles envelopes for the receive path: a transport decodes
+// into a pooled envelope with DecodeInto, the harness recycles it after
+// the delivery commits. The piggyback scratch rides along (pigBuf), so a
+// recycled envelope decodes its next piggyback without allocating.
+var envPool = sync.Pool{New: func() any { return new(Envelope) }}
+
+// GetEnvelope returns a zeroed envelope from the pool, marked so that
+// Recycle will accept it back. Envelopes constructed with a literal are
+// never pooled — Recycle ignores them — so test fixtures and sender-side
+// envelopes need no special handling.
+func GetEnvelope() *Envelope {
+	e := envPool.Get().(*Envelope)
+	e.pooled = true
+	return e
+}
+
+// CopyInto deep-copies src into dst, giving the receiver its own
+// envelope with no slice shared with the sender: the piggyback lands in
+// dst's reusable scratch, the payload is a fresh allocation (the same
+// ownership contract as DecodeInto). It is the inline-delivery
+// equivalent of an encode/decode round trip, minus the varint work; the
+// queued fabric path and the TCP transport still round-trip every
+// message through the wire format.
+//
+//windar:hotpath
+func CopyInto(dst, src *Envelope) {
+	pig, pooled := dst.pigBuf, dst.pooled
+	*dst = *src
+	dst.pigBuf, dst.pooled = pig, pooled
+	if len(src.Piggyback) > 0 {
+		dst.pigBuf = append(dst.pigBuf[:0], src.Piggyback...)
+		dst.Piggyback = dst.pigBuf
+	} else {
+		dst.Piggyback = nil
+	}
+	if len(src.Payload) > 0 {
+		p := make([]byte, len(src.Payload)) //windar:allow hotpath — payload is fresh by contract; receivers retain it past Recycle
+		copy(p, src.Payload)
+		dst.Payload = p
+	} else {
+		dst.Payload = nil
+	}
+}
+
+// Recycle returns an envelope obtained from GetEnvelope to the pool,
+// dropping every reference it holds (the payload is never reused — see
+// DecodeInto). Safe to call on nil, on envelopes that did not come from
+// the pool, and at most once per GetEnvelope: the pooled mark is cleared
+// on the way in, so a double recycle is a no-op rather than a double
+// free.
+func Recycle(e *Envelope) {
+	if e == nil || !e.pooled {
+		return
+	}
+	pig := e.pigBuf[:0]
+	*e = Envelope{pigBuf: pig}
+	envPool.Put(e)
+}
+
+// DecodeInto parses an envelope previously produced by Encode into e,
+// reusing e's piggyback scratch capacity. The payload is always a fresh
+// allocation: receivers hand it to the application (or slice control
+// payloads into long-lived protocol state), so its lifetime is unbounded
+// while the envelope's ends at Recycle. On error e's contents are
+// unspecified.
+//
+//windar:hotpath
+func DecodeInto(e *Envelope, b []byte) error {
+	if len(b) < 2 {
+		return ErrTruncated
+	}
+	flags := b[1]
+	pig, pooled := e.pigBuf, e.pooled
+	*e = Envelope{Kind: Kind(b[0]), Resent: flags&flagResent != 0, pigBuf: pig, pooled: pooled}
+	i := 2
+	readInt := func() (int64, error) {
+		v, n := binary.Varint(b[i:])
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		i += n
+		return v, nil
+	}
+	v, err := readInt()
+	if err != nil {
+		return err
+	}
+	e.From = int(v)
+	if v, err = readInt(); err != nil {
+		return err
+	}
+	e.To = int(v)
+	if v, err = readInt(); err != nil {
+		return err
+	}
+	e.Incarnation = int32(v)
+	if v, err = readInt(); err != nil {
+		return err
+	}
+	e.Tag = int32(v)
+	if e.SendIndex, err = readInt(); err != nil {
+		return err
+	}
+	// Piggyback: copied into the reused scratch. Protocols decode it
+	// during Deliverable/OnDeliver and never retain the raw bytes, so
+	// the scratch may be overwritten once the envelope is recycled.
+	l, n := binary.Uvarint(b[i:])
+	if n <= 0 {
+		return ErrTruncated
+	}
+	i += n
+	if uint64(len(b)-i) < l {
+		return ErrTruncated
+	}
+	if l > 0 {
+		e.pigBuf = append(e.pigBuf[:0], b[i:i+int(l)]...)
+		e.Piggyback = e.pigBuf
+		i += int(l)
+	}
+	// Payload: always fresh (see above).
+	l, n = binary.Uvarint(b[i:])
+	if n <= 0 {
+		return ErrTruncated
+	}
+	i += n
+	if uint64(len(b)-i) < l {
+		return ErrTruncated
+	}
+	if l > 0 {
+		e.Payload = make([]byte, l) //windar:allow hotpath — payload is fresh by contract; receivers retain it past Recycle
+		copy(e.Payload, b[i:i+int(l)])
+		i += int(l)
+	}
+	if flags&flagSpan != 0 {
+		readUint := func() (uint64, error) {
+			v, n := binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, ErrTruncated
+			}
+			i += n
+			return v, nil
+		}
+		if e.Span.Trace, err = readUint(); err != nil {
+			return err
+		}
+		if e.Span.Span, err = readUint(); err != nil {
+			return err
+		}
+		if e.Span.Parent, err = readUint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

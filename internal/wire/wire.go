@@ -88,6 +88,13 @@ type Envelope struct {
 	// zero context encodes exactly as the pre-span format, so traced and
 	// untraced peers interoperate and old traces decode unchanged.
 	Span layer.SpanContext
+
+	// pigBuf is DecodeInto's piggyback scratch: Piggyback aliases it
+	// after a pooled decode, so the storage survives Recycle and the
+	// next decode reuses it. pooled marks an envelope obtained from
+	// GetEnvelope as eligible for Recycle (see pool.go).
+	pigBuf []byte
+	pooled bool
 }
 
 // Envelope flag bits (the second encoded byte).

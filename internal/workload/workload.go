@@ -158,8 +158,49 @@ func (p *Pairs) Step(env app.Env, s int) {
 	}
 }
 
+// Flood is a windowed ring flood: every step rank r pushes a window of
+// messages to r+1 before draining the matching window from r-1. The
+// window keeps many in-flight messages per source, so the delivery path
+// — not the application — is the bottleneck; the throughput bench is
+// built on it.
+type Flood struct {
+	state
+	window int
+	// buf is the send-payload scratch: Env.Send copies the payload
+	// before returning, so one buffer serves every send without
+	// allocating per message.
+	buf [8]byte
+}
+
+// DefaultFloodWindow is the in-flight window ByName("flood") selects.
+const DefaultFloodWindow = 8
+
+// NewFlood returns the flood factory with the given step count and
+// per-step window (messages sent before the first receive).
+func NewFlood(steps, window int) app.Factory {
+	if window <= 0 {
+		window = DefaultFloodWindow
+	}
+	return func(rank, n int) app.App {
+		return &Flood{state: state{rank: rank, n: n, steps: steps}, window: window}
+	}
+}
+
+// Step implements app.App.
+func (f *Flood) Step(env app.Env, s int) {
+	next, prev := (f.rank+1)%f.n, (f.rank-1+f.n)%f.n
+	for i := 0; i < f.window; i++ {
+		binary.BigEndian.PutUint64(f.buf[:], f.sum+uint64(s)*131+uint64(i))
+		env.Send(next, 6, f.buf[:])
+	}
+	for i := 0; i < f.window; i++ {
+		data, _ := env.Recv(prev, 6)
+		f.fold(du64(data))
+	}
+}
+
 // ByName returns a synthetic workload factory by name: "ring", "halo",
-// "masterworker" or "pairs".
+// "masterworker", "pairs" or "flood".
 func ByName(name string, steps int) (app.Factory, error) {
 	switch name {
 	case "ring":
@@ -170,6 +211,8 @@ func ByName(name string, steps int) (app.Factory, error) {
 		return NewMasterWorker(steps), nil
 	case "pairs":
 		return NewPairs(steps), nil
+	case "flood":
+		return NewFlood(steps, DefaultFloodWindow), nil
 	default:
 		return nil, fmt.Errorf("workload: unknown workload %q", name)
 	}

@@ -305,6 +305,11 @@ type Config struct {
 	// for the mem fabric, whose timing model the figures depend on);
 	// negative disables batching.
 	SendBatchBytes int64
+	// RecvBatch bounds recv-side batch ingest: each rank's receiver
+	// drains up to this many envelopes from its transport inbox per
+	// wakeup and delivers them with one scheduler notification. 0
+	// selects the default window (64); negative disables batch ingest.
+	RecvBatch int
 	// EventLoggerLatency is TEL's stable event-logger round trip.
 	EventLoggerLatency time.Duration
 	// StableWriteLatency is the checkpoint write latency.
@@ -360,6 +365,7 @@ func (c Config) internal() harness.Config {
 		},
 		PiggybackRefreshEvery: c.PiggybackRefreshEvery,
 		SendBatchBytes:        c.SendBatchBytes,
+		RecvBatch:             c.RecvBatch,
 		EventLoggerLatency:    c.EventLoggerLatency,
 		StableWriteLatency:    c.StableWriteLatency,
 		StallTimeout:          c.StallTimeout,
@@ -618,3 +624,22 @@ func RunCheckpointSweep(o ExperimentOptions, intervals []int) ([]CkptRow, error)
 
 // CkptText renders the checkpoint sweep.
 func CkptText(rows []CkptRow) string { return experiments.CkptTable(rows).String() }
+
+// ThroughputOptions configures the delivery-throughput bench.
+type ThroughputOptions = experiments.ThroughputOptions
+
+// ThroughputRow is one transport's cell of the delivery-throughput
+// figure.
+type ThroughputRow = experiments.ThroughputRow
+
+// RunThroughput measures end-to-end delivery throughput of the flood
+// workload on each requested transport (delivered msgs/sec plus
+// whole-run allocations per delivered message).
+func RunThroughput(o ThroughputOptions) ([]ThroughputRow, error) {
+	return experiments.RunThroughput(o)
+}
+
+// ThroughputText renders the throughput figure.
+func ThroughputText(rows []ThroughputRow) string {
+	return experiments.ThroughputTable(rows).String()
+}
