@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint alloc-gate throughput-gate verify verify-tcp chaos trace-export fuzz vet examples clean
+.PHONY: all build test race lint alloc-gate throughput-gate wal-gate restart-check verify verify-tcp chaos trace-export fuzz vet examples clean
 
 all: build vet lint test
 
@@ -42,6 +42,22 @@ alloc-gate:
 # re-baseline after a deliberate change.
 throughput-gate:
 	$(GO) run ./cmd/windar-bench -fig throughput -throughput-check
+
+# Durable-WAL gate: run the disk-backend bench (concurrent checkpoint
+# stall distribution + cold WAL replay) and fail if the checkpoint-stall
+# p99 exceeds the committed BENCH_wal.json p99 by more than the tolerance
+# AND at least one group-commit interval — the signature of a checkpoint
+# blocking delivery on durable I/O. Re-run `go run ./cmd/windar-bench
+# -fig wal` to re-baseline after a deliberate change.
+wal-gate:
+	$(GO) run ./cmd/windar-bench -fig wal -wal-check
+
+# Process-level durability acceptance: build windar-run, SIGKILL it
+# mid-run over the disk backend, re-exec with -resume, and require the
+# byte-identical fault-free final state with clean trace validation.
+restart-check:
+	$(GO) build -o out/windar-run ./cmd/windar-run
+	$(GO) run ./cmd/windar-chaos -restart-bin out/windar-run
 
 # Randomized fault-injection soak with trace export/import and offline
 # invariant audit on every round.

@@ -9,6 +9,7 @@
 //	windar-bench -fig chaos      # fixed-seed fault-schedule soak -> BENCH_chaos.json
 //	windar-bench -fig alloc      # hot-path allocs/op -> BENCH_alloc.json
 //	windar-bench -fig throughput # delivery msgs/sec -> BENCH_throughput.json
+//	windar-bench -fig wal        # disk-backend checkpoint stall + WAL replay -> BENCH_wal.json
 //	windar-bench -fig all        # everything
 //
 // -fig alloc rewrites the committed baseline; with -alloc-check it
@@ -57,6 +58,9 @@ func main() {
 		tputOut    = flag.String("throughput-out", "BENCH_throughput.json", "throughput: baseline path (written, or compared with -throughput-check)")
 		tputCheck  = flag.Bool("throughput-check", false, "throughput: compare a fresh run against the committed baseline instead of rewriting it")
 		tputTol    = flag.Float64("throughput-tolerance", 0.5, "throughput: allowed fractional msgs/sec shortfall vs the baseline before the gate fails")
+		walOut     = flag.String("wal-out", "BENCH_wal.json", "wal: baseline path (written, or compared with -wal-check)")
+		walCheck   = flag.Bool("wal-check", false, "wal: compare a fresh run against the committed baseline instead of rewriting it")
+		walTol     = flag.Float64("wal-tolerance", 4.0, "wal: allowed fractional checkpoint-stall p99 growth vs the baseline before the gate fails")
 	)
 	flag.Parse()
 
@@ -75,12 +79,12 @@ func main() {
 
 	want := map[string]bool{}
 	if *fig == "all" {
-		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"], want["alloc"], want["throughput"] = true, true, true, true, true, true, true, true, true
+		want["6"], want["7"], want["8"], want["ckpt"], want["obs"], want["pig"], want["chaos"], want["alloc"], want["throughput"], want["wal"] = true, true, true, true, true, true, true, true, true, true
 	} else {
 		want[*fig] = true
 	}
-	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] && !want["alloc"] && !want["throughput"] {
-		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos, alloc, throughput or all)", *fig)
+	if !want["6"] && !want["7"] && !want["8"] && !want["ckpt"] && !want["obs"] && !want["pig"] && !want["chaos"] && !want["alloc"] && !want["throughput"] && !want["wal"] {
+		fatal("unknown -fig %q (want 6, 7, 8, pig, ckpt, obs, chaos, alloc, throughput, wal or all)", *fig)
 	}
 
 	if want["6"] || want["7"] {
@@ -145,6 +149,61 @@ func main() {
 			fatal("throughput gate: %v", err)
 		}
 	}
+	if want["wal"] {
+		if err := runWalGate(*walCheck, *walOut, *walTol); err != nil {
+			fatal("wal gate: %v", err)
+		}
+	}
+}
+
+// runWalGate runs the durable-WAL bench (disk backend: checkpoint-stall
+// distribution + cold WAL replay). Without check it rewrites the
+// baseline at path; with check it loads the committed baseline and
+// fails when the fresh checkpoint-stall p99 exceeds both the baseline
+// p99 grown by the tolerance fraction and the group-commit interval —
+// the signature of the regression class this gate exists for, a
+// checkpoint that blocks delivery on durable I/O (which costs at least
+// one fsync wait, not scheduler-jitter microseconds).
+func runWalGate(check bool, path string, tolerance float64) error {
+	rep, err := windar.RunWal(windar.WalOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Println(windar.WalText(rep))
+	fmt.Printf("wal checkpoint stall p99: %v over %d checkpoints (group-commit interval %v)\n",
+		time.Duration(rep.CkptStall.P99), rep.CkptStall.Count, time.Duration(rep.FsyncEveryNS))
+	if !check {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wal baseline written: %s (stall p99 %v, replay %d keys in %v)\n",
+			path, time.Duration(rep.CkptStall.P99), rep.ReplayKeys, time.Duration(rep.ReplayNS))
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base windar.WalReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	ceiling := int64(float64(base.CkptStall.P99) * (1 + tolerance))
+	if ceiling < rep.FsyncEveryNS {
+		ceiling = rep.FsyncEveryNS
+	}
+	if rep.CkptStall.P99 > ceiling {
+		return fmt.Errorf("checkpoint stall p99 regressed: %v, ceiling %v (baseline %v + %.0f%% tolerance, floor one group-commit interval %v) — checkpointing may be blocking delivery on durable I/O",
+			time.Duration(rep.CkptStall.P99), time.Duration(ceiling),
+			time.Duration(base.CkptStall.P99), 100*tolerance, time.Duration(rep.FsyncEveryNS))
+	}
+	fmt.Printf("wal gate passed: stall p99 %v under ceiling %v, replay recovered %d keys\n",
+		time.Duration(rep.CkptStall.P99), time.Duration(ceiling), rep.ReplayKeys)
+	return nil
 }
 
 // throughputReport is the BENCH_throughput.json payload: the per-transport

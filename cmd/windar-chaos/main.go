@@ -43,8 +43,53 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "export every cell's trace there as trace-seed<seed>-<transport>.jsonl")
 		flight   = flag.String("flight-dir", "", "dump the failing run's trace there as a flight file")
 		verbose  = flag.Bool("v", false, "print one line per run")
+
+		restartBin   = flag.String("restart-bin", "", "run the process-level restart check instead of the soak: SIGKILL this windar-run binary mid-run over -stable disk and require the -resume re-exec to reach the fault-free state")
+		restartAfter = flag.Duration("restart-kill-after", 300*time.Millisecond, "how long the restart victim runs before the SIGKILL")
+		restartDir   = flag.String("restart-dir", "", "scratch directory for the restart check (default: a fresh temp dir)")
 	)
 	flag.Parse()
+
+	if *restartBin != "" {
+		// The soak's 40-step default would finish before any realistic
+		// kill delay; unless -steps was given explicitly, let RunRestart
+		// pick its long-run default.
+		restartSteps := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "steps" {
+				restartSteps = *steps
+			}
+		})
+		dir := *restartDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "windar-restart-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "windar-chaos: %v\n", err)
+				os.Exit(2)
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		err := chaos.RunRestart(chaos.RestartOptions{
+			Bin:             *restartBin,
+			Dir:             dir,
+			App:             *appName,
+			Procs:           *procs,
+			Steps:           restartSteps,
+			CheckpointEvery: *ckpt,
+			Protocol:        *proto,
+			KillAfter:       *restartAfter,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "windar-chaos: FAIL\n%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("windar-chaos: restart check clean")
+		return
+	}
 
 	o := chaos.SoakOptions{
 		Transports: splitList(*tports),

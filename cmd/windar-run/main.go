@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,12 @@ func main() {
 		batch     = flag.Int64("batch-bytes", 0, "send-side frame batching budget in bytes (0 = transport default, negative = off)")
 		serve     = flag.String("serve", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /cluster, /debug/flight, /debug/pprof)")
 		linger    = flag.Duration("serve-linger", 0, "keep the telemetry server up this long after the run completes")
+		stableK   = flag.String("stable", "sim", "stable-storage backend: sim (in-memory, modeled latency), disk (parallel WAL in -stable-dir; state survives SIGKILL)")
+		stableDir = flag.String("stable-dir", "", "disk backend directory (required with -stable disk)")
+		fsync     = flag.Duration("fsync-every", 0, "disk backend group-commit window (0 = fsync as soon as possible)")
+		durLogs   = flag.Bool("durable-logs", false, "mirror sender logs into the stable store (incremental checkpoints; with -stable disk the logs survive SIGKILL)")
+		resume    = flag.Bool("resume", false, "restore every rank from its durable checkpoint in -stable-dir instead of starting fresh (requires -stable disk)")
+		stateOut  = flag.String("state-out", "", "write the final application state (one hex snapshot per rank) to this file")
 	)
 	flag.Parse()
 
@@ -69,6 +76,14 @@ func main() {
 		PiggybackRefreshEvery: *pigEvery,
 		SendBatchBytes:        *batch,
 		Tracing:               *tracing,
+
+		Stable:      *stableK,
+		StableDir:   *stableDir,
+		FsyncEvery:  *fsync,
+		DurableLogs: *durLogs,
+	}
+	if *resume && *stableK != windar.StableDisk {
+		fatal("-resume requires -stable disk")
 	}
 	if *validate {
 		cfg.Trace = rec
@@ -112,7 +127,12 @@ func main() {
 
 	clk := windar.RealClock()
 	start := clk.Now()
-	if err := c.Start(); err != nil {
+	if *resume {
+		fmt.Printf("resuming from durable checkpoints in %s\n", *stableDir)
+		if err := c.StartFromStable(); err != nil {
+			fatal("resume: %v", err)
+		}
+	} else if err := c.Start(); err != nil {
 		fatal("start: %v", err)
 	}
 	if *serve != "" {
@@ -151,6 +171,16 @@ func main() {
 		fmt.Printf("  recoveries:                 %d (rolling forward %v)\n",
 			s.Recoveries, time.Duration(s.RecoveryNanos).Round(time.Microsecond))
 	}
+	if *stateOut != "" {
+		var buf bytes.Buffer
+		for rank := 0; rank < *procs; rank++ {
+			fmt.Fprintf(&buf, "%d %x\n", rank, c.AppSnapshot(rank))
+		}
+		if err := os.WriteFile(*stateOut, buf.Bytes(), 0o644); err != nil {
+			fatal("state-out: %v", err)
+		}
+		fmt.Printf("  final state written:        %s\n", *stateOut)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -169,7 +199,13 @@ func main() {
 		fmt.Println(")")
 	}
 	if *validate {
+		// Both checkers: end-to-end properties (Validate) and the
+		// protocol-invariant replay (CheckInvariants). On a -resume run
+		// both measure against the seeded checkpoint baselines; the
+		// exported trace file carries only the resumed suffix, so the
+		// in-process verdict printed here is the authoritative one.
 		problems := rec.Validate(true)
+		problems = append(problems, rec.CheckInvariants()...)
 		var lin *trace.Lineage
 		if *tracing {
 			lin = trace.BuildLineage(rec)

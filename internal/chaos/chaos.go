@@ -40,6 +40,12 @@ const (
 	OpStall Op = "stall"
 	// OpUnstall resumes delivery into the rank.
 	OpUnstall Op = "unstall"
+	// OpRestart crashes the rank and immediately starts its next
+	// incarnation — a fail-restart node with negligible detection delay.
+	// In-process engines execute it as kill+recover back-to-back; the
+	// process-level variant (RunRestart) SIGKILLs a real windar-run child
+	// and re-execs it with -resume against the surviving disk state.
+	OpRestart Op = "restart"
 )
 
 // Event-trigger keys beyond the harness recovery-phase span names.
@@ -101,7 +107,7 @@ func (s Schedule) String() string {
 }
 
 // knownOps gates Parse and Validate.
-var knownOps = map[Op]bool{OpKill: true, OpRecover: true, OpStall: true, OpUnstall: true}
+var knownOps = map[Op]bool{OpKill: true, OpRecover: true, OpStall: true, OpUnstall: true, OpRestart: true}
 
 // knownTriggers lists the accepted Phase keys: the harness span names
 // plus the two extra recovery events. Kept literal so the package does

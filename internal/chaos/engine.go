@@ -221,6 +221,30 @@ func (e *Engine) exec(i int, via string) {
 		} else {
 			e.alive[a.Rank] = true
 		}
+	case OpRestart:
+		live := 0
+		for _, al := range e.alive {
+			if al {
+				live++
+			}
+		}
+		switch {
+		case !e.alive[a.Rank]:
+			outcome = "skip(dead)"
+		case live < 2:
+			outcome = "skip(last-live)"
+		default:
+			if err := e.cl.Kill(a.Rank); err != nil {
+				outcome = "skip(" + err.Error() + ")"
+				break
+			}
+			e.alive[a.Rank] = false
+			if err := e.cl.Recover(a.Rank); err != nil {
+				outcome = "kill-ok/recover-skip(" + err.Error() + ")"
+				break
+			}
+			e.alive[a.Rank] = true
+		}
 	case OpStall:
 		st, ok := e.cl.Transport().(transport.Staller)
 		switch {

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// RestartOptions configures RunRestart, the process-level restart check:
+// a real windar-run child over the disk stable backend is SIGKILLed
+// mid-run and re-execed with -resume, and the resumed process must
+// converge to the byte-identical final application state of a fault-free
+// run with a trace that passes every invariant.
+type RestartOptions struct {
+	// Bin is the windar-run binary to drive. Required.
+	Bin string
+	// Dir is the scratch directory for the stable store and state files.
+	// Required; the caller owns cleanup.
+	Dir string
+	// App, Procs, Steps, CheckpointEvery, Protocol shape the workload
+	// exactly like RunOptions; defaults mirror RunOptions.fill with a
+	// step count long enough that the kill lands mid-run.
+	App             string
+	Procs           int
+	Steps           int
+	CheckpointEvery int
+	Protocol        string
+	// KillAfter is how long the victim runs before the SIGKILL. Default
+	// 300ms.
+	KillAfter time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *RestartOptions) fill() error {
+	if o.Bin == "" || o.Dir == "" {
+		return fmt.Errorf("chaos: RunRestart requires Bin and Dir")
+	}
+	if o.App == "" {
+		o.App = "ring"
+	}
+	if o.Procs == 0 {
+		o.Procs = 4
+	}
+	if o.Steps == 0 {
+		o.Steps = 4000
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 5
+	}
+	if o.Protocol == "" {
+		o.Protocol = "tdi"
+	}
+	if o.KillAfter == 0 {
+		o.KillAfter = 300 * time.Millisecond
+	}
+	return nil
+}
+
+func (o *RestartOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// commonArgs are the workload flags every child of one RunRestart
+// shares; determinism across the three processes comes from the fixed
+// seed and the deterministic applications.
+func (o *RestartOptions) commonArgs() []string {
+	return []string{
+		"-app", o.App,
+		"-procs", fmt.Sprint(o.Procs),
+		"-steps", fmt.Sprint(o.Steps),
+		"-ckpt-every", fmt.Sprint(o.CheckpointEvery),
+		"-protocol", o.Protocol,
+		"-seed", "1",
+	}
+}
+
+// RunRestart performs the full restart round trip:
+//
+//  1. a fault-free baseline child records the expected final state;
+//  2. a victim child runs over -stable disk with durable logs and is
+//     SIGKILLed mid-run — no shutdown path of any kind runs;
+//  3. a resumed child re-execs with -resume on the same directory,
+//     restores every rank from the surviving WAL/checkpoint state, rolls
+//     forward, and must exit clean (windar-run exits non-zero on any
+//     trace-invariant violation);
+//  4. the resumed final state must be byte-identical to the baseline.
+func RunRestart(o RestartOptions) error {
+	if err := o.fill(); err != nil {
+		return err
+	}
+	stableDir := filepath.Join(o.Dir, "stable")
+	baseState := filepath.Join(o.Dir, "baseline.state")
+	resumeState := filepath.Join(o.Dir, "resumed.state")
+
+	o.logf("restart: baseline run (%s, %d procs, %d steps)", o.App, o.Procs, o.Steps)
+	base := exec.Command(o.Bin, append(o.commonArgs(), "-state-out", baseState)...)
+	if out, err := base.CombinedOutput(); err != nil {
+		return fmt.Errorf("chaos: restart baseline: %v\n%s", err, out)
+	}
+
+	o.logf("restart: victim run, SIGKILL after %v", o.KillAfter)
+	victim := exec.Command(o.Bin, append(o.commonArgs(),
+		"-stable", "disk", "-stable-dir", stableDir, "-durable-logs")...)
+	if err := victim.Start(); err != nil {
+		return fmt.Errorf("chaos: restart victim start: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- victim.Wait() }()
+	select {
+	case err := <-done:
+		// The victim outran the timer. The disk state is a completed
+		// run's; -resume still exercises restore-and-re-roll below, but
+		// the kill did not land, so say so.
+		o.logf("restart: victim finished before the kill (%v); resuming from completed state", err)
+	case <-time.After(o.KillAfter): //windar:allow directclock — pacing a real child process, wall clock is the only clock it shares
+		if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+			return fmt.Errorf("chaos: restart SIGKILL: %v", err)
+		}
+		err := <-done
+		o.logf("restart: victim killed (%v)", err)
+		if err == nil {
+			return fmt.Errorf("chaos: restart victim exited clean despite SIGKILL")
+		}
+	}
+
+	o.logf("restart: re-exec with -resume")
+	resumed := exec.Command(o.Bin, append(o.commonArgs(),
+		"-stable", "disk", "-stable-dir", stableDir, "-durable-logs",
+		"-resume", "-state-out", resumeState)...)
+	out, err := resumed.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("chaos: restart resume: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "trace validation:           OK") {
+		return fmt.Errorf("chaos: restart resume ran but did not report clean trace validation:\n%s", out)
+	}
+
+	want, err := os.ReadFile(baseState)
+	if err != nil {
+		return fmt.Errorf("chaos: restart baseline state: %v", err)
+	}
+	got, err := os.ReadFile(resumeState)
+	if err != nil {
+		return fmt.Errorf("chaos: restart resumed state: %v", err)
+	}
+	if string(want) != string(got) {
+		return fmt.Errorf("chaos: restart diverged from fault-free state:\nbaseline:\n%sresumed:\n%s", want, got)
+	}
+	o.logf("restart: resumed state byte-identical to fault-free baseline")
+	return nil
+}

@@ -76,6 +76,7 @@ func BenchmarkSaveLoad(b *testing.B) {
 			cp := benchCheckpoint(size, 0, 0)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				cp.Step = 12 + i // distinct steps so the staleness guard never skips
 				if err := m.Save(cp); err != nil {
 					b.Fatal(err)
 				}

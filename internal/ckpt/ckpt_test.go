@@ -110,6 +110,90 @@ func TestManagerPerRankIsolation(t *testing.T) {
 	}
 }
 
+func TestSaveTornBlobAtEveryOffset(t *testing.T) {
+	// Regression for the crash-atomicity bug: Save used to overwrite
+	// key(rank) in place, so a torn Put on a real backend could leave a
+	// prefix of the new blob — which gob will often decode into a
+	// silently wrong checkpoint. Load must reject every truncation of a
+	// framed blob instead of surfacing one.
+	c := sampleCheckpoint()
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed := Frame(data)
+	store := stable.NewStore(stable.Options{})
+	m := NewManager(store)
+	for cut := 0; cut < len(framed); cut++ {
+		store.Put(key(2), framed[:cut])
+		got, ok, err := m.Load(2)
+		if err == nil && ok {
+			t.Fatalf("cut=%d: torn blob accepted as checkpoint %+v", cut, got)
+		}
+	}
+	// The full frame still round-trips.
+	store.Put(key(2), framed)
+	got, ok, err := m.Load(2)
+	if err != nil || !ok || !reflect.DeepEqual(c, got) {
+		t.Fatalf("full frame rejected: %v %v %+v", ok, err, got)
+	}
+}
+
+func TestSaveCrashBeforePublishKeepsOld(t *testing.T) {
+	// A crash after the temp write but before the rename must leave the
+	// previous checkpoint intact and loadable.
+	m := NewManager(stable.NewStore(stable.Options{}))
+	c1 := sampleCheckpoint()
+	if err := m.Save(c1); err != nil {
+		t.Fatal(err)
+	}
+	c2 := sampleCheckpoint()
+	c2.Step = 99
+	data, _ := Encode(c2)
+	m.Store().Put(key(2)+".tmp", Frame(data)) // simulated crash: temp written, never renamed
+	got, ok, err := m.LoadDurable(2)
+	if err != nil || !ok || got.Step != c1.Step {
+		t.Fatalf("old checkpoint lost: %v %v %+v", ok, err, got)
+	}
+	// And a later Save replaces both cleanly.
+	if err := m.Save(c2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = m.LoadDurable(2)
+	if !ok || got.Step != 99 {
+		t.Fatalf("recovered Save did not publish: %+v", got)
+	}
+}
+
+func TestStagedCheckpointWinsAndStaleSaveSkipped(t *testing.T) {
+	m := NewManager(stable.NewStore(stable.Options{}))
+	c1 := sampleCheckpoint()
+	c2 := sampleCheckpoint()
+	c2.Step = 99
+	c2.DeliveredCount = 42
+
+	// Stage the newer snapshot before any durable write: a same-process
+	// recovery must see it.
+	m.Stage(c2)
+	got, ok, err := m.Load(2)
+	if err != nil || !ok || got.Step != 99 {
+		t.Fatalf("staged checkpoint not returned: %v %v %+v", ok, err, got)
+	}
+
+	// Durably save the newer one, then let a straggler writer save the
+	// older: the staleness guard must skip it.
+	if err := m.Save(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(c1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = m.LoadDurable(2)
+	if !ok || got.Step != 99 || got.DeliveredCount != 42 {
+		t.Fatalf("stale save regressed the slot: %+v", got)
+	}
+}
+
 func TestEmptyCheckpointRoundTrip(t *testing.T) {
 	c := &Checkpoint{Rank: 0}
 	data, err := Encode(c)

@@ -186,10 +186,14 @@ type coreHandler struct {
 // Send implements layer.Handler.
 func (h coreHandler) Send(m *layer.Msg) {
 	r := h.r
-	r.log.Append(proto.LogItem{
+	it := proto.LogItem{
 		Dest: m.Peer, SendIndex: m.SendIndex, Tag: m.Tag,
 		Piggyback: m.Piggyback, Payload: m.Payload, Span: m.Span,
-	})
+	}
+	r.log.Append(it)
+	if r.c.durableLogs {
+		r.c.slogAppend(r.id, &it)
+	}
 	r.sendSuppressed = m.SendIndex <= r.rollbackLastSendIndex[m.Peer]
 }
 

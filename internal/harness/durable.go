@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"windar/internal/ckpt"
+	"windar/internal/proto"
+	"windar/layer"
+)
+
+// Durable sender logs (Config.DurableLogs): every log append is mirrored
+// into the stable store under slog/<rank>/<dest>/<index>, so a process
+// that dies with SIGKILL can rebuild its retained sender log from the
+// keyspace. The keys ride the WAL's lazy append path (PutLazy — no fsync
+// wait on the send path); the next checkpoint Save is the group-commit
+// barrier that makes them durable, which is exactly the coverage the
+// checkpoint's LogExternal restore relies on: items with
+// SendIndex <= cp.LastSendIndex[dest] were appended before the snapshot
+// and are therefore durable once the Save that published cp completed.
+// Items appended after the checkpoint may be lost with the process; a
+// full-cluster restart regenerates them by replaying from the
+// checkpointed step. Released items are deleted when CHECKPOINT_ADVANCE
+// arrives, which bounds the keyspace exactly like the in-memory log.
+
+// slogKey is the stable-store key for one mirrored log item. The
+// fixed-width hex index keeps the backend's lexicographic Keys order
+// equal to send-index order.
+func slogKey(rank, dest int, idx int64) string {
+	return fmt.Sprintf("slog/%03d/%03d/%016x", rank, dest, uint64(idx))
+}
+
+// slogPrefix scopes one (rank, dest) channel's mirrored items.
+func slogPrefix(rank, dest int) string {
+	return fmt.Sprintf("slog/%03d/%03d/", rank, dest)
+}
+
+// appendLogItem serializes it (a deterministic varint codec rather than
+// gob: one mirrored append per message must not pay per-call encoder
+// setup).
+func appendLogItem(buf []byte, it *proto.LogItem) []byte {
+	buf = binary.AppendUvarint(buf, uint64(it.Dest))
+	buf = binary.AppendVarint(buf, it.SendIndex)
+	buf = binary.AppendVarint(buf, int64(it.Tag))
+	buf = binary.AppendUvarint(buf, it.Span.Trace)
+	buf = binary.AppendUvarint(buf, it.Span.Span)
+	buf = binary.AppendUvarint(buf, uint64(len(it.Piggyback)))
+	buf = append(buf, it.Piggyback...)
+	buf = binary.AppendUvarint(buf, uint64(len(it.Payload)))
+	return append(buf, it.Payload...)
+}
+
+// decodeLogItem parses appendLogItem's encoding.
+func decodeLogItem(b []byte) (proto.LogItem, error) {
+	var it proto.LogItem
+	fail := func() (proto.LogItem, error) {
+		return it, fmt.Errorf("harness: corrupt slog item (%d bytes)", len(b))
+	}
+	dest, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fail()
+	}
+	b = b[n:]
+	idx, n := binary.Varint(b)
+	if n <= 0 {
+		return fail()
+	}
+	b = b[n:]
+	tag, n := binary.Varint(b)
+	if n <= 0 {
+		return fail()
+	}
+	b = b[n:]
+	trace, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fail()
+	}
+	b = b[n:]
+	span, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fail()
+	}
+	b = b[n:]
+	plen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < plen {
+		return fail()
+	}
+	b = b[n:]
+	pig := b[:plen]
+	b = b[plen:]
+	vlen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) != vlen {
+		return fail()
+	}
+	it.Dest = int(dest)
+	it.SendIndex = idx
+	it.Tag = int32(tag)
+	it.Span = layer.SpanContext{Trace: trace, Span: span}
+	if plen > 0 {
+		it.Piggyback = append([]byte(nil), pig...)
+	}
+	if vlen > 0 {
+		it.Payload = append([]byte(nil), b[n:]...)
+	}
+	return it, nil
+}
+
+// slogAppend mirrors one just-logged item into the stable keyspace.
+// Called under the rank lock on the send path; PutLazy never sleeps, so
+// the lock is safe to hold across it.
+func (c *Cluster) slogAppend(rank int, it *proto.LogItem) {
+	if err := c.store.PutLazy(slogKey(rank, it.Dest, it.SendIndex), appendLogItem(nil, it)); err != nil {
+		panic(fmt.Sprintf("harness: rank %d slog append: %v", rank, err))
+	}
+}
+
+// slogRelease deletes rank's mirrored items for dest up to and including
+// upTo — the stable-store half of the CHECKPOINT_ADVANCE log release.
+// Runs outside the rank lock: Delete charges the store's write latency.
+func (c *Cluster) slogRelease(rank, dest int, upTo int64) {
+	prefix := slogPrefix(rank, dest)
+	for _, k := range c.store.Keys(prefix) {
+		idx, err := strconv.ParseUint(k[len(prefix):], 16, 64)
+		if err != nil || int64(idx) > upTo {
+			break
+		}
+		if err := c.store.Delete(k); err != nil {
+			panic(fmt.Sprintf("harness: rank %d slog release: %v", rank, err))
+		}
+	}
+}
+
+// restoreLog rebuilds r's sender log from checkpoint cp: the inline
+// items, or — for an incremental (LogExternal) checkpoint — the slog
+// keyspace, filtered to the checkpoint's send frontier. Keys beyond the
+// frontier belong to sends after the snapshot: a same-process recovery
+// regenerates them deterministically, and a process restart may have
+// lost them anyway (they were lazy), so they are ignored either way.
+func (r *rankRuntime) restoreLog(cp *ckpt.Checkpoint) error {
+	if !cp.LogExternal {
+		r.log.RestoreAll(cp.Log)
+		return nil
+	}
+	var items []proto.LogItem
+	for dest := 0; dest < r.n; dest++ {
+		if dest == r.id {
+			continue
+		}
+		prefix := slogPrefix(r.id, dest)
+		for _, k := range r.c.store.Keys(prefix) {
+			idx, err := strconv.ParseUint(k[len(prefix):], 16, 64)
+			if err != nil {
+				return fmt.Errorf("harness: rank %d: malformed slog key %q", r.id, k)
+			}
+			if int64(idx) > cp.LastSendIndex[dest] {
+				break
+			}
+			data, ok := r.c.store.Get(k)
+			if !ok {
+				continue // released concurrently; the peer no longer needs it
+			}
+			it, err := decodeLogItem(data)
+			if err != nil {
+				return fmt.Errorf("harness: rank %d: slog key %q: %w", r.id, k, err)
+			}
+			items = append(items, it)
+		}
+	}
+	r.log.RestoreAll(items)
+	return nil
+}

@@ -177,6 +177,20 @@ type Config struct {
 	EventLoggerLatency time.Duration
 	// StableWriteLatency is the checkpoint-write latency.
 	StableWriteLatency time.Duration
+	// Stable selects the stable-storage backend. Nil uses the simulated
+	// in-memory backend, which survives rank (goroutine) kills but not
+	// process death; a disk backend (stable.OpenDisk) survives SIGKILL
+	// and enables Cluster.StartFromStable. The cluster owns the backend
+	// and closes it in Close.
+	Stable stable.Backend
+	// DurableLogs mirrors every sender-log append into the stable store
+	// under its own slog/ key (deleted again when CHECKPOINT_ADVANCE
+	// releases the item) and, under TEL, every event-logger determinant
+	// under a tel/ key (deleted when the logger prunes). Checkpoints then
+	// become incremental: the blob omits the sender log (LogExternal) and
+	// recovery rebuilds it from the keyspace, so the checkpoint write is
+	// O(app state) instead of O(app state + retained log).
+	DurableLogs bool
 	// Clock defaults to the real clock.
 	Clock clock.Clock
 	// Observer, if non-nil, receives harness events.
@@ -228,10 +242,10 @@ type Cluster struct {
 	// destination without waking the sender goroutine.
 	trInline transport.InlineSender
 	store    *stable.Store
-	ckpts   *ckpt.Manager
-	coll    *metrics.Collector
-	telLog  *tel.Logger
-	factory app.Factory
+	ckpts    *ckpt.Manager
+	coll     *metrics.Collector
+	telLog   *tel.Logger
+	factory  app.Factory
 
 	// ckptPolicy is the resolved checkpoint policy (Config.CheckpointPolicy,
 	// or EveryKSteps derived from CheckpointEvery; nil disables periodic
@@ -243,10 +257,19 @@ type Cluster struct {
 	// the chain nor the recovery resend path repeats the type assertion.
 	spanObs SpanObserver
 
+	// durableLogs is Config.DurableLogs resolved once: the hot send path
+	// and the advance handler branch on it.
+	durableLogs bool
+
+	// ckptWG counts the per-rank checkpoint writer goroutines; Close
+	// waits for them (they drain queued saves) before closing the store.
+	ckptWG sync.WaitGroup
+
 	// Observability families (nil handles when cfg.Obs is nil; records
 	// through them no-op).
 	deliverLat   *obs.Family
 	recvBatchFam *obs.Family
+	ckptStallFam *obs.Family
 	phaseFam     map[string]*obs.Family
 
 	ranksMu  chanMutex
@@ -303,10 +326,14 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		clk:     cfg.Clock,
-		tr:      tr,
-		store:   stable.NewStore(stable.Options{Clock: cfg.Clock, WriteLatency: cfg.StableWriteLatency}),
+		cfg: cfg,
+		clk: cfg.Clock,
+		tr:  tr,
+		store: stable.NewStore(stable.Options{
+			Clock:        cfg.Clock,
+			WriteLatency: cfg.StableWriteLatency,
+			Backend:      cfg.Stable,
+		}),
 		coll:    metrics.NewCollector(cfg.N),
 		factory: factory,
 		ranksMu: make(chanMutex, 1),
@@ -323,12 +350,15 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 		"Time from the application entering Recv to the message being delivered.", "ns")
 	c.recvBatchFam = cfg.Obs.Family("recv_batch_envelopes",
 		"Envelopes drained from the transport inbox per receiver wakeup.", "envelopes")
+	c.ckptStallFam = cfg.Obs.Family("ckpt_stall_ns",
+		"Time the application is blocked by a checkpoint (send drain + snapshot); the durable write and CHECKPOINT_ADVANCE fan-out run off the critical path.", "ns")
 	c.phaseFam = make(map[string]*obs.Family, len(RecoveryPhases))
 	for _, phase := range RecoveryPhases {
 		c.phaseFam[phase] = cfg.Obs.Family(PhaseFamilyName(phase),
 			"Duration of the "+phase+" recovery phase.", "ns")
 	}
 	c.ckpts = ckpt.NewManager(c.store)
+	c.durableLogs = cfg.DurableLogs
 	c.finished = make([]bool, cfg.N)
 	c.failedAt = make([]int64, cfg.N)
 	for i := range c.failedAt {
@@ -338,6 +368,14 @@ func NewCluster(cfg Config, factory app.Factory) (*Cluster, error) {
 	c.waitCh = make(chan struct{}, 1)
 	if cfg.Protocol == TEL {
 		c.telLog = tel.NewLogger(cfg.N, cfg.Clock, cfg.EventLoggerLatency)
+		if c.durableLogs {
+			// Mirror determinants into the stable keyspace so the event
+			// log's durable footprint is bounded by the logger's pruning.
+			// The backend is written directly: the logger already charges
+			// its own service latency, and double-charging the store's
+			// write latency would distort the TEL overhead figures.
+			c.telLog.AttachStore(c.store.Backend())
+		}
 	}
 	// Observers that record run metadata (trace.Recorder) learn which
 	// transport carried the run without the harness importing them.
@@ -537,7 +575,8 @@ func (c *Cluster) LogItemsLive() int {
 	return total
 }
 
-// Close tears the cluster down: all rank goroutines exit.
+// Close tears the cluster down: all rank goroutines exit, queued
+// checkpoint saves are flushed, and the stable backend is released.
 func (c *Cluster) Close() {
 	select {
 	case <-c.closed:
@@ -557,6 +596,11 @@ func (c *Cluster) Close() {
 		c.telLog.Close()
 	}
 	c.tr.Close()
+	// Checkpoint writers drain their queues after the kill, so a clean
+	// shutdown never loses a taken checkpoint's durable write; only then
+	// is the backend (and its WAL committer) closed.
+	c.ckptWG.Wait()
+	c.store.Close()
 }
 
 // nopObs is the prebuilt no-op observer interface value, so observer()

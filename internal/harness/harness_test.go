@@ -10,6 +10,7 @@ import (
 
 	"windar/internal/app"
 	"windar/internal/fabric"
+	"windar/internal/stable"
 	"windar/internal/transport"
 )
 
@@ -133,8 +134,19 @@ func testConfig(n int, p ProtocolKind) Config {
 
 // run executes factory to completion under cfg and returns the final app
 // snapshots. kills, if non-nil, runs concurrently once the cluster is up.
+// WINDAR_STABLE=disk reruns the whole matrix over the disk backend with
+// durable sender logs (the cluster owns and closes the backend):
+// WINDAR_STABLE=disk go test ./internal/harness/.
 func run(t *testing.T, cfg Config, factory app.Factory, chaos func(c *Cluster)) [][]byte {
 	t.Helper()
+	if cfg.Stable == nil && os.Getenv("WINDAR_STABLE") == "disk" {
+		d, err := stable.OpenDisk(stable.DiskOptions{Dir: t.TempDir(), FsyncInterval: time.Millisecond})
+		if err != nil {
+			t.Fatalf("OpenDisk: %v", err)
+		}
+		cfg.Stable = d
+		cfg.DurableLogs = true
+	}
 	c, err := NewCluster(cfg, factory)
 	if err != nil {
 		t.Fatalf("NewCluster: %v", err)

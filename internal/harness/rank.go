@@ -115,6 +115,17 @@ type rankRuntime struct {
 	// deliverLat is this rank's deliver-latency histogram (nil when
 	// observability is off; checked before taking the extra clock read).
 	deliverLat *obs.Hist
+	// ckptStall records how long each checkpoint blocked the application
+	// (send drain + snapshot; the durable write runs concurrently).
+	ckptStall *obs.Hist
+
+	// Concurrent checkpointing: doCheckpoint stages the snapshot
+	// synchronously and queues the durable Save plus the
+	// CHECKPOINT_ADVANCE fan-out here; ckptWriterLoop works the queue off
+	// the application's critical path. ckptMu is a leaf lock.
+	ckptMu   sync.Mutex
+	ckptCond *sync.Cond
+	ckptQ    []ckptJob
 
 	// Queue A (non-blocking mode). sendBusy marks a message popped from
 	// the queue but not yet handed to the transport.
@@ -128,6 +139,23 @@ type rankRuntime struct {
 
 	theApp    app.App
 	startStep int
+}
+
+// ckptJob is one staged checkpoint awaiting its durable write: the
+// snapshot to save and the CHECKPOINT_ADVANCE fan-out to announce once —
+// and only once — the save has landed (peers discard logs on its
+// strength, so the announcement must never precede durability).
+type ckptJob struct {
+	cp       *ckpt.Checkpoint
+	advances []ckptAdvance
+	total    int64
+}
+
+// ckptAdvance is one peer's pending CHECKPOINT_ADVANCE: count of its
+// messages the new checkpoint covers (the log-release bound).
+type ckptAdvance struct {
+	dest  int
+	count int64
 }
 
 // deliveryShard is one source's slice of queue B.
@@ -173,12 +201,14 @@ func (c *Cluster) newRuntime(rank int, incarnation int32) (*rankRuntime, error) 
 		lastPigErrIdx:         make([]int64, c.cfg.N),
 		killed:                make(chan struct{}),
 		deliverLat:            c.deliverLat.Rank(rank),
+		ckptStall:             c.ckptStallFam.Rank(rank),
 	}
 	for i := range r.lastPigErrIdx {
 		r.lastPigErrIdx[i] = -1
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.sendCond = sync.NewCond(&r.sendMu)
+	r.ckptCond = sync.NewCond(&r.ckptMu)
 	p, err := c.newProtocol(r)
 	if err != nil {
 		return nil, err
@@ -203,6 +233,8 @@ func (r *rankRuntime) start(fromStep int, rollback []byte) {
 	if r.c.cfg.Mode == NonBlocking {
 		go r.senderLoop()
 	}
+	r.c.ckptWG.Add(1)
+	go r.ckptWriterLoop()
 	if rollback != nil {
 		r.broadcastRollback(rollback)
 	}
@@ -219,6 +251,9 @@ func (r *rankRuntime) kill() {
 		r.sendMu.Lock()
 		r.sendCond.Broadcast()
 		r.sendMu.Unlock()
+		r.ckptMu.Lock()
+		r.ckptCond.Broadcast()
+		r.ckptMu.Unlock()
 	})
 }
 
@@ -693,10 +728,16 @@ func (r *rankRuntime) insertShard(env *wire.Envelope) bool {
 	return true
 }
 
-// doCheckpoint snapshots the rank onto stable storage and advertises the
-// advance to peers (Algorithm 1 lines 32-37). Runs on the app goroutine
-// at a step boundary.
+// doCheckpoint snapshots the rank and queues the durable write
+// (Algorithm 1 lines 32-37). Runs on the app goroutine at a step
+// boundary, but only the drain + snapshot happens here: the snapshot is
+// staged with the checkpoint manager (a same-process recovery restores
+// it immediately) and the Save plus CHECKPOINT_ADVANCE fan-out run on
+// the rank's checkpoint writer goroutine, so delivery never stalls on
+// stable storage. The time the application *was* blocked is recorded in
+// the ckpt_stall_ns family — the concurrent-checkpointing figure.
 func (r *rankRuntime) doCheckpoint(step int) {
+	start := r.c.clk.Now()
 	r.drainSends()
 	r.mu.Lock()
 	cp := &ckpt.Checkpoint{
@@ -707,16 +748,19 @@ func (r *rankRuntime) doCheckpoint(step int) {
 		LastSendIndex:    r.lastSendIndex.Clone(),
 		LastDeliverIndex: r.lastDeliverIndex.Clone(),
 		DeliveredCount:   r.deliveredCount,
-		Log:              r.log.All(),
 	}
-	type advance struct {
-		dest  int
-		count int64
+	if r.c.durableLogs {
+		// Incremental checkpoint: every retained log item is already
+		// durable under its own slog/ key, so the blob omits the log and
+		// recovery rebuilds it from the keyspace.
+		cp.LogExternal = true
+	} else {
+		cp.Log = r.log.All()
 	}
-	var advances []advance
+	var advances []ckptAdvance
 	for k := 0; k < r.n; k++ {
 		if k != r.id && r.lastDeliverIndex[k] > r.lastCkptDeliverIndex[k] {
-			advances = append(advances, advance{dest: k, count: r.lastDeliverIndex[k]})
+			advances = append(advances, ckptAdvance{dest: k, count: r.lastDeliverIndex[k]})
 			r.lastCkptDeliverIndex[k] = r.lastDeliverIndex[k]
 		}
 	}
@@ -726,28 +770,77 @@ func (r *rankRuntime) doCheckpoint(step int) {
 	r.recoveredAt = time.Time{}
 	r.mu.Unlock()
 
-	if err := r.c.ckpts.Save(cp); err != nil {
-		panic(fmt.Sprintf("harness: rank %d checkpoint: %v", r.id, err))
-	}
-	m := r.c.coll.Rank(r.id)
-	for _, a := range advances {
-		env := &wire.Envelope{
-			Kind: wire.KindCkptAdvance, From: r.id, To: a.dest,
-			Incarnation: r.incarnation,
-			Payload:     encodeCkptAdvance(a.count, total),
-		}
-		if err := r.c.tr.Send(env, transportSendOpts(false, r.killed)); err != nil {
-			panic(killedPanic{})
-		}
-		m.ControlMsg()
-	}
+	// Stage before anything can observe the checkpoint event: from here
+	// on, a kill + same-process recovery restores this snapshot even
+	// while its durable write is still in flight, matching the trace
+	// recorder (which logs the checkpoint at snapshot time).
+	r.c.ckpts.Stage(cp)
 	if !recoveredAt.IsZero() {
 		// First checkpoint after a recovery: its CHECKPOINT_ADVANCE lets
 		// peers release the logs the replay consumed.
 		r.c.emitPhase(r.id, PhaseLogRelease, r.c.clk.Now().Sub(recoveredAt))
 	}
+	if r.ckptStall != nil {
+		r.ckptStall.RecordDuration(r.c.clk.Now().Sub(start))
+	}
 	info := layer.CheckpointInfo{Rank: r.id, Step: step, DeliveredCount: total}
 	r.chain.Checkpoint(&info)
+
+	r.ckptMu.Lock()
+	r.ckptQ = append(r.ckptQ, ckptJob{cp: cp, advances: advances, total: total})
+	r.ckptCond.Broadcast()
+	r.ckptMu.Unlock()
+}
+
+// ckptWriterLoop is the rank's checkpoint writer: it works queued
+// snapshots in order — durable Save, then the CHECKPOINT_ADVANCE
+// fan-out — off the application's critical path. On kill it drains the
+// queue (a clean Close never abandons a taken checkpoint's durable
+// write; the advance sends abort on the killed channel instead) and
+// exits.
+func (r *rankRuntime) ckptWriterLoop() {
+	defer r.c.ckptWG.Done()
+	for {
+		r.ckptMu.Lock()
+		for len(r.ckptQ) == 0 && !r.isKilled() {
+			r.ckptCond.Wait()
+		}
+		if len(r.ckptQ) == 0 {
+			r.ckptMu.Unlock()
+			return
+		}
+		job := r.ckptQ[0]
+		r.ckptQ = r.ckptQ[1:]
+		r.ckptMu.Unlock()
+		r.saveCheckpoint(job)
+	}
+}
+
+// saveCheckpoint durably writes one staged checkpoint and announces the
+// advance. Announcing strictly after Save preserves the release
+// invariant: peers discard log items only once the covering checkpoint
+// can actually be reloaded from stable storage.
+func (r *rankRuntime) saveCheckpoint(job ckptJob) {
+	if err := r.c.ckpts.Save(job.cp); err != nil {
+		if r.isKilled() {
+			return // the incarnation is gone; its save is moot
+		}
+		panic(fmt.Sprintf("harness: rank %d checkpoint: %v", r.id, err))
+	}
+	m := r.c.coll.Rank(r.id)
+	for _, a := range job.advances {
+		env := &wire.Envelope{
+			Kind: wire.KindCkptAdvance, From: r.id, To: a.dest,
+			Incarnation: r.incarnation,
+			Payload:     encodeCkptAdvance(a.count, job.total),
+		}
+		if err := r.c.tr.Send(env, transportSendOpts(false, r.killed)); err != nil {
+			// Killed mid-fan-out: the unreached peers simply retain their
+			// logs until this rank's next incarnation re-advertises.
+			return
+		}
+		m.ControlMsg()
+	}
 }
 
 // stallReportLocked builds a diagnostic for a delivery wait that exceeded

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"windar/internal/ckpt"
 	"windar/internal/transport"
 	"windar/internal/wire"
 	"windar/layer"
@@ -92,28 +93,10 @@ func (c *Cluster) Recover(rank int) error {
 	}
 	fromStep := 0
 	if ok {
-		if err := r.theApp.Restore(cp.AppImage); err != nil {
-			return fmt.Errorf("harness: rank %d app restore: %w", rank, err)
+		if err := r.restoreCheckpoint(cp); err != nil {
+			return err
 		}
-		if err := r.prot.Restore(cp.ProtoState); err != nil {
-			return fmt.Errorf("harness: rank %d protocol restore: %w", rank, err)
-		}
-		r.lastSendIndex.CopyFrom(cp.LastSendIndex)
-		r.lastDeliverIndex.CopyFrom(cp.LastDeliverIndex)
-		// Peers were last told about the checkpointed delivery state; the
-		// new checkpoint baseline is exactly that.
-		r.lastCkptDeliverIndex.CopyFrom(cp.LastDeliverIndex)
-		r.deliveredCount = cp.DeliveredCount
-		r.log.RestoreAll(cp.Log)
 		fromStep = cp.Step
-	}
-	// Sync the delivery shards' ingest-side duplicate bound with the
-	// restored lastDeliverIndex: the incarnation's receiver consults the
-	// shard mirror alone, and a zero mirror would re-admit messages the
-	// checkpoint already covers. The runtime has not started, so no
-	// locks are needed.
-	for i := range r.shards {
-		r.shards[i].delivered = r.lastDeliverIndex[i]
 	}
 
 	r.recoveryStart = c.clk.Now()
@@ -175,6 +158,118 @@ func (c *Cluster) Recover(rank int) error {
 	c.replayPendingRollbacks(rank)
 	info := layer.RestoreInfo{Rank: rank, FromStep: fromStep, Incarnation: int(r.incarnation)}
 	r.chain.Restore(&info)
+	return nil
+}
+
+// restoreCheckpoint applies checkpoint cp to a not-yet-started runtime:
+// application image, protocol state, counter vectors, sender log (inline
+// or rebuilt from the slog keyspace for incremental checkpoints), and
+// the delivery shards' ingest-side duplicate bound — the shard mirror is
+// what the receiver consults, and a zero mirror would re-admit messages
+// the checkpoint already covers. No locks are needed: the runtime's
+// goroutines have not launched.
+func (r *rankRuntime) restoreCheckpoint(cp *ckpt.Checkpoint) error {
+	if err := r.theApp.Restore(cp.AppImage); err != nil {
+		return fmt.Errorf("harness: rank %d app restore: %w", r.id, err)
+	}
+	if err := r.prot.Restore(cp.ProtoState); err != nil {
+		return fmt.Errorf("harness: rank %d protocol restore: %w", r.id, err)
+	}
+	r.lastSendIndex.CopyFrom(cp.LastSendIndex)
+	r.lastDeliverIndex.CopyFrom(cp.LastDeliverIndex)
+	// Peers were last told about the checkpointed delivery state; the
+	// new checkpoint baseline is exactly that.
+	r.lastCkptDeliverIndex.CopyFrom(cp.LastDeliverIndex)
+	r.deliveredCount = cp.DeliveredCount
+	if err := r.restoreLog(cp); err != nil {
+		return err
+	}
+	for i := range r.shards {
+		r.shards[i].delivered = r.lastDeliverIndex[i]
+	}
+	return nil
+}
+
+// StartFromStable launches the cluster with every rank restored from its
+// durable checkpoint — the full-cluster restart path after the whole
+// process was SIGKILLed under a durable backend (Config.Stable). Ranks
+// without a durable checkpoint start from the initial state. Call it
+// instead of Start on a cluster whose stable backend holds a previous
+// run's state.
+//
+// Each restored rank broadcasts a ROLLBACK exactly as a single-rank
+// recovery would: peers answer with RESPONSEs that re-establish
+// repetitive-send suppression bounds and resend the retained log items
+// beyond the restored delivery frontier. Nothing below any checkpoint
+// was lost, so every roll is trivially complete (the restart analogue of
+// a failure striking right after a checkpoint); deliveries the restart
+// rolled back are re-produced by peers' deterministic replay, and the
+// regenerated duplicates of already-delivered messages are absorbed by
+// receiver-side duplicate discard.
+func (c *Cluster) StartFromStable() error {
+	type boot struct {
+		r        *rankRuntime
+		fromStep int
+		rollback []byte
+	}
+	boots := make([]boot, c.cfg.N)
+	for rank := 0; rank < c.cfg.N; rank++ {
+		r, err := c.newRuntime(rank, 0)
+		if err != nil {
+			return err
+		}
+		cp, ok, err := c.ckpts.LoadDurable(rank)
+		if err != nil {
+			return fmt.Errorf("harness: rank %d restart: %w", rank, err)
+		}
+		boots[rank] = boot{r: r}
+		if ok {
+			if err := r.restoreCheckpoint(cp); err != nil {
+				return err
+			}
+			boots[rank].fromStep = cp.Step
+			boots[rank].rollback = encodeRollback(r.deliveredCount, r.lastDeliverIndex.Clone())
+			// Seed trace baselines (the recorder, when it is the
+			// observer) so invariant checking measures the resumed run
+			// against the restored frontier instead of zero.
+			if s, ok := c.cfg.Observer.(interface {
+				SeedCheckpoint(rank, step int, lastSend, lastDeliver []int64, delivered int64)
+			}); ok {
+				s.SeedCheckpoint(cp.Rank, cp.Step, cp.LastSendIndex, cp.LastDeliverIndex, cp.DeliveredCount)
+			}
+		}
+	}
+	// Register every runtime before any starts: each rank must be able
+	// to serve the others' ROLLBACKs from its first instant.
+	c.ranksMu.Lock()
+	for rank := range boots {
+		c.ranks[rank] = boots[rank].r
+	}
+	c.ranksMu.Unlock()
+	for rank := range boots {
+		b := &boots[rank]
+		r := b.r
+		if b.rollback != nil {
+			// Expect a RESPONSE from every peer, exactly like a trivial
+			// single-rank recovery; the protocol may gate deliveries on
+			// the collected recovery data.
+			r.respAwait = make([]bool, c.cfg.N)
+			r.respExpect = 0
+			for p := 0; p < c.cfg.N; p++ {
+				if p != rank {
+					r.respAwait[p] = true
+					r.respExpect++
+				}
+			}
+			r.prot.BeginRecovery(r.respExpect)
+		}
+		r.start(b.fromStep, b.rollback)
+		info := layer.RestoreInfo{Rank: rank, FromStep: b.fromStep, Incarnation: int(r.incarnation)}
+		r.chain.Restore(&info)
+	}
+	if c.cfg.StallTimeout > 0 {
+		go c.stallWatchdog()
+	}
 	return nil
 }
 

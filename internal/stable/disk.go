@@ -1,0 +1,865 @@
+package stable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"windar/internal/clock"
+)
+
+// Disk is the real durable backend: a set of parallel write-ahead log
+// files (shirakami-style P-WAL — each rank's keys hash to one shard, so
+// ranks append to disjoint files and never contend on a single log)
+// with group commit. Mutations append a checksummed, length-prefixed
+// record to their shard's log; a committer goroutine batches
+// neighbouring appends into one fsync per shard (the group-commit
+// window is FsyncInterval). Values at or above BlobThreshold — in
+// practice, checkpoint images — are written as standalone blob files
+// via the write-temp-rename-fsync dance and the WAL record stores only
+// the file name, so a multi-megabyte checkpoint never sits torn inside
+// a log.
+//
+// Atomicity falls out of the record format: a crash mid-append leaves a
+// torn tail whose length or CRC cannot verify, and Open truncates the
+// file at the last whole record. The shard count is pinned in a meta
+// file at creation, so a key's records always live in exactly one file
+// and per-shard compaction can never strand another shard's state.
+//
+// A shard whose dead bytes (overwritten or deleted records) exceed both
+// a floor and its live bytes is compacted: the live entries are
+// rewritten to a fresh file which atomically replaces the log. Callers
+// hook this to the protocol's log-release phase by deleting released
+// keys; the shard reclaims the space on its own.
+type Disk struct {
+	dir           string
+	clk           clock.Clock
+	interval      time.Duration
+	blobThreshold int
+	shards        []*walShard
+
+	lsnMu   sync.Mutex
+	nextLSN uint64
+
+	gmu         sync.Mutex
+	gcond       *sync.Cond
+	seqAppended uint64
+	seqSynced   uint64
+	commits     int64
+	commitErr   error
+	closed      bool
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// DiskOptions configures OpenDisk.
+type DiskOptions struct {
+	// Dir is the directory holding the log and blob files; created if
+	// missing. Required.
+	Dir string
+	// Shards is the parallel WAL file count for a fresh directory.
+	// Defaults to 8. An existing directory keeps the count it was
+	// created with (recorded in its meta file); Shards is then ignored.
+	Shards int
+	// FsyncInterval is the group-commit window: durable writes wait at
+	// most about this long while neighbouring writes pile into the same
+	// fsync. 0 commits as soon as the committer observes a write.
+	FsyncInterval time.Duration
+	// BlobThreshold is the value size at which a value moves out of the
+	// WAL into its own write-temp-renamed file. Defaults to 4096.
+	BlobThreshold int
+	// Clock paces the group-commit window. Defaults to the real clock
+	// (this backend does real I/O, so real time is the right default).
+	Clock clock.Clock
+}
+
+// WAL record format: u32 little-endian payload length, u32 CRC-32
+// (IEEE) of the payload, payload. Payload: one op byte, then uvarint
+// LSN, uvarint key length, key bytes, uvarint value length, value
+// bytes.
+const (
+	opPut    = 1 // value inline in the record
+	opBlob   = 2 // value bytes live in the named blob file
+	opDelete = 3 // tombstone; no value
+)
+
+const (
+	walRecordHeader  = 8
+	defaultShards    = 8
+	defaultBlobLimit = 4096
+	compactFloor     = 64 << 10
+	metaName         = "meta"
+)
+
+var errClosed = errors.New("stable: disk backend is closed")
+
+// walEntry is one live key in a shard's index. The value bytes are
+// cached in memory (mirroring the sim backend's behaviour); the disk
+// copy exists so a restarted process can rebuild this cache.
+type walEntry struct {
+	val      []byte
+	blob     string // blob file name when the value lives out of line
+	lsn      uint64
+	recBytes int64 // on-disk footprint of the authoritative record
+}
+
+type walShard struct {
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	w         *bufio.Writer
+	index     map[string]*walEntry
+	liveBytes int64
+	deadBytes int64
+	dirty     bool
+	blobGC    []string // blob files to unlink once the next fsync lands
+}
+
+// OpenDisk opens (creating or recovering) a disk backend rooted at
+// opts.Dir.
+func OpenDisk(opts DiskOptions) (*Disk, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("stable: OpenDisk requires Dir")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
+	}
+	if opts.BlobThreshold <= 0 {
+		opts.BlobThreshold = defaultBlobLimit
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		dir:           opts.Dir,
+		clk:           opts.Clock,
+		interval:      opts.FsyncInterval,
+		blobThreshold: opts.BlobThreshold,
+		kick:          make(chan struct{}, 1),
+		done:          make(chan struct{}),
+	}
+	d.gcond = sync.NewCond(&d.gmu)
+	if err := d.recover(opts.Shards); err != nil {
+		return nil, err
+	}
+	d.wg.Add(1)
+	go d.committer()
+	return d, nil
+}
+
+// Kind implements Backend.
+func (d *Disk) Kind() string { return "disk" }
+
+// Dir returns the backing directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// shardFor hashes the key's rank-scoped prefix (up to the second '/',
+// e.g. "slog/003") so one rank's log keys land in one WAL file — the
+// per-rank parallel log layout.
+func (d *Disk) shardFor(key string) *walShard {
+	scope := key
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		if j := strings.IndexByte(key[i+1:], '/'); j >= 0 {
+			scope = key[:i+1+j]
+		}
+	}
+	h := fnv.New32a()
+	h.Write([]byte(scope))
+	return d.shards[h.Sum32()%uint32(len(d.shards))]
+}
+
+func (d *Disk) allocLSN() uint64 {
+	d.lsnMu.Lock()
+	defer d.lsnMu.Unlock()
+	d.nextLSN++
+	return d.nextLSN
+}
+
+// encodeRecord appends the framed record for (op, lsn, key, val) to buf.
+func encodeRecord(buf []byte, op byte, lsn uint64, key string, val []byte) []byte {
+	payload := make([]byte, 0, 1+3*binary.MaxVarintLen64+len(key)+len(val))
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, lsn)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = binary.AppendUvarint(payload, uint64(len(val)))
+	payload = append(payload, val...)
+	var hdr [walRecordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// appendRecord writes a framed record to s's log and returns its size.
+// Caller holds s.mu.
+func (d *Disk) appendRecord(s *walShard, op byte, lsn uint64, key string, val []byte) (int64, error) {
+	rec := encodeRecord(nil, op, lsn, key, val)
+	if _, err := s.w.Write(rec); err != nil {
+		return 0, err
+	}
+	s.dirty = true
+	return int64(len(rec)), nil
+}
+
+// put is the shared Put/PutLazy implementation.
+func (d *Disk) put(key string, data []byte, durable bool) error {
+	val := make([]byte, len(data))
+	copy(val, data)
+	lsn := d.allocLSN()
+
+	op := byte(opPut)
+	recVal := val
+	blob := ""
+	if len(val) >= d.blobThreshold {
+		// Out-of-line value: blob file first (temp, fsync, rename), WAL
+		// pointer second. A crash between the two leaves an orphan blob
+		// that the next Open garbage-collects.
+		blob = fmt.Sprintf("blob-%016x.bin", lsn)
+		if err := d.writeBlob(blob, val); err != nil {
+			return err
+		}
+		op = opBlob
+		recVal = []byte(blob)
+	}
+
+	s := d.shardFor(key)
+	s.mu.Lock()
+	if s.f == nil {
+		s.mu.Unlock()
+		return errClosed
+	}
+	n, err := d.appendRecord(s, op, lsn, key, recVal)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if old := s.index[key]; old != nil {
+		s.deadBytes += old.recBytes
+		s.liveBytes -= old.recBytes
+		if old.blob != "" {
+			s.blobGC = append(s.blobGC, old.blob)
+		}
+	}
+	s.index[key] = &walEntry{val: val, blob: blob, lsn: lsn, recBytes: n}
+	s.liveBytes += n
+	err = d.maybeCompact(s)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.await(d.noteAppend(), durable)
+}
+
+// Put implements Backend.
+func (d *Disk) Put(key string, data []byte) error { return d.put(key, data, true) }
+
+// PutLazy implements Backend.
+func (d *Disk) PutLazy(key string, data []byte) error { return d.put(key, data, false) }
+
+// Get implements Backend.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	s := d.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(e.val))
+	copy(cp, e.val)
+	return cp, true
+}
+
+// Delete implements Backend. The tombstone is durable at the next Sync.
+func (d *Disk) Delete(key string) error {
+	s := d.shardFor(key)
+	s.mu.Lock()
+	if s.f == nil {
+		s.mu.Unlock()
+		return errClosed
+	}
+	e, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	n, err := d.appendRecord(s, opDelete, d.allocLSN(), key, nil)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	delete(s.index, key)
+	s.liveBytes -= e.recBytes
+	s.deadBytes += e.recBytes + n
+	if e.blob != "" {
+		s.blobGC = append(s.blobGC, e.blob)
+	}
+	err = d.maybeCompact(s)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	d.noteAppend()
+	return nil
+}
+
+// Rename implements Backend as a tombstone on oldKey plus a re-put of
+// the value at newKey, both covered by the closing durable barrier.
+// Crash atomicity: a crash leaves the old binding, both bindings, or
+// only the new one — never a torn value and never neither. (It is not
+// isolated: a concurrent reader can observe the intermediate state.)
+func (d *Disk) Rename(oldKey, newKey string) error {
+	old := d.shardFor(oldKey)
+	old.mu.Lock()
+	e, ok := old.index[oldKey]
+	if !ok {
+		old.mu.Unlock()
+		return fmt.Errorf("stable: rename %q: no such key", oldKey)
+	}
+	val := e.val
+	old.mu.Unlock()
+	if err := d.put(newKey, val, false); err != nil {
+		return err
+	}
+	if err := d.Delete(oldKey); err != nil {
+		return err
+	}
+	return d.Sync()
+}
+
+// Keys implements Backend.
+func (d *Disk) Keys(prefix string) []string {
+	var out []string
+	for _, s := range d.shards {
+		s.mu.Lock()
+		for k := range s.index {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return sortedKeys(out)
+}
+
+// Len implements Backend.
+func (d *Disk) Len() int {
+	n := 0
+	for _, s := range d.shards {
+		s.mu.Lock()
+		n += len(s.index)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Commits returns how many group-commit fsync rounds have run.
+func (d *Disk) Commits() int64 {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	return d.commits
+}
+
+// noteAppend counts a new record into the group-commit sequence and
+// wakes the committer; it returns the sequence number to wait on.
+func (d *Disk) noteAppend() uint64 {
+	d.gmu.Lock()
+	d.seqAppended++
+	seq := d.seqAppended
+	d.gmu.Unlock()
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+	return seq
+}
+
+// await blocks until the committer has made seq durable (when durable),
+// surfacing any sticky commit error either way.
+func (d *Disk) await(seq uint64, durable bool) error {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	if !durable {
+		return d.commitErr
+	}
+	for d.seqSynced < seq && d.commitErr == nil && !d.closed {
+		d.gcond.Wait()
+	}
+	if d.commitErr != nil {
+		return d.commitErr
+	}
+	if d.seqSynced < seq {
+		return errClosed
+	}
+	return nil
+}
+
+// Sync implements Backend: the group-commit barrier.
+func (d *Disk) Sync() error {
+	d.gmu.Lock()
+	seq := d.seqAppended
+	d.gmu.Unlock()
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+	return d.await(seq, true)
+}
+
+// committer is the group-commit loop: it parks until a write kicks it,
+// optionally lingers one FsyncInterval so neighbouring writes join the
+// batch, then flushes and fsyncs every dirty shard and releases the
+// waiters.
+func (d *Disk) committer() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			d.commit()
+			return
+		case <-d.kick:
+		}
+		if d.interval > 0 {
+			select {
+			case <-d.clk.After(d.interval):
+			case <-d.done:
+			}
+		}
+		d.commit()
+	}
+}
+
+// commit flushes and fsyncs every dirty shard, advances the synced
+// sequence, and unlinks blob files whose replacing records just became
+// durable.
+func (d *Disk) commit() {
+	d.gmu.Lock()
+	target := d.seqAppended
+	d.gmu.Unlock()
+
+	var firstErr error
+	var gc []string
+	for _, s := range d.shards {
+		s.mu.Lock()
+		if s.f == nil || !s.dirty {
+			s.mu.Unlock()
+			continue
+		}
+		err := s.w.Flush()
+		if err == nil {
+			err = s.f.Sync()
+		}
+		if err == nil {
+			s.dirty = false
+			gc = append(gc, s.blobGC...)
+			s.blobGC = nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+		s.mu.Unlock()
+	}
+
+	d.gmu.Lock()
+	if firstErr != nil && d.commitErr == nil {
+		d.commitErr = firstErr
+	}
+	if firstErr == nil && target > d.seqSynced {
+		d.seqSynced = target
+	}
+	d.commits++
+	d.gcond.Broadcast()
+	d.gmu.Unlock()
+
+	for _, name := range gc {
+		os.Remove(filepath.Join(d.dir, name))
+	}
+}
+
+// Close implements Backend: final commit, then release the files.
+func (d *Disk) Close() error {
+	d.gmu.Lock()
+	if d.closed {
+		d.gmu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.gmu.Unlock()
+	close(d.done)
+	d.wg.Wait()
+
+	var firstErr error
+	for _, s := range d.shards {
+		s.mu.Lock()
+		if s.f != nil {
+			if err := s.w.Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := s.f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := s.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.f = nil
+			s.w = nil
+		}
+		s.mu.Unlock()
+	}
+	d.gmu.Lock()
+	if d.commitErr == nil {
+		d.commitErr = errClosed
+	}
+	d.gcond.Broadcast()
+	d.gmu.Unlock()
+	return firstErr
+}
+
+// writeBlob writes a standalone value file crash-atomically: temp file,
+// fsync, rename into place, fsync the directory.
+func (d *Disk) writeBlob(name string, data []byte) error {
+	tmp := filepath.Join(d.dir, "tmp-"+name)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	f.Close()
+	return err
+}
+
+// maybeCompact rewrites s's log from its live index when the dead bytes
+// dominate: fresh temp file, fsync, atomic rename over the log. Caller
+// holds s.mu. Other shards keep appending throughout — compaction
+// stalls only the one file. The pinned shard count guarantees every
+// record for this shard's keys lives in this file, so dropping the old
+// file can never lose another shard's state.
+func (d *Disk) maybeCompact(s *walShard) error {
+	if s.deadBytes < compactFloor || s.deadBytes < s.liveBytes {
+		return nil
+	}
+	return d.compactLocked(s)
+}
+
+func (d *Disk) compactLocked(s *walShard) error {
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var live int64
+	for _, k := range keys {
+		e := s.index[k]
+		op := byte(opPut)
+		val := e.val
+		if e.blob != "" {
+			op = opBlob
+			val = []byte(e.blob)
+		}
+		rec := encodeRecord(nil, op, e.lsn, k, val)
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+		e.recBytes = int64(len(rec))
+		live += e.recBytes
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(d.dir); err != nil {
+		f.Close()
+		return err
+	}
+	// The compacted file replaces the log. Any bytes still buffered in
+	// the old writer describe index state we just rewrote, so both the
+	// buffer and the old handle are dropped.
+	s.f.Close()
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.liveBytes = live
+	s.deadBytes = 0
+	s.dirty = false
+	return nil
+}
+
+// walRecord is one decoded record during replay.
+type walRecord struct {
+	op  byte
+	lsn uint64
+	key string
+	val []byte
+	n   int64 // framed size on disk
+}
+
+// recover reads (or pins) the shard count from the meta file, replays
+// every shard's WAL in record order (truncating torn tails), rebuilds
+// the in-memory indexes, and garbage-collects temp files and orphan
+// blobs.
+func (d *Disk) recover(wantShards int) error {
+	nShards, err := d.loadOrInitMeta(wantShards)
+	if err != nil {
+		return err
+	}
+	d.shards = make([]*walShard, nShards)
+	for i := range d.shards {
+		d.shards[i] = &walShard{
+			path:  filepath.Join(d.dir, fmt.Sprintf("wal-%03d.log", i)),
+			index: make(map[string]*walEntry),
+		}
+	}
+
+	names, err := filepath.Glob(filepath.Join(d.dir, "*"))
+	if err != nil {
+		return err
+	}
+	for _, p := range names {
+		base := filepath.Base(p)
+		if strings.HasPrefix(base, "tmp-") || strings.HasSuffix(base, ".tmp") {
+			os.Remove(p)
+		}
+	}
+
+	referenced := map[string]bool{}
+	var maxLSN uint64
+	for _, s := range d.shards {
+		recs, err := replayFile(s.path)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if r.lsn > maxLSN {
+				maxLSN = r.lsn
+			}
+			old := s.index[r.key]
+			switch r.op {
+			case opDelete:
+				if old != nil {
+					delete(s.index, r.key)
+					s.liveBytes -= old.recBytes
+				}
+			case opPut:
+				s.index[r.key] = &walEntry{val: r.val, lsn: r.lsn, recBytes: r.n}
+				if old != nil {
+					s.liveBytes -= old.recBytes
+				}
+				s.liveBytes += r.n
+			case opBlob:
+				blob := string(r.val)
+				data, err := os.ReadFile(filepath.Join(d.dir, blob))
+				if err != nil {
+					// The record promises the blob exists (it is written
+					// and fsynced first); a missing file means outside
+					// interference. Drop the key rather than fail the
+					// open.
+					if old != nil {
+						delete(s.index, r.key)
+						s.liveBytes -= old.recBytes
+					}
+					continue
+				}
+				s.index[r.key] = &walEntry{val: data, blob: blob, lsn: r.lsn, recBytes: r.n}
+				if old != nil {
+					s.liveBytes -= old.recBytes
+				}
+				s.liveBytes += r.n
+			}
+		}
+		for _, e := range s.index {
+			if e.blob != "" {
+				referenced[e.blob] = true
+			}
+		}
+	}
+	d.nextLSN = maxLSN
+
+	for _, p := range names {
+		base := filepath.Base(p)
+		if strings.HasPrefix(base, "blob-") && !referenced[base] {
+			os.Remove(p)
+		}
+	}
+
+	// Open the shard files for appending; the gap between the file size
+	// and the live bytes is dead weight for the compaction heuristic.
+	for _, s := range d.shards {
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR, 0o666)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return err
+		}
+		if dead := st.Size() - s.liveBytes; dead > 0 {
+			s.deadBytes = dead
+		}
+		s.f = f
+		s.w = bufio.NewWriter(f)
+	}
+	return nil
+}
+
+// loadOrInitMeta returns the pinned shard count, writing the meta file
+// on first open of the directory.
+func (d *Disk) loadOrInitMeta(wantShards int) (int, error) {
+	path := filepath.Join(d.dir, metaName)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, "shards "); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil || n <= 0 {
+					return 0, fmt.Errorf("stable: corrupt meta file %s: %q", path, line)
+				}
+				return n, nil
+			}
+		}
+		return 0, fmt.Errorf("stable: meta file %s has no shard count", path)
+	}
+	if !os.IsNotExist(err) {
+		return 0, err
+	}
+	body := fmt.Sprintf("windar-wal v1\nshards %d\n", wantShards)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o666); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	if err := syncDir(d.dir); err != nil {
+		return 0, err
+	}
+	return wantShards, nil
+}
+
+// replayFile reads p's records in order, truncating the file at the
+// first torn or corrupt record (the crash-atomicity contract: a record
+// either verifies whole or never happened). A missing file replays
+// empty.
+func replayFile(p string) ([]walRecord, error) {
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []walRecord
+	off := 0
+	good := 0
+	for off+walRecordHeader <= len(data) {
+		plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen <= 0 || off+walRecordHeader+plen > len(data) {
+			break
+		}
+		payload := data[off+walRecordHeader : off+walRecordHeader+plen]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		r, ok := decodePayload(payload)
+		if !ok {
+			break
+		}
+		r.n = int64(walRecordHeader + plen)
+		recs = append(recs, r)
+		off += walRecordHeader + plen
+		good = off
+	}
+	if good < len(data) {
+		if err := os.Truncate(p, int64(good)); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+func decodePayload(p []byte) (walRecord, bool) {
+	var r walRecord
+	if len(p) < 1 {
+		return r, false
+	}
+	r.op = p[0]
+	if r.op != opPut && r.op != opBlob && r.op != opDelete {
+		return r, false
+	}
+	rest := p[1:]
+	lsn, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, false
+	}
+	rest = rest[n:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest[n:])) < klen {
+		return r, false
+	}
+	rest = rest[n:]
+	r.lsn = lsn
+	r.key = string(rest[:klen])
+	rest = rest[klen:]
+	vlen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest[n:])) != vlen {
+		return r, false
+	}
+	r.val = append([]byte(nil), rest[n:]...)
+	return r, true
+}

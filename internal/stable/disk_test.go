@@ -1,0 +1,268 @@
+package stable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openDisk(t *testing.T, dir string) *Disk {
+	t.Helper()
+	d, err := OpenDisk(DiskOptions{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return d
+}
+
+func TestDiskReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	big := bytes.Repeat([]byte("B"), 8192) // above BlobThreshold: exercises the blob path
+	if err := d.Put("ckpt/00000001", big); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := d.PutLazy("slog/001/002/0001", []byte("item")); err != nil {
+		t.Fatalf("PutLazy: %v", err)
+	}
+	if err := d.Put("tel/002/0001", []byte("det")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := d.Delete("tel/002/0001"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openDisk(t, dir)
+	defer r.Close()
+	if got, ok := r.Get("ckpt/00000001"); !ok || !bytes.Equal(got, big) {
+		t.Fatalf("blob value lost across reopen (ok=%v len=%d)", ok, len(got))
+	}
+	if got, ok := r.Get("slog/001/002/0001"); !ok || string(got) != "item" {
+		t.Fatalf("lazy value lost across reopen (ok=%v %q)", ok, got)
+	}
+	if _, ok := r.Get("tel/002/0001"); ok {
+		t.Fatal("tombstoned key resurrected across reopen")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len after reopen = %d, want 2", r.Len())
+	}
+}
+
+func TestDiskTornTailTruncated(t *testing.T) {
+	// Crash-mid-write atomicity: chop bytes off a WAL file's tail at
+	// every offset inside the last record; reopening must always see
+	// either the full record or cleanly none of it — never garbage.
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	if err := d.Put("k/1/a", []byte("first")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := d.Put("k/1/b", []byte("second")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	d.Close()
+
+	// Both keys share the scope "k/1", so one file holds both records.
+	var walPath string
+	var full []byte
+	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, p := range matches {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 0 {
+			walPath = p
+			full = data
+		}
+	}
+	if walPath == "" {
+		t.Fatal("no non-empty WAL file found")
+	}
+	firstLen := 0
+	{
+		recs, err := replayFile(walPath)
+		if err != nil || len(recs) != 2 {
+			t.Fatalf("replayFile = %d recs, %v", len(recs), err)
+		}
+		firstLen = int(recs[0].n)
+	}
+
+	for cut := firstLen; cut < len(full); cut++ {
+		if err := os.WriteFile(walPath, full[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		r := openDisk(t, dir)
+		if got, ok := r.Get("k/1/a"); !ok || string(got) != "first" {
+			r.Close()
+			t.Fatalf("cut=%d: intact first record lost (ok=%v %q)", cut, ok, got)
+		}
+		if got, ok := r.Get("k/1/b"); ok && string(got) != "second" {
+			r.Close()
+			t.Fatalf("cut=%d: torn record surfaced garbage %q", cut, got)
+		} else if ok {
+			r.Close()
+			t.Fatalf("cut=%d: torn record reported whole", cut)
+		}
+		r.Close()
+		// The torn tail must have been physically truncated so future
+		// appends don't bury live records behind garbage.
+		st, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != int64(firstLen) {
+			t.Fatalf("cut=%d: torn tail not truncated (size %d, want %d)", cut, st.Size(), firstLen)
+		}
+		if err := os.WriteFile(walPath, full, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiskCompactionReclaimsAndKeepsLive(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	// Everything in one scope so one shard file absorbs all the churn.
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 400; i++ {
+		if err := d.Put(fmt.Sprintf("hot/1/%04d", i%4), val); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := d.Put("hot/1/keep", []byte("keeper")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s := d.shardFor("hot/1/keep")
+	s.mu.Lock()
+	dead := s.deadBytes
+	s.mu.Unlock()
+	if dead > int64(compactFloor) {
+		t.Fatalf("compaction never ran: deadBytes = %d", dead)
+	}
+	d.Close()
+
+	r := openDisk(t, dir)
+	defer r.Close()
+	if got, ok := r.Get("hot/1/keep"); !ok || string(got) != "keeper" {
+		t.Fatalf("live key lost by compaction (ok=%v %q)", ok, got)
+	}
+	for i := 0; i < 4; i++ {
+		if got, ok := r.Get(fmt.Sprintf("hot/1/%04d", i)); !ok || !bytes.Equal(got, val) {
+			t.Fatalf("live key %d lost by compaction", i)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+}
+
+func TestDiskDeleteReclaimsBlobs(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	big := bytes.Repeat([]byte("c"), 8192)
+	for i := 0; i < 8; i++ {
+		if err := d.Put("ckpt/00000001", big); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	d.Close()
+	blobs, _ := filepath.Glob(filepath.Join(dir, "blob-*"))
+	if len(blobs) != 1 {
+		t.Fatalf("replaced blobs not reclaimed: %d files remain", len(blobs))
+	}
+}
+
+func TestDiskOrphanBlobCollected(t *testing.T) {
+	// A crash between blob rename and WAL append leaves an orphan blob;
+	// the next open must sweep it.
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	d.Put("k/1/a", []byte("v"))
+	d.Close()
+	orphan := filepath.Join(dir, "blob-00000000deadbeef.bin")
+	if err := os.WriteFile(orphan, []byte("orphan"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp-blob-1.bin"), []byte("tmp"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	r := openDisk(t, dir)
+	r.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan blob survived open")
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "tmp-*")); len(left) != 0 {
+		t.Fatalf("temp files survived open: %v", left)
+	}
+}
+
+func TestDiskGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(DiskOptions{Dir: dir, Shards: 2, FsyncInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			done <- d.Put(fmt.Sprintf("g/%d/k", i), []byte("v")) //windar:allow locksend (buffered to goroutine count)
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// 8 concurrent durable puts with a 2ms window should coalesce into
+	// far fewer commit rounds than one per put.
+	if c := d.Commits(); c >= 8 {
+		t.Fatalf("group commit never batched: %d commits for 8 puts", c)
+	}
+}
+
+func TestDiskMetaPinsShardCount(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(DiskOptions{Dir: dir, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("a/1/k", []byte("v"))
+	d.Close()
+	// Reopen asking for a different count: the meta file wins, so the
+	// key hashes to the same file it was written to.
+	r, err := OpenDisk(DiskOptions{Dir: dir, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.shards) != 3 {
+		t.Fatalf("shard count = %d, want pinned 3", len(r.shards))
+	}
+	if got, ok := r.Get("a/1/k"); !ok || string(got) != "v" {
+		t.Fatalf("value lost under shard-count change (ok=%v %q)", ok, got)
+	}
+	if !strings.Contains(readMetaBody(t, dir), "shards 3") {
+		t.Fatal("meta file missing pinned shard count")
+	}
+}
+
+func readMetaBody(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -1,0 +1,98 @@
+package stable
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Sim is the simulated in-memory backend: a plain map whose contents
+// survive simulated rank failures (only volatile rank state is dropped
+// on a goroutine kill) but not death of the hosting process. Every
+// mutation is trivially atomic and immediately "durable" within that
+// model, so Sync is a no-op.
+type Sim struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+}
+
+// NewSim returns an empty simulated backend.
+func NewSim() *Sim {
+	return &Sim{objects: make(map[string][]byte)}
+}
+
+// Kind implements Backend.
+func (s *Sim) Kind() string { return "sim" }
+
+// Put implements Backend.
+func (s *Sim) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.objects[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// PutLazy implements Backend; for the in-memory model it is Put.
+func (s *Sim) PutLazy(key string, data []byte) error { return s.Put(key, data) }
+
+// Get implements Backend.
+func (s *Sim) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.objects[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true
+}
+
+// Delete implements Backend.
+func (s *Sim) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Rename implements Backend.
+func (s *Sim) Rename(oldKey, newKey string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.objects[oldKey]
+	if !ok {
+		return fmt.Errorf("stable: rename %q: no such key", oldKey)
+	}
+	delete(s.objects, oldKey)
+	s.objects[newKey] = v
+	return nil
+}
+
+// Keys implements Backend.
+func (s *Sim) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return sortedKeys(out)
+}
+
+// Len implements Backend.
+func (s *Sim) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// Sync implements Backend; in-memory writes are already "durable".
+func (s *Sim) Sync() error { return nil }
+
+// Close implements Backend.
+func (s *Sim) Close() error { return nil }

@@ -91,9 +91,43 @@ func TestStats(t *testing.T) {
 	s.Put("b", make([]byte, 5))
 	s.Get("a")
 	s.Get("missing")
-	w, r, b := s.Stats()
-	if w != 2 || r != 2 || b != 15 {
-		t.Fatalf("Stats = %d writes, %d reads, %d bytes", w, r, b)
+	st := s.Stats()
+	if st.Writes != 2 || st.Reads != 2 || st.BytesWritten != 15 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestDeleteCountedAndCharged(t *testing.T) {
+	// The paper's stable-storage model charges every durable mutation;
+	// a tombstone is a write like any other, so Delete must appear in
+	// Stats and pay the write latency.
+	s := newTestStore()
+	s.Put("k", []byte("v"))
+	s.Delete("k")
+	if st := s.Stats(); st.Deletes != 1 {
+		t.Fatalf("Stats.Deletes = %d, want 1", st.Deletes)
+	}
+
+	fake := clock.NewFake(time.Unix(0, 0))
+	sl := NewStore(Options{Clock: fake, WriteLatency: time.Second})
+	done := make(chan struct{})
+	go func() {
+		sl.Delete("k")
+		close(done)
+	}()
+	for fake.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Delete returned before the write latency elapsed")
+	default:
+	}
+	fake.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Delete never completed")
 	}
 }
 

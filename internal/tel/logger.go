@@ -13,12 +13,14 @@
 package tel
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"windar/internal/clock"
 	"windar/internal/determinant"
+	"windar/internal/stable"
 	"windar/internal/vclock"
 )
 
@@ -40,6 +42,7 @@ type Logger struct {
 	byReceiver map[int]map[int64]determinant.D // receiver -> deliverIndex -> det
 	stableUpTo vclock.Vec                      // contiguous stable prefix per receiver
 	logged     int64
+	store      stable.Backend // optional durable mirror, see AttachStore
 
 	reqMu   sync.Mutex
 	reqCond *sync.Cond
@@ -81,6 +84,27 @@ func (lg *Logger) Close() {
 		lg.reqCond.Broadcast()
 		lg.reqMu.Unlock()
 	})
+}
+
+// AttachStore mirrors every determinant the logger records into store
+// under tel/<receiver>/<deliverIndex>, deleting mirrored keys as Prune
+// releases them — so a durable backend's footprint for the event log
+// stays bounded by the live (unpruned) determinant set. The mirror rides
+// the backend's lazy append path: the logger already models its own
+// stable-storage service latency, so the mirror charges none. Mirrored
+// determinants are not reloaded on process restart (TEL recovery across
+// a full restart is out of scope); the mirror exists to bound and
+// account the durable footprint. Call before the cluster starts.
+func (lg *Logger) AttachStore(store stable.Backend) {
+	lg.mu.Lock()
+	lg.store = store
+	lg.mu.Unlock()
+}
+
+// telKey is the mirror key for one determinant. The fixed-width hex
+// index keeps lexicographic key order equal to delivery order.
+func telKey(receiver int, deliverIndex int64) string {
+	return fmt.Sprintf("tel/%03d/%016x", receiver, uint64(deliverIndex))
 }
 
 // LogAsync enqueues ds for durable recording; once the single logger
@@ -153,6 +177,11 @@ func (lg *Logger) commit(ds []determinant.D) vclock.Vec {
 		if _, ok := m[d.DeliverIndex]; !ok {
 			m[d.DeliverIndex] = d
 			lg.logged++
+			if lg.store != nil {
+				if err := lg.store.PutLazy(telKey(d.Receiver, d.DeliverIndex), d.Append(nil)); err != nil {
+					panic(fmt.Sprintf("tel: mirror determinant: %v", err))
+				}
+			}
 		}
 	}
 	// Advance each touched receiver's contiguous prefix.
@@ -218,6 +247,11 @@ func (lg *Logger) Prune(receiver int, upto int64) {
 	for idx := range m {
 		if idx <= upto {
 			delete(m, idx)
+			if lg.store != nil {
+				if err := lg.store.Delete(telKey(receiver, idx)); err != nil {
+					panic(fmt.Sprintf("tel: release determinant: %v", err))
+				}
+			}
 		}
 	}
 	if receiver >= 0 && receiver < len(lg.stableUpTo) && lg.stableUpTo[receiver] < upto {

@@ -1,0 +1,54 @@
+package trace
+
+// SeedCheckpoint primes the recorder with one rank's restored
+// checkpoint state before any event of a resumed run arrives. A process
+// restart (harness StartFromStable) begins mid-history: without the
+// seed, the validator would treat the first post-resume delivery on a
+// channel as index lastDeliver+1 arriving out of nowhere and flag
+// fifo/no-loss violations for the pre-restart prefix it never saw.
+// Seeding materializes exactly the state the streaming machines would
+// hold had they watched the original run up to each rank's last durable
+// checkpoint: sends up to lastSend[dest] are effective and
+// checkpoint-confirmed, deliveries up to lastDeliver[src] are committed
+// clean history, and the rank's checkpoint snapshot carries `delivered`
+// deliveries.
+//
+// The seed lives in the in-process digest only; Export does not persist
+// it, so an exported trace of a resumed run covers just the resumed
+// suffix and must be validated in-process (offline CheckEvents would
+// re-flag the missing prefix).
+func (r *Recorder) SeedCheckpoint(rank, step int, lastSend, lastDeliver []int64, delivered int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.digest == nil {
+		r.digest = newDigest()
+	}
+
+	// Validator: the rank's sends are all checkpoint-confirmed
+	// (sentCkpt == sentCur), and its per-source delivery history is the
+	// clean contiguous prefix 1..lastDeliver — committed, because the
+	// restored checkpoint already confirmed it.
+	h := r.digest.val.rank(rank)
+	for dest, ls := range lastSend {
+		if ls > 0 {
+			h.sentCur[dest] = ls
+			h.sentCkpt[dest] = ls
+		}
+	}
+	for src, ld := range lastDeliver {
+		if ld > 0 {
+			h.committed[src] = &chanDeliver{count: ld, prev: ld, contig: ld}
+		}
+	}
+
+	// Checker: replay state at the checkpoint, and the checkpoint
+	// snapshot the rank's EvRecover will restore from.
+	s := r.digest.chk.get(rank)
+	s.delivered = delivered
+	for src, ld := range lastDeliver {
+		if ld > 0 {
+			s.lastFrom[src] = ld
+		}
+	}
+	r.digest.chk.ckpt[rank] = s.clone()
+}

@@ -60,6 +60,7 @@ import (
 	"windar/internal/metrics"
 	"windar/internal/npb"
 	"windar/internal/obs"
+	"windar/internal/stable"
 	"windar/internal/trace"
 	"windar/internal/workload"
 	"windar/layer"
@@ -102,6 +103,22 @@ const (
 	// connection with the framed wire format; the latency knobs below do
 	// not apply.
 	TransportTCP TransportKind = "tcp"
+)
+
+// StableKind selects the stable-storage backend a cluster checkpoints
+// to.
+type StableKind = string
+
+const (
+	// StableSim is the simulated in-memory stable store with modeled
+	// write latency (the default, and the backend for the figure
+	// experiments). Nothing survives the process.
+	StableSim StableKind = "sim"
+	// StableDisk persists checkpoints (and, with DurableLogs, sender
+	// logs) in Config.StableDir through per-rank parallel WAL files with
+	// group commit — rank state then survives SIGKILL, and
+	// Cluster.StartFromStable resumes a new process from the directory.
+	StableDisk StableKind = "disk"
 )
 
 // AnySource matches any sender in Recv — MPI_ANY_SOURCE.
@@ -314,6 +331,23 @@ type Config struct {
 	EventLoggerLatency time.Duration
 	// StableWriteLatency is the checkpoint write latency.
 	StableWriteLatency time.Duration
+	// Stable selects the stable-storage backend: StableSim (default) or
+	// StableDisk. The disk backend does real I/O; StableWriteLatency
+	// still adds its modeled charge on top, so figure experiments keep
+	// their timing model regardless of backend.
+	Stable StableKind
+	// StableDir is the disk backend's directory (created if missing).
+	// Required when Stable is StableDisk.
+	StableDir string
+	// FsyncEvery is the disk backend's group-commit window: durable
+	// writes wait at most about this long while neighbouring writes
+	// share one fsync. 0 commits as soon as the committer observes a
+	// write. Ignored by StableSim.
+	FsyncEvery time.Duration
+	// DurableLogs mirrors every sender-log append into the stable store,
+	// making checkpoints incremental (the blob omits the log) and — on
+	// StableDisk — the retained log replayable after a process kill.
+	DurableLogs bool
 	// StallTimeout, when positive, crashes with a diagnostic if a rank's
 	// receive waits longer than this (a debugging aid).
 	StallTimeout time.Duration
@@ -410,7 +444,27 @@ func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
 	if cfg.Flight != nil && cfg.Trace != nil && cfg.Flight.Recorder() != cfg.Trace {
 		return nil, fmt.Errorf("windar: Config.Flight and Config.Trace carry different recorders; share one with NewFlightRecorder(Trace, dir)")
 	}
-	inner, err := harness.NewCluster(cfg.internal(), func(rank, n int) iapp.App {
+	icfg := cfg.internal()
+	switch cfg.Stable {
+	case "", StableSim:
+	case StableDisk:
+		if cfg.StableDir == "" {
+			return nil, fmt.Errorf("windar: Stable %q requires StableDir", StableDisk)
+		}
+		// The disk backend paces its group commit off the real clock
+		// deliberately, even under an injected FakeClock: it performs
+		// real I/O, and a fake clock nobody advances would park every
+		// durable write forever.
+		d, err := stable.OpenDisk(stable.DiskOptions{Dir: cfg.StableDir, FsyncInterval: cfg.FsyncEvery})
+		if err != nil {
+			return nil, err
+		}
+		icfg.Stable = d
+	default:
+		return nil, fmt.Errorf("windar: unknown stable backend %q", cfg.Stable)
+	}
+	icfg.DurableLogs = cfg.DurableLogs
+	inner, err := harness.NewCluster(icfg, func(rank, n int) iapp.App {
 		a := factory(rank, n)
 		if a == nil {
 			return nil
@@ -418,6 +472,9 @@ func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
 		return appAdapter{inner: a}
 	})
 	if err != nil {
+		if icfg.Stable != nil {
+			icfg.Stable.Close()
+		}
 		return nil, err
 	}
 	protocol := cfg.Protocol
@@ -428,16 +485,33 @@ func NewCluster(cfg Config, factory Factory) (*Cluster, error) {
 	if tk == "" {
 		tk = TransportMem
 	}
+	sk := cfg.Stable
+	if sk == "" {
+		sk = StableSim
+	}
 	meta := map[string]string{
 		"procs":     fmt.Sprint(cfg.Procs),
 		"protocol":  string(protocol),
 		"transport": tk,
+		"stable":    sk,
 	}
 	return &Cluster{inner: inner, obs: cfg.Obs, meta: meta, flight: cfg.Flight}, nil
 }
 
 // Start launches every rank.
 func (c *Cluster) Start() error { return c.inner.Start() }
+
+// StartFromStable launches the cluster with every rank restored from its
+// durable checkpoint — the restart path after the previous process was
+// killed while running over StableDisk on the same StableDir. Ranks
+// without a durable checkpoint start fresh, so on an empty directory it
+// behaves exactly like Start. Restored ranks broadcast ROLLBACKs and
+// roll forward exactly as single-rank recoveries do; when Config.Trace
+// is set the recorder is seeded with the restored checkpoint baselines
+// so validation measures the resumed run correctly (the seed is
+// in-process only — an exported trace of a resumed run covers just the
+// resumed suffix).
+func (c *Cluster) StartFromStable() error { return c.inner.StartFromStable() }
 
 // Wait blocks until every rank's application completed, across any
 // injected failures and recoveries.
@@ -643,3 +717,20 @@ func RunThroughput(o ThroughputOptions) ([]ThroughputRow, error) {
 func ThroughputText(rows []ThroughputRow) string {
 	return experiments.ThroughputTable(rows).String()
 }
+
+// WalOptions configures the durable-WAL bench.
+type WalOptions = experiments.WalOptions
+
+// WalReport is the durable-WAL bench payload: the checkpoint-stall
+// distribution over the disk backend plus the cold-start WAL replay
+// measurement.
+type WalReport = experiments.WalReport
+
+// RunWal runs the durable-WAL bench: one TDI ring over the disk stable
+// backend with durable sender logs, reporting how long delivery stalls
+// per checkpoint (the durable save happens concurrently) and how fast a
+// cold process replays the surviving WAL.
+func RunWal(o WalOptions) (WalReport, error) { return experiments.RunWal(o) }
+
+// WalText renders the durable-WAL bench.
+func WalText(r WalReport) string { return experiments.WalTable(r).String() }
